@@ -1,0 +1,58 @@
+//! Benchmark: workload generators.
+//!
+//! Generator cost matters because every experiment regenerates its
+//! underlying network from a seed; this keeps an eye on the throughput of
+//! the three generators the evaluation relies on most (PA, R-MAT,
+//! Erdős–Rényi) plus the realization step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snr_generators::{gnp, preferential_attachment, rmat, RmatConfig};
+use snr_sampling::independent::independent_deletion_symmetric;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    for &n in &[10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::new("preferential_attachment_m10", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(preferential_attachment(n, 10, &mut rng).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gnp_avg_degree_20", n), &n, |b, &n| {
+            let p = 20.0 / n as f64;
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                black_box(gnp(n, p, &mut rng).unwrap())
+            })
+        });
+    }
+    group.bench_function("rmat_scale13_ef16", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(rmat(&RmatConfig::graph500(13, 16), &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_realization(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = preferential_attachment(20_000, 10, &mut rng).unwrap();
+    let mut group = c.benchmark_group("realization/independent_deletion");
+    group.sample_size(10);
+    group.bench_function("pa20k_s0.5", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(independent_deletion_symmetric(&g, 0.5, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_realization);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmark: the in-memory MapReduce engine.
+//!
+//! Measures the engine's overhead relative to a hand-rolled sequential
+//! aggregation and how it scales with the worker count, using the same
+//! record shapes the reconciliation phases produce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snr_mapreduce::Engine;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn make_records(n: usize) -> Vec<(u32, u32)> {
+    (0..n as u32).map(|i| (i % 1_024, i)).collect()
+}
+
+fn bench_engine_vs_direct(c: &mut Criterion) {
+    let records = make_records(200_000);
+    let mut group = c.benchmark_group("mapreduce/aggregation_200k");
+    group.sample_size(15);
+
+    group.bench_function("direct_hashmap", |b| {
+        b.iter(|| {
+            let mut acc: HashMap<u32, u64> = HashMap::new();
+            for &(k, v) in &records {
+                *acc.entry(k).or_insert(0) += v as u64;
+            }
+            black_box(acc)
+        })
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("engine", workers),
+            &workers,
+            |b, &workers| {
+                let engine = Engine::new(workers);
+                b.iter(|| {
+                    let out: Vec<(u32, u64)> = engine.run(
+                        "sum",
+                        records.clone(),
+                        |(k, v)| vec![(k, v as u64)],
+                        |k, vs| vec![(k, vs.into_iter().sum())],
+                    );
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_direct);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmark: one full User-Matching run and the mutual-best selection step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snr_bench::Workload;
+use snr_core::matching::mutual_best_pairs;
+use snr_core::witness::ScoreTable;
+use snr_core::{MatchingConfig, UserMatching};
+use std::hint::black_box;
+
+fn bench_full_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("user_matching/full_run");
+    group.sample_size(10);
+    for &n in &[1_000usize, 2_000, 4_000] {
+        let workload = Workload::pa(n, 10, 0.5, 0.10, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
+            let config = MatchingConfig::default().with_threshold(2).with_iterations(1);
+            b.iter(|| {
+                black_box(
+                    UserMatching::new(config.clone()).run(&w.pair.g1, &w.pair.g2, &w.seeds),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mutual_best(c: &mut Criterion) {
+    // Synthetic score table approximating one dense phase.
+    let mut scores = ScoreTable::new();
+    for u in 0..2_000u32 {
+        for k in 0..8u32 {
+            let v = (u * 7 + k * 131) % 2_000;
+            scores.insert((u, v), (u + k) % 9 + 1);
+        }
+    }
+    let mut group = c.benchmark_group("user_matching/mutual_best");
+    group.sample_size(20);
+    for threshold in [1u32, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, &t| {
+            b.iter(|| black_box(mutual_best_pairs(&scores, t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_algorithm, bench_mutual_best);
+criterion_main!(benches);

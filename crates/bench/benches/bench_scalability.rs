@@ -1,0 +1,42 @@
+//! Benchmark: Table 2 — running time as the R-MAT graph grows.
+//!
+//! The paper reports relative running times 1 / 1.199 / 12.544 for
+//! RMAT24/26/28. This benchmark reproduces the *shape* at laptop scale:
+//! three R-MAT instances two scale-exponents apart (4x node count per step),
+//! identical matcher settings (s = 0.5, l = 0.10, T = 2, k = 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snr_core::{MatchingConfig, UserMatching};
+use snr_generators::{rmat, RmatConfig};
+use snr_sampling::independent::independent_deletion_symmetric;
+use snr_sampling::sample_seeds;
+use std::hint::black_box;
+
+fn bench_rmat_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/rmat");
+    group.sample_size(10);
+    for &scale in &[10u32, 12, 14] {
+        let mut rng = StdRng::seed_from_u64(1_000 + scale as u64);
+        let g = rmat(&RmatConfig::graph500(scale, 16), &mut rng).expect("valid R-MAT parameters");
+        let pair = independent_deletion_symmetric(&g, 0.5, &mut rng).expect("valid probability");
+        let seeds = sample_seeds(&pair, 0.10, &mut rng).expect("valid probability");
+        let edges = pair.g1.edge_count() + pair.g2.edge_count();
+        group.throughput(criterion::Throughput::Elements(edges as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{scale}")),
+            &(pair, seeds),
+            |b, (pair, seeds)| {
+                let config = MatchingConfig::default().with_threshold(2).with_iterations(1);
+                b.iter(|| {
+                    black_box(UserMatching::new(config.clone()).run(&pair.g1, &pair.g2, seeds))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rmat_scaling);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmark: similarity-witness counting.
+//!
+//! The inner kernel of every phase. Compares the sequential, rayon, and
+//! MapReduce backends on the same workload, and shows the effect of the
+//! degree threshold (higher buckets touch far fewer candidate pairs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snr_bench::Workload;
+use snr_core::witness::{count_mapreduce, count_rayon, count_sequential};
+use snr_mapreduce::Engine;
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let workload = Workload::pa(4_000, 10, 0.6, 0.10, 42);
+    let links = workload.linking();
+    let (g1, g2) = (&workload.pair.g1, &workload.pair.g2);
+
+    let mut group = c.benchmark_group("witness_counting/backends");
+    group.sample_size(15);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(count_sequential(g1, g2, &links, 2, 2)))
+    });
+    group.bench_function("rayon", |b| b.iter(|| black_box(count_rayon(g1, g2, &links, 2, 2))));
+    group.bench_function("mapreduce", |b| {
+        let engine = Engine::new(4);
+        b.iter(|| black_box(count_mapreduce(g1, g2, &links, 2, 2, &engine)))
+    });
+    group.finish();
+}
+
+fn bench_degree_thresholds(c: &mut Criterion) {
+    let workload = Workload::pa(4_000, 10, 0.6, 0.10, 43);
+    let links = workload.linking();
+    let (g1, g2) = (&workload.pair.g1, &workload.pair.g2);
+
+    let mut group = c.benchmark_group("witness_counting/degree_threshold");
+    group.sample_size(15);
+    for min_degree in [2usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(min_degree), &min_degree, |b, &d| {
+            b.iter(|| black_box(count_sequential(g1, g2, &links, d, d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_degree_thresholds);
+criterion_main!(benches);

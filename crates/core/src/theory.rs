@@ -1,0 +1,221 @@
+//! Closed-form predictions from the paper's analysis (Section 4).
+//!
+//! The proofs for the Erdős–Rényi warm-up (§4.1) and the preferential
+//! attachment model (§4.2) revolve around a handful of expectations:
+//!
+//! * a correct pair `(u_i, v_i)` has `(n-1)·p·s²·l` expected first-phase
+//!   similarity witnesses (Theorem 1),
+//! * a wrong pair `(u_i, v_j)` has `(n-2)·p²·s²·l` — a factor `p` fewer,
+//! * the algorithm never errs when the threshold is above the wrong-pair
+//!   bound and identifies `1 - o(1)` of the nodes (Theorems 1–4),
+//! * in the PA model, a node of degree `d` has `d·s²·l` expected witnesses
+//!   with its copy, and nodes of degree `≥ 4 log² n / (s² l)` are identified
+//!   w.h.p. (Lemma 11), with 97% of all nodes identified when `m s² ≥ 22`
+//!   (Lemma 12).
+//!
+//! These functions make the analysis executable so experiments and tests
+//! can compare *predicted* against *measured* quantities (see the
+//! `theory_validation` experiment binary).
+
+/// Parameters of the Erdős–Rényi warm-up analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErdosRenyiModel {
+    /// Number of nodes `n` in the underlying `G(n, p)` graph.
+    pub n: usize,
+    /// Edge probability `p` of the underlying graph.
+    pub p: f64,
+    /// Edge survival probability `s` (assumed equal for both copies).
+    pub s: f64,
+    /// Seed-link probability `l`.
+    pub l: f64,
+}
+
+impl ErdosRenyiModel {
+    /// Expected number of first-phase similarity witnesses between a node
+    /// and its true copy: `(n-1)·p·s²·l`.
+    pub fn expected_witnesses_correct(&self) -> f64 {
+        (self.n.saturating_sub(1)) as f64 * self.p * self.s * self.s * self.l
+    }
+
+    /// Expected number of first-phase similarity witnesses between a node
+    /// and the copy of a *different* node: `(n-2)·p²·s²·l`.
+    pub fn expected_witnesses_wrong(&self) -> f64 {
+        (self.n.saturating_sub(2)) as f64 * self.p * self.p * self.s * self.s * self.l
+    }
+
+    /// The separation ratio between correct and wrong expected witness
+    /// counts (`≈ 1/p`); the analysis needs this to be large.
+    pub fn separation_ratio(&self) -> f64 {
+        let wrong = self.expected_witnesses_wrong();
+        if wrong == 0.0 {
+            f64::INFINITY
+        } else {
+            self.expected_witnesses_correct() / wrong
+        }
+    }
+
+    /// Theorem 1's density condition: `(n-2)·p·s²·l ≥ 24 ln n`, the regime
+    /// where concentration alone separates correct from wrong pairs.
+    pub fn satisfies_dense_regime(&self) -> bool {
+        (self.n.saturating_sub(2)) as f64 * self.p * self.s * self.s * self.l
+            >= 24.0 * (self.n.max(2) as f64).ln()
+    }
+
+    /// The connectivity condition the analysis assumes: `n·p·s > c·ln n`
+    /// (the copies are connected w.h.p.); uses `c = 1`.
+    pub fn copies_are_connected_whp(&self) -> bool {
+        self.n as f64 * self.p * self.s > (self.n.max(2) as f64).ln()
+    }
+
+    /// The minimum matching threshold used by the analysis in the sparse
+    /// regime (Lemma 3 sets it to 3, so that wrong pairs — which have at
+    /// most 2 witnesses w.h.p. — are never linked).
+    pub fn sparse_regime_threshold(&self) -> u32 {
+        3
+    }
+}
+
+/// Parameters of the preferential-attachment analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PreferentialAttachmentModel {
+    /// Number of nodes `n`.
+    pub n: usize,
+    /// Edges per arriving node `m`.
+    pub m: usize,
+    /// Edge survival probability `s`.
+    pub s: f64,
+    /// Seed-link probability `l`.
+    pub l: f64,
+}
+
+impl PreferentialAttachmentModel {
+    /// Expected first-phase witnesses between a degree-`d` node and its
+    /// copy: `d·s²·l`.
+    pub fn expected_witnesses_for_degree(&self, degree: usize) -> f64 {
+        degree as f64 * self.s * self.s * self.l
+    }
+
+    /// The degree above which Lemma 11 guarantees identification w.h.p.:
+    /// `4 log² n / (s² l)`.
+    pub fn high_degree_threshold(&self) -> f64 {
+        let log_n = (self.n.max(2) as f64).ln();
+        4.0 * log_n * log_n / (self.s * self.s * self.l)
+    }
+
+    /// Lemma 12's condition for identifying ≥ 97% of the nodes: `m·s² ≥ 22`.
+    pub fn satisfies_lemma12(&self) -> bool {
+        self.m as f64 * self.s * self.s >= 22.0
+    }
+
+    /// Lemma 12's predicted lower bound on the identified fraction when its
+    /// condition holds (97%); `None` otherwise (the paper gives no closed
+    /// form below the threshold).
+    pub fn predicted_identified_fraction(&self) -> Option<f64> {
+        if self.satisfies_lemma12() {
+            Some(0.97)
+        } else {
+            None
+        }
+    }
+
+    /// The matching threshold the PA analysis uses (9: Lemma 10 shows two
+    /// distinct low-degree nodes share at most 8 neighbors w.h.p.).
+    pub fn analysis_threshold(&self) -> u32 {
+        9
+    }
+
+    /// Expected fraction of degree-`m` nodes with *no* common surviving
+    /// neighbor across the copies — the nodes that can never be identified.
+    /// For a node with `d` underlying neighbors, each neighbor survives on
+    /// both sides with probability `s²`, so the probability of having no
+    /// common neighbor is `(1 - s²)^d`.
+    pub fn unidentifiable_fraction_for_degree(&self, degree: usize) -> f64 {
+        (1.0 - self.s * self.s).powi(degree as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn er() -> ErdosRenyiModel {
+        ErdosRenyiModel { n: 10_000, p: 0.01, s: 0.5, l: 0.1 }
+    }
+
+    #[test]
+    fn correct_pairs_have_more_expected_witnesses_than_wrong_pairs() {
+        let m = er();
+        assert!(m.expected_witnesses_correct() > m.expected_witnesses_wrong());
+        // Separation is ~1/p.
+        let ratio = m.separation_ratio();
+        assert!((ratio - 1.0 / m.p).abs() / (1.0 / m.p) < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn er_expected_values_match_hand_computation() {
+        let m = ErdosRenyiModel { n: 101, p: 0.1, s: 0.5, l: 0.2 };
+        // (n-1) p s^2 l = 100 * 0.1 * 0.25 * 0.2 = 0.5
+        assert!((m.expected_witnesses_correct() - 0.5).abs() < 1e-12);
+        // (n-2) p^2 s^2 l = 99 * 0.01 * 0.25 * 0.2 = 0.0495
+        assert!((m.expected_witnesses_wrong() - 0.0495).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_regime_detection() {
+        let sparse = er();
+        assert!(!sparse.satisfies_dense_regime());
+        let dense = ErdosRenyiModel { n: 10_000, p: 0.2, s: 0.9, l: 0.5 };
+        assert!(dense.satisfies_dense_regime());
+        assert_eq!(sparse.sparse_regime_threshold(), 3);
+    }
+
+    #[test]
+    fn connectivity_condition() {
+        assert!(er().copies_are_connected_whp());
+        let too_sparse = ErdosRenyiModel { n: 10_000, p: 0.0001, s: 0.5, l: 0.1 };
+        assert!(!too_sparse.copies_are_connected_whp());
+    }
+
+    #[test]
+    fn separation_ratio_handles_zero_wrong_expectation() {
+        let degenerate = ErdosRenyiModel { n: 2, p: 0.5, s: 0.5, l: 0.5 };
+        assert!(degenerate.separation_ratio().is_infinite());
+    }
+
+    #[test]
+    fn pa_lemma12_condition() {
+        let ok = PreferentialAttachmentModel { n: 1_000_000, m: 100, s: 0.5, l: 0.1 };
+        assert!(ok.satisfies_lemma12());
+        assert_eq!(ok.predicted_identified_fraction(), Some(0.97));
+        let not_ok = PreferentialAttachmentModel { n: 1_000_000, m: 20, s: 0.5, l: 0.1 };
+        assert!(!not_ok.satisfies_lemma12());
+        assert_eq!(not_ok.predicted_identified_fraction(), None);
+        assert_eq!(not_ok.analysis_threshold(), 9);
+    }
+
+    #[test]
+    fn pa_witness_expectation_scales_with_degree() {
+        let m = PreferentialAttachmentModel { n: 100_000, m: 20, s: 0.5, l: 0.05 };
+        assert!(m.expected_witnesses_for_degree(200) > m.expected_witnesses_for_degree(20));
+        assert!((m.expected_witnesses_for_degree(80) - 80.0 * 0.25 * 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_degree_threshold_is_positive_and_shrinks_with_more_seeds() {
+        let few = PreferentialAttachmentModel { n: 100_000, m: 20, s: 0.5, l: 0.01 };
+        let many = PreferentialAttachmentModel { n: 100_000, m: 20, s: 0.5, l: 0.2 };
+        assert!(few.high_degree_threshold() > many.high_degree_threshold());
+        assert!(many.high_degree_threshold() > 0.0);
+    }
+
+    #[test]
+    fn unidentifiable_fraction_matches_papers_example() {
+        // Paper, §4.2: "if m = 4 and s = 1/2, roughly 30% of nodes of 'true'
+        // degree m will be in this situation" — (1 - 0.25)^4 ≈ 0.316.
+        let m = PreferentialAttachmentModel { n: 1_000, m: 4, s: 0.5, l: 0.1 };
+        let frac = m.unidentifiable_fraction_for_degree(4);
+        assert!((frac - 0.3164).abs() < 0.001, "fraction {frac}");
+        // Higher degree ⇒ smaller unidentifiable fraction.
+        assert!(m.unidentifiable_fraction_for_degree(20) < frac);
+    }
+}

@@ -1,0 +1,327 @@
+//! Similarity-witness counting.
+//!
+//! Definition 1 of the paper: a linked pair `(w1, w2)` is a *similarity
+//! witness* for a candidate pair `(u, v)` if `w1 ∈ N1(u)` and `w2 ∈ N2(v)`.
+//! Each phase scores every candidate pair above the current degree threshold
+//! by its number of witnesses.
+//!
+//! The computation is *seed-centric*: instead of enumerating all `|V1|·|V2|`
+//! pairs, we iterate over the current links `(w1, w2)` and emit one witness
+//! contribution for every `(u, v) ∈ N1(w1) × N2(w2)` whose degrees meet the
+//! threshold. The total work per bucket is `Σ_{(w1,w2)∈L} d1(w1)·d2(w2)`,
+//! which is exactly how the paper obtains the
+//! `O((E1+E2)·min(Δ1,Δ2))`-per-bucket bound; pairs with zero witnesses are
+//! never touched.
+
+use crate::backend::Backend;
+use crate::linking::Linking;
+use rayon::prelude::*;
+use snr_graph::{CsrGraph, NodeId};
+use snr_mapreduce::Engine;
+use std::collections::HashMap;
+
+/// A sparse table of candidate-pair scores.
+///
+/// Keys are `(g1_node, g2_node)` raw ids; values are the number of
+/// similarity witnesses counted for that pair in the current phase.
+pub type ScoreTable = HashMap<(u32, u32), u32>;
+
+/// Counts similarity witnesses for every candidate pair whose copy-1 degree
+/// is at least `min_deg1` and copy-2 degree at least `min_deg2`, skipping
+/// candidates that are already linked.
+///
+/// Excluding already-identified nodes keeps each phase's work proportional
+/// to the *remaining* unknown nodes and lets the mutual-best rule keep
+/// making progress on them — if linked celebrities stayed in the table they
+/// would absorb the "best partner" slot of most low-degree nodes and stall
+/// recall (we verified this empirically; see the algorithm tests).
+///
+/// Dispatches to the chosen backend; all backends return identical tables.
+pub fn count_witnesses(
+    g1: &CsrGraph,
+    g2: &CsrGraph,
+    links: &Linking,
+    min_deg1: usize,
+    min_deg2: usize,
+    backend: Backend,
+) -> ScoreTable {
+    match backend {
+        Backend::Sequential => count_sequential(g1, g2, links, min_deg1, min_deg2),
+        Backend::Rayon => count_rayon(g1, g2, links, min_deg1, min_deg2),
+        Backend::MapReduce { workers } => {
+            let engine = Engine::new(workers);
+            count_mapreduce(g1, g2, links, min_deg1, min_deg2, &engine)
+        }
+    }
+}
+
+/// True if `(u, v)` is an eligible candidate in the current phase.
+#[inline]
+fn eligible(
+    g1: &CsrGraph,
+    g2: &CsrGraph,
+    links: &Linking,
+    min_deg1: usize,
+    min_deg2: usize,
+    u: NodeId,
+    v: NodeId,
+) -> bool {
+    g1.degree(u) >= min_deg1
+        && g2.degree(v) >= min_deg2
+        && !links.is_linked_g1(u)
+        && !links.is_linked_g2(v)
+}
+
+/// Sequential reference implementation.
+pub fn count_sequential(
+    g1: &CsrGraph,
+    g2: &CsrGraph,
+    links: &Linking,
+    min_deg1: usize,
+    min_deg2: usize,
+) -> ScoreTable {
+    let mut scores = ScoreTable::new();
+    for (w1, w2) in links.pairs() {
+        for &u in g1.neighbors(w1) {
+            if g1.degree(u) < min_deg1 || links.is_linked_g1(u) {
+                continue;
+            }
+            for &v in g2.neighbors(w2) {
+                if g2.degree(v) < min_deg2 || links.is_linked_g2(v) {
+                    continue;
+                }
+                *scores.entry((u.0, v.0)).or_insert(0) += 1;
+            }
+        }
+    }
+    scores
+}
+
+/// Rayon data-parallel implementation: links are processed in parallel with
+/// per-thread partial tables folded together at the end.
+pub fn count_rayon(
+    g1: &CsrGraph,
+    g2: &CsrGraph,
+    links: &Linking,
+    min_deg1: usize,
+    min_deg2: usize,
+) -> ScoreTable {
+    let link_vec: Vec<(NodeId, NodeId)> = links.to_vec();
+    link_vec
+        .par_iter()
+        .fold(ScoreTable::new, |mut local, &(w1, w2)| {
+            for &u in g1.neighbors(w1) {
+                if g1.degree(u) < min_deg1 || links.is_linked_g1(u) {
+                    continue;
+                }
+                for &v in g2.neighbors(w2) {
+                    if g2.degree(v) < min_deg2 || links.is_linked_g2(v) {
+                        continue;
+                    }
+                    *local.entry((u.0, v.0)).or_insert(0) += 1;
+                }
+            }
+            local
+        })
+        .reduce(ScoreTable::new, |a, b| {
+            let (big, small) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+            merge_into(big, small)
+        })
+}
+
+fn merge_into(mut big: ScoreTable, small: ScoreTable) -> ScoreTable {
+    for (k, v) in small {
+        *big.entry(k).or_insert(0) += v;
+    }
+    big
+}
+
+/// MapReduce implementation: one engine round whose mappers emit a
+/// `((u, v), 1)` record per witness and whose reducers sum the counts. This
+/// is round 1 of the paper's 4-round phase; see
+/// [`crate::matching::mapreduce_mutual_best`] for rounds 2–4.
+pub fn count_mapreduce(
+    g1: &CsrGraph,
+    g2: &CsrGraph,
+    links: &Linking,
+    min_deg1: usize,
+    min_deg2: usize,
+    engine: &Engine,
+) -> ScoreTable {
+    let link_vec: Vec<(NodeId, NodeId)> = links.to_vec();
+    let results: Vec<((u32, u32), u32)> = engine.run(
+        "witness-count",
+        link_vec,
+        |(w1, w2)| {
+            let mut out = Vec::new();
+            for &u in g1.neighbors(w1) {
+                if g1.degree(u) < min_deg1 || links.is_linked_g1(u) {
+                    continue;
+                }
+                for &v in g2.neighbors(w2) {
+                    if g2.degree(v) < min_deg2 || links.is_linked_g2(v) {
+                        continue;
+                    }
+                    out.push(((u.0, v.0), 1u32));
+                }
+            }
+            out
+        },
+        |pair, ones| vec![(pair, ones.iter().sum::<u32>())],
+    );
+    results.into_iter().collect()
+}
+
+/// Brute-force witness counting over all candidate pairs; `O(n1 · n2 · d)`.
+/// Used only by tests as an oracle for the optimized implementations.
+pub fn count_brute_force(
+    g1: &CsrGraph,
+    g2: &CsrGraph,
+    links: &Linking,
+    min_deg1: usize,
+    min_deg2: usize,
+) -> ScoreTable {
+    let mut scores = ScoreTable::new();
+    for u in g1.nodes() {
+        for v in g2.nodes() {
+            if !eligible(g1, g2, links, min_deg1, min_deg2, u, v) {
+                continue;
+            }
+            let mut count = 0u32;
+            for &w1 in g1.neighbors(u) {
+                if let Some(w2) = links.linked_in_g2(w1) {
+                    if g2.has_edge(v, w2) {
+                        count += 1;
+                    }
+                }
+            }
+            if count > 0 {
+                scores.insert((u.0, v.0), count);
+            }
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snr_generators::preferential_attachment;
+    use snr_graph::CsrGraph;
+    use snr_sampling::independent::independent_deletion_symmetric;
+    use snr_sampling::sample_seeds;
+
+    /// Two identical path graphs with an identity seed in the middle.
+    fn tiny_case() -> (CsrGraph, CsrGraph, Linking) {
+        let g1 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let g2 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let links = Linking::with_seeds(5, 5, &[(NodeId(2), NodeId(2))]);
+        (g1, g2, links)
+    }
+
+    #[test]
+    fn single_seed_scores_its_neighbor_cross_product() {
+        let (g1, g2, links) = tiny_case();
+        let scores = count_sequential(&g1, &g2, &links, 1, 1);
+        // Seed (2,2): N1(2) = {1,3}, N2(2) = {1,3}; all 4 combinations get 1.
+        assert_eq!(scores.len(), 4);
+        assert_eq!(scores[&(1, 1)], 1);
+        assert_eq!(scores[&(1, 3)], 1);
+        assert_eq!(scores[&(3, 1)], 1);
+        assert_eq!(scores[&(3, 3)], 1);
+    }
+
+    #[test]
+    fn degree_threshold_filters_candidates() {
+        let (g1, g2, links) = tiny_case();
+        // Node 1 and 3 have degree 2; nodes 0 and 4 have degree 1.
+        let scores = count_sequential(&g1, &g2, &links, 2, 2);
+        assert_eq!(scores.len(), 4); // 1 and 3 survive on both sides
+        let scores = count_sequential(&g1, &g2, &links, 3, 3);
+        assert!(scores.is_empty());
+    }
+
+    #[test]
+    fn linked_nodes_are_not_candidates() {
+        // Cycle 0-1-2-3-0 in both copies; (0,0) and (1,1) are seeds.
+        // Already-identified nodes only serve as witnesses; every scored
+        // candidate pair involves two unlinked nodes.
+        let g1 = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g2 = g1.clone();
+        let links =
+            Linking::with_seeds(4, 4, &[(NodeId(0), NodeId(0)), (NodeId(1), NodeId(1))]);
+        let scores = count_sequential(&g1, &g2, &links, 1, 1);
+        for ((u, v), _) in &scores {
+            assert!(*u != 0 && *u != 1, "linked g1 node {u} appeared as candidate");
+            assert!(*v != 0 && *v != 1, "linked g2 node {v} appeared as candidate");
+        }
+        // Node 2 is adjacent to seed 1, node 3 to seed 0: one witness each.
+        assert_eq!(scores[&(2, 2)], 1);
+        assert_eq!(scores[&(3, 3)], 1);
+    }
+
+    #[test]
+    fn multiple_seeds_accumulate() {
+        // Star graphs: center 0 connected to 1..=4 in both copies.
+        let edges: Vec<(u32, u32)> = (1..5).map(|i| (0, i)).collect();
+        let g1 = CsrGraph::from_edges(5, &edges);
+        let g2 = CsrGraph::from_edges(5, &edges);
+        let links = Linking::with_seeds(
+            5,
+            5,
+            &[(NodeId(1), NodeId(1)), (NodeId(2), NodeId(2)), (NodeId(3), NodeId(3))],
+        );
+        let scores = count_sequential(&g1, &g2, &links, 1, 1);
+        // The centers (0,0) get 3 witnesses; that is the only candidate pair
+        // (leaves' only neighbor is the center, which is unlinked, so leaf
+        // pairs get no witnesses... they do not: leaf u's neighbors = {0},
+        // and 0 is not linked, so no contribution).
+        assert_eq!(scores.len(), 1);
+        assert_eq!(scores[&(0, 0)], 3);
+    }
+
+    #[test]
+    fn optimized_backends_match_brute_force_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = preferential_attachment(300, 5, &mut rng).unwrap();
+        let pair = independent_deletion_symmetric(&g, 0.6, &mut rng).unwrap();
+        let seeds = sample_seeds(&pair, 0.15, &mut rng).unwrap();
+        let links = Linking::with_seeds(pair.g1.node_count(), pair.g2.node_count(), &seeds);
+
+        for (d1, d2) in [(1, 1), (2, 2), (4, 4)] {
+            let oracle = count_brute_force(&pair.g1, &pair.g2, &links, d1, d2);
+            let seq = count_sequential(&pair.g1, &pair.g2, &links, d1, d2);
+            let par = count_rayon(&pair.g1, &pair.g2, &links, d1, d2);
+            let engine = Engine::new(3).with_chunk_size(8);
+            let mr = count_mapreduce(&pair.g1, &pair.g2, &links, d1, d2, &engine);
+            assert_eq!(seq, oracle, "sequential mismatch at threshold {d1}");
+            assert_eq!(par, oracle, "rayon mismatch at threshold {d1}");
+            assert_eq!(mr, oracle, "mapreduce mismatch at threshold {d1}");
+        }
+    }
+
+    #[test]
+    fn empty_links_give_empty_scores() {
+        let (g1, g2, _) = tiny_case();
+        let links = Linking::new(5, 5);
+        assert!(count_sequential(&g1, &g2, &links, 1, 1).is_empty());
+        assert!(count_rayon(&g1, &g2, &links, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn dispatch_by_backend_gives_identical_results() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = preferential_attachment(200, 4, &mut rng).unwrap();
+        let pair = independent_deletion_symmetric(&g, 0.7, &mut rng).unwrap();
+        let seeds = sample_seeds(&pair, 0.2, &mut rng).unwrap();
+        let links = Linking::with_seeds(pair.g1.node_count(), pair.g2.node_count(), &seeds);
+        let seq = count_witnesses(&pair.g1, &pair.g2, &links, 2, 2, Backend::Sequential);
+        let ray = count_witnesses(&pair.g1, &pair.g2, &links, 2, 2, Backend::Rayon);
+        let mr =
+            count_witnesses(&pair.g1, &pair.g2, &links, 2, 2, Backend::MapReduce { workers: 2 });
+        assert_eq!(seq, ray);
+        assert_eq!(seq, mr);
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 4 — precision and recall as a function of node degree.
+//!
+//! For the DBLP and Gowalla experiments of Table 5, the paper plots
+//! precision and recall per degree: recall is poor for nodes with tiny
+//! intersection degree (they often share no neighbor across the copies at
+//! all), climbs past 50% around degree ~11, and precision stays high for
+//! every degree.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snr_core::MatchingConfig;
+use snr_experiments::datasets::{dblp_like, gowalla_like, Scale};
+use snr_experiments::{run_user_matching, ExperimentArgs};
+use snr_metrics::table::pct;
+use snr_metrics::{degree_curve, ExperimentRecord, MeasuredRow, TextTable};
+use snr_sampling::time_slice::odd_even_split;
+use snr_sampling::RealizationPair;
+
+const DEGREE_BOUNDS: &[usize] = &[1, 2, 3, 4, 6, 11, 21, 51];
+
+fn run_dataset(
+    name: &str,
+    pair: &RealizationPair,
+    args: &ExperimentArgs,
+    record: &mut ExperimentRecord,
+) {
+    let config = MatchingConfig::default().with_threshold(2).with_iterations(2);
+    let run = run_user_matching(pair, 0.10, config, args.seed);
+    let curve = degree_curve(pair, &run.outcome.links, DEGREE_BOUNDS);
+
+    println!("{name} (T = 2, 10% seeds): overall precision {}, recall {}\n",
+        pct(run.eval.precision()), pct(run.eval.recall()));
+    let mut table = TextTable::new(["min-copy degree", "matchable", "good", "bad", "precision", "recall"]);
+    for b in &curve {
+        let hi = if b.degree_hi == usize::MAX { "+".to_string() } else { format!("-{}", b.degree_hi) };
+        table.row([
+            format!("{}{hi}", b.degree_lo),
+            b.matchable.to_string(),
+            b.good.to_string(),
+            b.bad.to_string(),
+            pct(b.precision()),
+            pct(b.recall()),
+        ]);
+        record.push_row(
+            MeasuredRow::new(format!("{name} degree {}-{}", b.degree_lo, b.degree_hi))
+                .value("matchable", b.matchable as f64)
+                .value("good", b.good as f64)
+                .value("bad", b.bad as f64)
+                .value("precision", b.precision())
+                .value("recall", b.recall()),
+        );
+    }
+    println!("{table}");
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let scale = Scale::from_full_flag(args.full);
+    let mut record = ExperimentRecord::new("figure4_degree_curves", "Figure 4")
+        .parameter("scale", format!("{scale:?}"))
+        .parameter("seed", args.seed.to_string());
+
+    println!("Figure 4 — precision / recall vs degree (odd-even time-sliced proxies)\n");
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x7AB1_E007);
+    let gowalla = odd_even_split(&gowalla_like(scale, args.seed), &mut rng);
+    run_dataset("Gowalla", &gowalla, &args, &mut record);
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x7AB1_E008);
+    let dblp = odd_even_split(&dblp_like(scale, args.seed), &mut rng);
+    run_dataset("DBLP", &dblp, &args, &mut record);
+
+    println!("Paper's qualitative claims to check:");
+    println!("  * recall rises steeply with degree: very low for degree 1-2, above half past degree ~11;");
+    println!("  * precision stays high across all degree buckets.");
+    args.maybe_write_json(&record);
+}

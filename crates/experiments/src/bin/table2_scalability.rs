@@ -1,0 +1,76 @@
+//! Table 2 — scalability on R-MAT graphs.
+//!
+//! The paper generates R-MAT graphs of increasing size (RMAT24/26/28, up to
+//! 121M nodes), derives two copies with edge survival 0.5, runs the
+//! algorithm with seed probability 0.10, and reports the *relative* running
+//! time: 1 / 1.199 / 12.544. We reproduce the experiment at exponents that
+//! fit one machine; the quantity to compare is the shape of the relative
+//! running-time column (near-flat for the first step, super-linear once the
+//! graph stops fitting comfortably in cache/memory).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snr_core::MatchingConfig;
+use snr_experiments::datasets::rmat_like;
+use snr_experiments::{run_user_matching, ExperimentArgs};
+use snr_metrics::{ExperimentRecord, MeasuredRow, TextTable};
+use snr_sampling::independent::independent_deletion_symmetric;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    // Paper exponents: 24, 26, 28 (each step quadruples the node count).
+    // Demo: 12/14/16 keeps the paper's 4x-per-step growth while staying
+    // laptop-sized; full: 18/20/22.
+    let exponents: [u32; 3] = if args.full { [18, 20, 22] } else { [12, 14, 16] };
+    let paper_relative = [1.0, 1.199, 12.544];
+    let paper_names = ["RMAT24", "RMAT26", "RMAT28"];
+
+    println!("Table 2 — relative running time on R-MAT graphs (s = 0.5, seed prob = 0.10, T = 2, k = 1)\n");
+
+    let mut table =
+        TextTable::new(["graph", "nodes", "edges", "matcher time (s)", "relative", "paper relative"]);
+    let mut record = ExperimentRecord::new("table2_scalability", "Table 2")
+        .parameter("exponents", format!("{exponents:?}"))
+        .parameter("seed", args.seed.to_string());
+
+    let mut first_time: Option<f64> = None;
+    for (i, &exp) in exponents.iter().enumerate() {
+        let g = rmat_like(exp, args.seed);
+        let mut rng = StdRng::seed_from_u64(args.seed ^ exp as u64);
+        let pair = independent_deletion_symmetric(&g, 0.5, &mut rng).expect("valid probability");
+        let config = MatchingConfig::default().with_threshold(2).with_iterations(1);
+        let run = run_user_matching(&pair, 0.10, config, args.seed);
+        let secs = run.matcher_time.as_secs_f64();
+        let relative = match first_time {
+            None => {
+                first_time = Some(secs);
+                1.0
+            }
+            Some(base) => secs / base,
+        };
+        table.row([
+            format!("{} (2^{exp})", paper_names[i]),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            format!("{secs:.2}"),
+            format!("{relative:.3}"),
+            format!("{:.3}", paper_relative[i]),
+        ]);
+        record.push_row(
+            MeasuredRow::new(paper_names[i])
+                .value("nodes", g.node_count() as f64)
+                .value("edges", g.edge_count() as f64)
+                .value("seconds", secs)
+                .value("relative", relative)
+                .value("new_good", run.new_good() as f64)
+                .value("new_bad", run.new_bad() as f64)
+                .paper_value("relative", paper_relative[i]),
+        );
+    }
+
+    println!("{table}");
+    println!("Paper's qualitative claim: running time grows with graph size but the algorithm");
+    println!("remains runnable end-to-end at every size with the same resources (the paper's");
+    println!("largest jump, 12.5x for RMAT28, reflects a 4x node-count increase plus memory pressure).");
+    args.maybe_write_json(&record);
+}

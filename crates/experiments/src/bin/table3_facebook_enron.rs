@@ -1,0 +1,106 @@
+//! Table 3 — Facebook and Enron under the random deletion model.
+//!
+//! Left half of the paper's Table 3: the Facebook snapshot as the underlying
+//! network, copies with edge survival 0.5, seed probabilities 20%/10%/5%,
+//! thresholds 5/4/2. Right half: the (much sparser) Enron email network,
+//! survival 0.5, seed probability 10%, thresholds 5/4/3. The paper's
+//! headline: tens of thousands of correct matches with error rates well
+//! under 1% for Facebook and ~5% for the very sparse Enron graph.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snr_core::MatchingConfig;
+use snr_experiments::datasets::{enron_like, facebook_like, Scale};
+use snr_experiments::{run_user_matching, ExperimentArgs};
+use snr_metrics::table::pct;
+use snr_metrics::{ExperimentRecord, MeasuredRow, TextTable};
+use snr_sampling::independent::independent_deletion_symmetric;
+use snr_sampling::RealizationPair;
+
+/// Paper values for the Facebook half: (seed prob, threshold, good, bad).
+const PAPER_FACEBOOK: &[(f64, u32, u64, u64)] = &[
+    (0.20, 5, 23_915, 0),
+    (0.20, 4, 28_527, 53),
+    (0.20, 2, 41_472, 203),
+    (0.10, 5, 23_832, 49),
+    (0.10, 4, 32_105, 112),
+    (0.10, 2, 38_752, 213),
+    (0.05, 5, 11_091, 43),
+    (0.05, 4, 28_602, 118),
+    (0.05, 2, 36_484, 236),
+];
+
+/// Paper values for the Enron half: (seed prob, threshold, good, bad).
+const PAPER_ENRON: &[(f64, u32, u64, u64)] =
+    &[(0.10, 5, 3_426, 61), (0.10, 4, 3_549, 90), (0.10, 3, 3_666, 149)];
+
+fn run_half(
+    name: &str,
+    pair: &RealizationPair,
+    rows: &[(f64, u32, u64, u64)],
+    args: &ExperimentArgs,
+    record: &mut ExperimentRecord,
+) {
+    println!("{name}: matchable nodes = {}\n", pair.matchable_nodes());
+    let mut table = TextTable::new([
+        "seed prob",
+        "T",
+        "new good",
+        "new bad",
+        "error rate",
+        "paper good",
+        "paper bad",
+    ]);
+    for &(l, t, paper_good, paper_bad) in rows {
+        let config = MatchingConfig::default().with_threshold(t).with_iterations(2);
+        let run = run_user_matching(pair, l, config, args.seed);
+        table.row([
+            pct(l),
+            t.to_string(),
+            run.new_good().to_string(),
+            run.new_bad().to_string(),
+            pct(run.eval.error_rate()),
+            paper_good.to_string(),
+            paper_bad.to_string(),
+        ]);
+        record.push_row(
+            MeasuredRow::new(format!("{name} l={} T={t}", pct(l)))
+                .value("new_good", run.new_good() as f64)
+                .value("new_bad", run.new_bad() as f64)
+                .value("error_rate", run.eval.error_rate())
+                .paper_value("good", paper_good as f64)
+                .paper_value("bad", paper_bad as f64),
+        );
+    }
+    println!("{table}");
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let scale = Scale::from_full_flag(args.full);
+    let mut record = ExperimentRecord::new("table3_facebook_enron", "Table 3")
+        .parameter("scale", format!("{scale:?}"))
+        .parameter("s", "0.5")
+        .parameter("seed", args.seed.to_string());
+
+    println!("Table 3 — random deletion model (edge survival s = 0.5)\n");
+
+    let fb = facebook_like(scale, args.seed);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x7AB1_E003);
+    let fb_pair =
+        independent_deletion_symmetric(&fb.graph, 0.5, &mut rng).expect("valid probability");
+    run_half("Facebook proxy", &fb_pair, PAPER_FACEBOOK, &args, &mut record);
+
+    let enron = enron_like(scale, args.seed);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x7AB1_E004);
+    let enron_pair =
+        independent_deletion_symmetric(&enron.graph, 0.5, &mut rng).expect("valid probability");
+    run_half("Enron proxy", &enron_pair, PAPER_ENRON, &args, &mut record);
+
+    println!("Paper's qualitative claims to check:");
+    println!("  * on the Facebook-scale graph, error rates stay well under 1% at T >= 2;");
+    println!("  * lowering T raises good matches substantially with only a mild increase in bad;");
+    println!("  * the sparse Enron graph has lower recall and a higher (but still small) error rate.");
+    println!("  (Proxy graphs are smaller at demo scale, so absolute counts are proportionally lower.)");
+    args.maybe_write_json(&record);
+}

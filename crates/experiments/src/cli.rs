@@ -1,0 +1,124 @@
+//! Minimal command-line argument handling shared by the experiment binaries.
+//!
+//! We deliberately avoid a CLI-parsing dependency: the binaries accept only
+//! three flags.
+//!
+//! * `--seed <u64>` — RNG seed (default 20140707, the VLDB 2014 date).
+//! * `--full` — run at (closer to) the paper's dataset sizes instead of the
+//!   laptop-friendly demo scale.
+//! * `--json <path>` — also write the experiment record as JSON.
+
+use std::path::PathBuf;
+
+/// Parsed command-line arguments of an experiment binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentArgs {
+    /// RNG seed for every random choice in the experiment.
+    pub seed: u64,
+    /// Whether to run at full (paper) scale.
+    pub full: bool,
+    /// Optional path to write the JSON experiment record to.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs { seed: 20_140_707, full: false, json: None }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses arguments from an iterator of strings (excluding the program
+    /// name). Unknown flags produce an error string listing the usage.
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = ExperimentArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_ref() {
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed requires a value")?;
+                    out.seed = v
+                        .as_ref()
+                        .parse()
+                        .map_err(|_| format!("invalid --seed value: {}", v.as_ref()))?;
+                }
+                "--full" => out.full = true,
+                "--json" => {
+                    let v = iter.next().ok_or("--json requires a path")?;
+                    out.json = Some(PathBuf::from(v.as_ref()));
+                }
+                "--help" | "-h" => {
+                    return Err(Self::usage().to_string());
+                }
+                other => return Err(format!("unknown argument {other:?}\n{}", Self::usage())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Usage string shown for `--help` and on parse errors.
+    pub fn usage() -> &'static str {
+        "usage: <experiment> [--seed <u64>] [--full] [--json <path>]"
+    }
+
+    /// Writes an experiment record to the `--json` path if one was given.
+    pub fn maybe_write_json(&self, record: &snr_metrics::ExperimentRecord) {
+        if let Some(path) = &self.json {
+            match std::fs::write(path, record.to_json()) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_no_args() {
+        let args = ExperimentArgs::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(args, ExperimentArgs::default());
+        assert!(!args.full);
+        assert!(args.json.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let args =
+            ExperimentArgs::parse(["--seed", "42", "--full", "--json", "/tmp/out.json"]).unwrap();
+        assert_eq!(args.seed, 42);
+        assert!(args.full);
+        assert_eq!(args.json, Some(PathBuf::from("/tmp/out.json")));
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_flags() {
+        assert!(ExperimentArgs::parse(["--bogus"]).is_err());
+        assert!(ExperimentArgs::parse(["--seed"]).is_err());
+        assert!(ExperimentArgs::parse(["--seed", "abc"]).is_err());
+        assert!(ExperimentArgs::parse(["--json"]).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = ExperimentArgs::parse(["--help"]).unwrap_err();
+        assert!(err.contains("usage"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Configuration model: random graphs with a prescribed degree sequence.
+//!
+//! Useful as a null model in the robustness experiments: it matches the
+//! degree sequence of a preferential-attachment graph while destroying all
+//! other structure, which isolates how much of User-Matching's performance
+//! comes from the degree distribution alone.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use snr_graph::{CsrGraph, GraphBuilder, GraphError, NodeId};
+
+/// Generates a (simple) configuration-model graph for the given degree
+/// sequence: each node `v` gets `degrees[v]` half-edges ("stubs"), the stub
+/// list is shuffled, and consecutive stubs are paired. Self-loops and
+/// parallel edges produced by the pairing are dropped, so realized degrees
+/// can be slightly below the requested ones (the usual "erased configuration
+/// model").
+pub fn configuration_model<R: Rng + ?Sized>(
+    degrees: &[usize],
+    rng: &mut R,
+) -> Result<CsrGraph, GraphError> {
+    let total: usize = degrees.iter().sum();
+    if total % 2 != 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "degree sequence sums to {total}, which is odd"
+        )));
+    }
+    let n = degrees.len();
+    let mut stubs: Vec<u32> = Vec::with_capacity(total);
+    for (v, &d) in degrees.iter().enumerate() {
+        for _ in 0..d {
+            stubs.push(v as u32);
+        }
+    }
+    stubs.shuffle(rng);
+    let mut builder = GraphBuilder::undirected(n);
+    builder.reserve_edges(total / 2);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            builder.add_edge(NodeId(pair[0]), NodeId(pair[1]));
+        }
+    }
+    builder.ensure_nodes(n);
+    Ok(builder.build())
+}
+
+/// Extracts the degree sequence of `g` (handy for generating a
+/// degree-matched null model of an existing graph).
+pub fn degree_sequence(g: &CsrGraph) -> Vec<usize> {
+    g.nodes().map(|v| g.degree(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_odd_degree_sum() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(configuration_model(&[1, 1, 1], &mut rng).is_err());
+        assert!(configuration_model(&[2, 1, 1], &mut rng).is_ok());
+    }
+
+    #[test]
+    fn empty_sequence_gives_empty_graph() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = configuration_model(&[], &mut rng).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn zero_degrees_stay_isolated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = configuration_model(&[0, 0, 2, 2, 0], &mut rng).unwrap();
+        assert_eq!(g.degree(NodeId(0)), 0);
+        assert_eq!(g.degree(NodeId(1)), 0);
+        assert_eq!(g.degree(NodeId(4)), 0);
+    }
+
+    #[test]
+    fn realized_degrees_do_not_exceed_requested() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let degrees: Vec<usize> = (0..500).map(|i| (i % 7) + 1).collect();
+        let degrees = if degrees.iter().sum::<usize>() % 2 == 1 {
+            let mut d = degrees;
+            d[0] += 1;
+            d
+        } else {
+            degrees
+        };
+        let g = configuration_model(&degrees, &mut rng).unwrap();
+        for (v, &want) in degrees.iter().enumerate() {
+            assert!(g.degree(NodeId(v as u32)) <= want);
+        }
+        // The erased model loses only a small fraction of edges for sparse
+        // sequences.
+        let want_edges: usize = degrees.iter().sum::<usize>() / 2;
+        assert!(g.edge_count() as f64 > 0.9 * want_edges as f64);
+    }
+
+    #[test]
+    fn degree_sequence_roundtrip_is_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let original =
+            crate::preferential_attachment::preferential_attachment(2_000, 4, &mut rng).unwrap();
+        let seq = degree_sequence(&original);
+        let mut seq_adj = seq.clone();
+        if seq_adj.iter().sum::<usize>() % 2 == 1 {
+            seq_adj[0] += 1;
+        }
+        let null = configuration_model(&seq_adj, &mut rng).unwrap();
+        assert_eq!(null.node_count(), original.node_count());
+        let ratio = null.edge_count() as f64 / original.edge_count() as f64;
+        assert!(ratio > 0.85 && ratio <= 1.05, "edge ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let degrees: Vec<usize> = vec![3; 100];
+        let g1 = configuration_model(&degrees, &mut StdRng::seed_from_u64(7)).unwrap();
+        let g2 = configuration_model(&degrees, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Erdős–Rényi random graphs.
+//!
+//! §4.1 of the paper ("Warm up: Random Graphs") analyses User-Matching when
+//! the underlying network is drawn from `G(n, p)`. The generator below uses
+//! geometric skipping so that sparse graphs cost `O(n + m)` rather than
+//! `O(n^2)` coin flips, which keeps the warm-up experiments fast even at the
+//! paper's `n p ≈ c log n` densities.
+
+use crate::check_probability;
+use rand::Rng;
+use snr_graph::{CsrGraph, GraphBuilder, GraphError, NodeId};
+
+/// Samples `G(n, p)`: every unordered pair is an edge independently with
+/// probability `p`.
+///
+/// Uses the standard skip-sampling technique: instead of flipping a coin per
+/// pair, the number of non-edges to skip before the next edge follows a
+/// geometric distribution.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<CsrGraph, GraphError> {
+    check_probability("p", p)?;
+    let mut builder = GraphBuilder::undirected(n);
+    if n < 2 || p == 0.0 {
+        return Ok(builder.build());
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                builder.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+        return Ok(builder.build());
+    }
+
+    let expected_edges = (n as f64 * (n as f64 - 1.0) / 2.0 * p) as usize;
+    builder.reserve_edges(expected_edges + 16);
+
+    // Iterate over the upper triangle in row-major order, skipping ahead by
+    // geometric jumps. `pos` indexes pairs (u, v) with u < v linearly.
+    let log_q = (1.0 - p).ln();
+    let total_pairs = n as u64 * (n as u64 - 1) / 2;
+    let mut pos: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as u64;
+        pos = match pos.checked_add(skip) {
+            Some(p) => p,
+            None => break,
+        };
+        if pos >= total_pairs {
+            break;
+        }
+        let (u, v) = pair_from_linear_index(pos, n as u64);
+        builder.add_edge(NodeId(u as u32), NodeId(v as u32));
+        pos += 1;
+        if pos >= total_pairs {
+            break;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Samples `G(n, m)`: a graph with exactly `m` distinct edges chosen
+/// uniformly among all unordered pairs.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<CsrGraph, GraphError> {
+    let max_edges = if n < 2 { 0 } else { n * (n - 1) / 2 };
+    if m > max_edges {
+        return Err(GraphError::InvalidParameter(format!(
+            "m = {m} exceeds the maximum {max_edges} edges for n = {n}"
+        )));
+    }
+    let mut builder = GraphBuilder::undirected(n);
+    builder.reserve_edges(m);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            builder.add_edge(NodeId(key.0), NodeId(key.1));
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Maps a linear index over the upper triangle of an `n × n` matrix to the
+/// pair `(u, v)` with `u < v`.
+fn pair_from_linear_index(idx: u64, n: u64) -> (u64, u64) {
+    // Row u (0-based) contains the pairs (u, u+1..n), i.e. n-1-u of them, so
+    // it starts at offset S(u) = u*(n-1) - u*(u-1)/2. Invert with the
+    // quadratic formula for an initial guess, then correct locally for
+    // floating-point error.
+    let row_start = |u: u64| u * (n - 1) - u * u.saturating_sub(1) / 2;
+    let mut u = ((2.0 * n as f64 - 1.0
+        - ((2.0 * n as f64 - 1.0).powi(2) - 8.0 * idx as f64).max(0.0).sqrt())
+        / 2.0)
+        .floor() as u64;
+    u = u.min(n.saturating_sub(2));
+    while u > 0 && row_start(u) > idx {
+        u -= 1;
+    }
+    while u + 1 < n && row_start(u + 1) <= idx {
+        u += 1;
+    }
+    let v = idx - row_start(u) + u + 1;
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_index_enumerates_upper_triangle() {
+        let n = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        let total = n * (n - 1) / 2;
+        for idx in 0..total {
+            let (u, v) = pair_from_linear_index(idx, n);
+            assert!(u < v, "u={u} v={v} idx={idx}");
+            assert!(v < n);
+            assert!(seen.insert((u, v)), "duplicate pair ({u},{v}) at idx {idx}");
+        }
+        assert_eq!(seen.len() as u64, total);
+    }
+
+    #[test]
+    fn gnp_zero_probability_has_no_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnp(100, 0.0, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn gnp_probability_one_is_complete() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnp(20, 1.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn gnp_rejects_invalid_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(gnp(10, 1.5, &mut rng).is_err());
+        assert!(gnp(10, -0.2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnp_edge_count_is_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 2000;
+        let p = 0.01;
+        let g = gnp(n, p, &mut rng).unwrap();
+        let expected = n as f64 * (n as f64 - 1.0) / 2.0 * p;
+        let actual = g.edge_count() as f64;
+        assert!(
+            (actual - expected).abs() < 0.1 * expected,
+            "edges {actual} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_is_deterministic_for_a_seed() {
+        let g1 = gnp(500, 0.01, &mut StdRng::seed_from_u64(7)).unwrap();
+        let g2 = gnp(500, 0.01, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(g1, g2);
+        let g3 = gnp(500, 0.01, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gnm(100, 250, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 250);
+        assert_eq!(g.node_count(), 100);
+    }
+
+    #[test]
+    fn gnm_rejects_impossible_edge_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(gnm(5, 11, &mut rng).is_err());
+        assert!(gnm(1, 1, &mut rng).is_err());
+        assert!(gnm(5, 10, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn small_graphs_are_handled() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(gnp(0, 0.5, &mut rng).unwrap().node_count(), 0);
+        assert_eq!(gnp(1, 0.5, &mut rng).unwrap().edge_count(), 0);
+        assert_eq!(gnm(0, 0, &mut rng).unwrap().node_count(), 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn gnp_never_produces_self_loops_or_out_of_range(n in 1usize..200, p in 0.0f64..0.2, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = gnp(n, p, &mut rng).unwrap();
+            proptest::prop_assert_eq!(g.node_count(), n);
+            for e in g.edges() {
+                proptest::prop_assert!(e.src != e.dst);
+                proptest::prop_assert!((e.dst.index()) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Preferential attachment (Barabási–Albert / Bollobás–Riordan).
+//!
+//! The paper's main theoretical results (§4.2) are proved for the
+//! preferential-attachment model `G^m_n`: nodes arrive one at a time, each
+//! new node attaches `m` edges whose endpoints are chosen proportionally to
+//! the current degrees (including the new node's partially-attached degree,
+//! following Bollobás–Riordan). The implementation uses the standard
+//! "repeated endpoints" array: every time an edge `(u, v)` is inserted, both
+//! endpoints are appended to a vector, so sampling an element of that vector
+//! uniformly at random is exactly degree-proportional sampling.
+
+use rand::Rng;
+use snr_graph::{CsrGraph, GraphBuilder, GraphError, NodeId};
+
+/// Generates a preferential-attachment graph with `n` nodes and `m` edges per
+/// arriving node (so close to `n·m` edges in total; self-loops produced by
+/// the Bollobás–Riordan process are dropped when the simple graph is built,
+/// and parallel edges are merged).
+///
+/// # Errors
+/// Returns an error if `m == 0` or `n == 0`.
+pub fn preferential_attachment<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<CsrGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter("preferential attachment needs n >= 1".into()));
+    }
+    if m == 0 {
+        return Err(GraphError::InvalidParameter("preferential attachment needs m >= 1".into()));
+    }
+
+    let mut builder = GraphBuilder::undirected(n);
+    builder.reserve_edges(n * m);
+
+    // `endpoints` holds one entry per edge endpoint inserted so far; sampling
+    // uniformly from it is sampling a node with probability proportional to
+    // its degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m + 2 * m);
+
+    // Node 0 starts with m self-loops in the Bollobás–Riordan construction;
+    // represent them only in the endpoint multiset (the simple graph drops
+    // self-loops) so that node 0 has non-zero attachment mass.
+    for _ in 0..2 * m {
+        endpoints.push(0);
+    }
+
+    for v in 1..n as u32 {
+        // The new node's edges are inserted one after another; each endpoint
+        // is chosen from the multiset including the entries added for the
+        // current node so far (this matches Definition 2 of the paper where
+        // the new node can be selected with probability (d(u)+1)/(M_i+1);
+        // we approximate by including already-placed endpoints of v).
+        let mut chosen = Vec::with_capacity(m);
+        for _ in 0..m {
+            let total = endpoints.len();
+            let target = endpoints[rng.gen_range(0..total)];
+            chosen.push(target);
+            endpoints.push(target);
+            endpoints.push(v);
+        }
+        for &t in &chosen {
+            if t != v {
+                builder.add_edge(NodeId(v), NodeId(t));
+            }
+        }
+    }
+    builder.ensure_nodes(n);
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snr_graph::stats::{degree_histogram, power_law_exponent, GraphStats};
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(preferential_attachment(0, 3, &mut rng).is_err());
+        assert!(preferential_attachment(10, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn node_and_edge_counts_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 5_000;
+        let m = 8;
+        let g = preferential_attachment(n, m, &mut rng).unwrap();
+        assert_eq!(g.node_count(), n);
+        // Each arriving node contributes at most m edges; duplicates/self
+        // loops remove a few but the total must stay close to n*m.
+        assert!(g.edge_count() <= n * m);
+        assert!(g.edge_count() as f64 > 0.9 * (n * m) as f64, "edges = {}", g.edge_count());
+    }
+
+    #[test]
+    fn minimum_degree_is_respected_for_late_nodes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = 5;
+        let g = preferential_attachment(2_000, m, &mut rng).unwrap();
+        // Every node other than the very first ones has degree >= 1, and the
+        // vast majority have degree >= m (they keep their m out-edges unless
+        // collapsed by duplicate choices).
+        let low = g.nodes().filter(|&v| g.degree(v) < m).count();
+        assert!(low < 200, "{low} nodes below degree m");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = preferential_attachment(20_000, 4, &mut rng).unwrap();
+        let stats = GraphStats::compute(&g);
+        // The maximum degree in PA grows like sqrt(n); far above the average.
+        assert!(stats.max_degree > 50, "max degree {}", stats.max_degree);
+        assert!(stats.max_degree as f64 > 10.0 * stats.avg_degree);
+        // Power-law exponent should be roughly 3 (BA theory); allow slack.
+        let alpha = power_law_exponent(&g, 8).expect("enough nodes for tail fit");
+        assert!(alpha > 2.0 && alpha < 4.5, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn early_nodes_accumulate_high_degree() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = preferential_attachment(10_000, 5, &mut rng).unwrap();
+        // "First-mover advantage" (Lemma 7): early nodes end up with much
+        // larger degree than the median.
+        let early_avg: f64 =
+            (0..50).map(|i| g.degree(NodeId(i)) as f64).sum::<f64>() / 50.0;
+        let hist = degree_histogram(&g);
+        let median = {
+            let mut seen = 0;
+            let mut med = 0;
+            for (d, &count) in hist.iter().enumerate() {
+                seen += count;
+                if seen >= g.node_count() / 2 {
+                    med = d;
+                    break;
+                }
+            }
+            med
+        };
+        assert!(
+            early_avg > 4.0 * median as f64,
+            "early average degree {early_avg} vs median {median}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g1 = preferential_attachment(1_000, 3, &mut StdRng::seed_from_u64(99)).unwrap();
+        let g2 = preferential_attachment(1_000, 3, &mut StdRng::seed_from_u64(99)).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn single_node_graph_is_empty() {
+        let g = preferential_attachment(1, 3, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Stochastic block model.
+//!
+//! Used in the extension experiments: the paper's correlated-deletion
+//! scenario (Table 4) models users whose *communities* differ between the
+//! two networks. The SBM gives a second, simpler community-structured
+//! underlying graph for stress-testing the same phenomenon and for the
+//! property tests of the community-deletion realization model.
+
+use crate::check_probability;
+use rand::Rng;
+use snr_graph::{CsrGraph, GraphBuilder, GraphError, NodeId};
+
+/// Generates a stochastic block model graph.
+///
+/// `block_sizes[b]` nodes belong to block `b`; an edge between two nodes of
+/// the same block exists with probability `p_in`, between different blocks
+/// with probability `p_out`. Returns the graph and the per-node block labels.
+pub fn stochastic_block_model<R: Rng + ?Sized>(
+    block_sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Result<(CsrGraph, Vec<u32>), GraphError> {
+    check_probability("p_in", p_in)?;
+    check_probability("p_out", p_out)?;
+    if block_sizes.is_empty() {
+        return Err(GraphError::InvalidParameter("need at least one block".into()));
+    }
+    let n: usize = block_sizes.iter().sum();
+    let mut labels = Vec::with_capacity(n);
+    for (b, &size) in block_sizes.iter().enumerate() {
+        labels.extend(std::iter::repeat(b as u32).take(size));
+    }
+
+    let mut builder = GraphBuilder::undirected(n);
+    // Simple pairwise sampling; the SBM instances used in tests and
+    // experiments are small (tens of thousands of pairs), so the O(n^2) loop
+    // is acceptable and keeps the implementation transparent.
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if labels[u] == labels[v] { p_in } else { p_out };
+            if p > 0.0 && rng.gen::<f64>() < p {
+                builder.add_edge(NodeId(u as u32), NodeId(v as u32));
+            }
+        }
+    }
+    builder.ensure_nodes(n);
+    Ok((builder.build(), labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(stochastic_block_model(&[], 0.5, 0.1, &mut rng).is_err());
+        assert!(stochastic_block_model(&[10], 1.5, 0.1, &mut rng).is_err());
+        assert!(stochastic_block_model(&[10], 0.5, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn labels_match_block_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, labels) = stochastic_block_model(&[5, 10, 15], 0.3, 0.01, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 30);
+        assert_eq!(labels.len(), 30);
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 5);
+        assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 10);
+        assert_eq!(labels.iter().filter(|&&l| l == 2).count(), 15);
+    }
+
+    #[test]
+    fn intra_block_edges_dominate_when_p_in_is_large() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, labels) = stochastic_block_model(&[100, 100], 0.2, 0.01, &mut rng).unwrap();
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for e in g.edges() {
+            if labels[e.src.index()] == labels[e.dst.index()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, _) = stochastic_block_model(&[10, 10], 1.0, 0.0, &mut rng).unwrap();
+        // Two disjoint cliques of size 10.
+        assert_eq!(g.edge_count(), 2 * (10 * 9 / 2));
+        let (g0, _) = stochastic_block_model(&[10, 10], 0.0, 0.0, &mut rng).unwrap();
+        assert_eq!(g0.edge_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = stochastic_block_model(&[50, 50], 0.1, 0.01, &mut StdRng::seed_from_u64(4)).unwrap();
+        let b = stochastic_block_model(&[50, 50], 0.1, 0.01, &mut StdRng::seed_from_u64(4)).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! Not used directly in the paper's evaluation, but the paper's analysis
+//! leans on networks having "distinct neighbors including some long-range /
+//! random connections not shared with those immediately around them"
+//! (citing Granovetter and Kleinberg). The Watts–Strogatz model is the
+//! canonical way to dial that property up and down, and the robustness
+//! experiments in this reproduction use it to probe how User-Matching
+//! degrades as a network becomes more locally clustered (high overlap among
+//! neighborhoods) versus more random.
+
+use crate::check_probability;
+use rand::Rng;
+use snr_graph::{CsrGraph, GraphBuilder, GraphError, NodeId};
+
+/// Generates a Watts–Strogatz graph: a ring lattice where each node is
+/// connected to its `k` nearest neighbors (`k/2` on each side), with every
+/// edge rewired to a uniformly random endpoint with probability `beta`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<CsrGraph, GraphError> {
+    check_probability("beta", beta)?;
+    if n == 0 {
+        return Err(GraphError::InvalidParameter("watts_strogatz needs n >= 1".into()));
+    }
+    if k % 2 != 0 {
+        return Err(GraphError::InvalidParameter(format!("k = {k} must be even")));
+    }
+    if k >= n {
+        return Err(GraphError::InvalidParameter(format!("k = {k} must be smaller than n = {n}")));
+    }
+
+    let mut builder = GraphBuilder::undirected(n);
+    builder.reserve_edges(n * k / 2);
+    for u in 0..n {
+        for offset in 1..=(k / 2) {
+            let v = (u + offset) % n;
+            let (a, mut b) = (u as u32, v as u32);
+            if beta > 0.0 && rng.gen::<f64>() < beta {
+                // Rewire the far endpoint to a random node, avoiding
+                // self-loops; duplicate edges are merged at build time.
+                let mut w = rng.gen_range(0..n as u32);
+                let mut guard = 0;
+                while w == a && guard < 16 {
+                    w = rng.gen_range(0..n as u32);
+                    guard += 1;
+                }
+                b = w;
+            }
+            if a != b {
+                builder.add_edge(NodeId(a), NodeId(b));
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snr_graph::stats::global_clustering_coefficient;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(watts_strogatz(0, 2, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 3, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 10, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 2, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_beta_gives_exact_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50;
+        let k = 4;
+        let g = watts_strogatz(n, k, 0.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), n * k / 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), k);
+        }
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(0), NodeId(49)));
+        assert!(g.has_edge(NodeId(0), NodeId(48)));
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn rewiring_lowers_clustering() {
+        let lattice = watts_strogatz(400, 8, 0.0, &mut StdRng::seed_from_u64(2)).unwrap();
+        let random = watts_strogatz(400, 8, 1.0, &mut StdRng::seed_from_u64(2)).unwrap();
+        let c_lattice = global_clustering_coefficient(&lattice);
+        let c_random = global_clustering_coefficient(&random);
+        assert!(c_lattice > 0.4, "lattice clustering {c_lattice}");
+        assert!(c_random < c_lattice / 2.0, "random clustering {c_random} vs {c_lattice}");
+    }
+
+    #[test]
+    fn edge_count_is_stable_under_rewiring() {
+        let g = watts_strogatz(300, 6, 0.3, &mut StdRng::seed_from_u64(3)).unwrap();
+        // Rewiring can only merge duplicates or drop self-loop rewires, so
+        // the count stays close to n*k/2.
+        assert!(g.edge_count() as f64 > 0.95 * (300.0 * 6.0 / 2.0));
+        assert!(g.edge_count() <= 300 * 6 / 2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g1 = watts_strogatz(200, 4, 0.2, &mut StdRng::seed_from_u64(4)).unwrap();
+        let g2 = watts_strogatz(200, 4, 0.2, &mut StdRng::seed_from_u64(4)).unwrap();
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,268 @@
+//! Immutable compressed-sparse-row graph storage.
+
+use crate::node::{Edge, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable graph stored in compressed sparse row (CSR) form.
+///
+/// Neighbor lists are sorted and deduplicated, so
+/// * `neighbors(v)` is a sorted slice usable with binary search and
+///   merge-based set intersection (the kernel of similarity-witness
+///   counting), and
+/// * `degree(v)` is an O(1) subtraction of two offsets.
+///
+/// For undirected graphs each edge `{u, v}` is stored twice (once per
+/// endpoint); [`CsrGraph::edge_count`] reports the number of undirected
+/// edges, not adjacency entries.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CsrGraph {
+    node_count: usize,
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    directed: bool,
+    /// Number of logical edges (undirected edges counted once).
+    edge_count: usize,
+    max_degree: usize,
+}
+
+impl CsrGraph {
+    /// Assembles a CSR graph from raw adjacency arrays.
+    ///
+    /// `offsets` must have length `node_count + 1` with `offsets[0] == 0`
+    /// and `offsets[node_count] == targets.len()`. Neighbor ranges need not
+    /// be sorted or deduplicated; this constructor normalizes them.
+    pub(crate) fn from_raw_parts(
+        node_count: usize,
+        offsets: Vec<usize>,
+        mut targets: Vec<NodeId>,
+        directed: bool,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), node_count + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), targets.len());
+
+        // Sort + dedup each neighbor range, then compact the target array.
+        let mut new_offsets = Vec::with_capacity(node_count + 1);
+        let mut new_targets = Vec::with_capacity(targets.len());
+        new_offsets.push(0);
+        for v in 0..node_count {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            let range = &mut targets[lo..hi];
+            range.sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            for &t in range.iter() {
+                if prev != Some(t) {
+                    new_targets.push(t);
+                    prev = Some(t);
+                }
+            }
+            new_offsets.push(new_targets.len());
+        }
+
+        let adjacency_entries = new_targets.len();
+        let mut self_loops = 0usize;
+        let mut max_degree = 0usize;
+        for v in 0..node_count {
+            let deg = new_offsets[v + 1] - new_offsets[v];
+            max_degree = max_degree.max(deg);
+            let range = &new_targets[new_offsets[v]..new_offsets[v + 1]];
+            if range.binary_search(&NodeId::from_index(v)).is_ok() {
+                self_loops += 1;
+            }
+        }
+        let edge_count = if directed {
+            adjacency_entries
+        } else {
+            // Undirected: each non-loop edge stored twice, loops stored once.
+            (adjacency_entries - self_loops) / 2 + self_loops
+        };
+
+        CsrGraph {
+            node_count,
+            offsets: new_offsets,
+            targets: new_targets,
+            directed,
+            edge_count,
+            max_degree,
+        }
+    }
+
+    /// Builds a graph directly from an edge list (convenience for tests and
+    /// small fixtures). Undirected, self-loops dropped.
+    pub fn from_edges(node_count: usize, edges: &[(u32, u32)]) -> Self {
+        let mut b = crate::builder::GraphBuilder::undirected(node_count);
+        for &(a, bnode) in edges {
+            b.add_edge(NodeId(a), NodeId(bnode));
+        }
+        b.build()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of logical edges (undirected edges counted once).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph was built as directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Largest degree over all nodes; `0` for the empty graph.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Degree (number of distinct neighbors) of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Sorted, deduplicated neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// True if `{u, v}` (or `u -> v` for directed graphs) is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count as u32).map(NodeId)
+    }
+
+    /// Iterator over logical edges. For undirected graphs each edge is
+    /// yielded once with `src <= dst`; self-loops are yielded once.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| self.directed || u.0 <= v.0)
+                .map(move |v| Edge::new(u, v))
+        })
+    }
+
+    /// Sum of all degrees (adjacency entries).
+    pub fn total_degree(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of nodes with degree at least `d`.
+    pub fn nodes_with_degree_at_least(&self, d: usize) -> usize {
+        self.nodes().filter(|&v| self.degree(v) >= d).count()
+    }
+
+    /// Borrows the raw CSR arrays `(offsets, targets)`; exposed for the
+    /// binary serializer and for zero-copy consumers.
+    pub fn raw(&self) -> (&[usize], &[NodeId]) {
+        (&self.offsets, &self.targets)
+    }
+
+    /// Reconstructs a graph from already-normalized CSR arrays (sorted,
+    /// deduplicated neighbor ranges). Used by the binary deserializer.
+    pub fn from_normalized_parts(
+        node_count: usize,
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        directed: bool,
+    ) -> Self {
+        // Re-run the normalizing constructor: it is idempotent on normalized
+        // input and recomputes the cached statistics.
+        CsrGraph::from_raw_parts(node_count, offsets, targets, directed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_unique() {
+        let g = CsrGraph::from_edges(5, &[(0, 3), (0, 1), (0, 4), (0, 1), (0, 2)]);
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(g.degree(NodeId(0)), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric_for_undirected() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_undirected_edge_once() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for e in &edges {
+            assert!(e.src.0 <= e.dst.0);
+        }
+    }
+
+    #[test]
+    fn max_degree_of_star_is_center_degree() {
+        let edges: Vec<(u32, u32)> = (1..10).map(|i| (0, i)).collect();
+        let g = CsrGraph::from_edges(10, &edges);
+        assert_eq!(g.max_degree(), 9);
+        assert_eq!(g.degree(NodeId(0)), 9);
+        for i in 1..10 {
+            assert_eq!(g.degree(NodeId(i)), 1);
+        }
+    }
+
+    #[test]
+    fn path_graph_degrees() {
+        let g = path_graph(5);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+        assert_eq!(g.degree(NodeId(4)), 1);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.total_degree(), 8);
+    }
+
+    #[test]
+    fn nodes_with_degree_at_least_counts_correctly() {
+        let g = path_graph(5);
+        assert_eq!(g.nodes_with_degree_at_least(1), 5);
+        assert_eq!(g.nodes_with_degree_at_least(2), 3);
+        assert_eq!(g.nodes_with_degree_at_least(3), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_graph() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: CsrGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_graph_edge_iterator_is_empty() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

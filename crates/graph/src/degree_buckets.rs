@@ -1,0 +1,98 @@
+//! Degree-bucket schedule helpers.
+//!
+//! User-Matching sweeps degree buckets `j = log D .. 1`, considering in
+//! bucket `j` only nodes of degree at least `2^j`. The schedule itself is a
+//! pure function of the maximum degree; keeping it here (next to the graph
+//! statistics it is derived from) lets the core algorithm, the experiments
+//! and the benchmarks agree on exactly the same phase structure.
+
+use crate::csr::CsrGraph;
+
+/// The descending sequence of bucket exponents `log D, …, min_bucket` for a
+/// pair of graphs. Returns at least one bucket (the `min_bucket` itself)
+/// even for edgeless graphs so that algorithms always run one phase.
+pub fn bucket_schedule(g1: &CsrGraph, g2: &CsrGraph, min_bucket: u32) -> Vec<u32> {
+    let min_bucket = min_bucket.max(1);
+    let max_degree = g1.max_degree().max(g2.max_degree()).max(1);
+    let top = floor_log2(max_degree).max(min_bucket);
+    (min_bucket..=top).rev().collect()
+}
+
+/// `floor(log2(x))` for `x ≥ 1`; `0` for `x = 0`.
+pub fn floor_log2(x: usize) -> u32 {
+    if x == 0 {
+        0
+    } else {
+        usize::BITS - 1 - x.leading_zeros()
+    }
+}
+
+/// The minimum degree required to participate in bucket `j` (that is, `2^j`).
+pub fn bucket_min_degree(bucket: u32) -> usize {
+    1usize << bucket.min(usize::BITS - 1)
+}
+
+/// Number of nodes of `g` eligible for bucket `j`.
+pub fn eligible_nodes(g: &CsrGraph, bucket: u32) -> usize {
+    g.nodes_with_degree_at_least(bucket_min_degree(bucket))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+
+    #[test]
+    fn floor_log2_reference_values() {
+        assert_eq!(floor_log2(0), 0);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(1023), 9);
+        assert_eq!(floor_log2(1024), 10);
+    }
+
+    #[test]
+    fn bucket_min_degree_is_power_of_two() {
+        assert_eq!(bucket_min_degree(1), 2);
+        assert_eq!(bucket_min_degree(3), 8);
+        assert_eq!(bucket_min_degree(10), 1024);
+    }
+
+    #[test]
+    fn schedule_descends_from_log_max_degree() {
+        let edges: Vec<(u32, u32)> = (1..=20).map(|i| (0, i)).collect();
+        let star = CsrGraph::from_edges(21, &edges); // max degree 20
+        let path = CsrGraph::from_edges(21, &[(0, 1), (1, 2)]); // max degree 2
+        let schedule = bucket_schedule(&star, &path, 1);
+        assert_eq!(schedule, vec![4, 3, 2, 1]); // floor(log2 20) = 4
+        // Order does not depend on which graph holds the larger degree.
+        assert_eq!(schedule, bucket_schedule(&path, &star, 1));
+    }
+
+    #[test]
+    fn schedule_respects_the_minimum_bucket() {
+        let edges: Vec<(u32, u32)> = (1..=64).map(|i| (0, i)).collect();
+        let g = CsrGraph::from_edges(65, &edges);
+        let schedule = bucket_schedule(&g, &g, 3);
+        assert_eq!(schedule.first(), Some(&6));
+        assert_eq!(schedule.last(), Some(&3));
+    }
+
+    #[test]
+    fn empty_graphs_still_get_one_bucket() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(bucket_schedule(&g, &g, 1), vec![1]);
+        assert_eq!(bucket_schedule(&g, &g, 0), vec![1]);
+    }
+
+    #[test]
+    fn eligible_node_counts_shrink_with_the_bucket() {
+        let edges: Vec<(u32, u32)> = (1..=16).map(|i| (0, i)).chain([(1, 2), (2, 3)]).collect();
+        let g = CsrGraph::from_edges(17, &edges);
+        assert!(eligible_nodes(&g, 1) >= eligible_nodes(&g, 2));
+        assert!(eligible_nodes(&g, 2) >= eligible_nodes(&g, 4));
+        assert_eq!(eligible_nodes(&g, 4), 1); // only the hub has degree >= 16
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced by graph construction, validation and serialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced a node id outside `0..node_count`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: u32,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A text edge list contained a line that could not be parsed.
+    ParseEdge {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A binary payload was truncated or had an invalid header.
+    InvalidBinary(String),
+    /// Underlying I/O failure while reading or writing a graph.
+    Io(std::io::Error),
+    /// A parameter supplied to a graph routine was out of its legal range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node id {node} out of bounds for graph with {node_count} nodes")
+            }
+            GraphError::ParseEdge { line, content } => {
+                write!(f, "cannot parse edge on line {line}: {content:?}")
+            }
+            GraphError::InvalidBinary(msg) => write!(f, "invalid binary graph payload: {msg}"),
+            GraphError::Io(e) => write!(f, "graph I/O error: {e}"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds { node: 10, node_count: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+
+        let e = GraphError::ParseEdge { line: 3, content: "a b".into() };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::InvalidParameter("p must be in [0,1]".into());
+        assert!(e.to_string().contains("p must be in [0,1]"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_with_source() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = GraphError::from(io);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("eof"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Sorted-slice set operations.
+//!
+//! Counting similarity witnesses boils down to intersecting neighbor lists,
+//! which the CSR representation stores sorted. A linear merge is optimal when
+//! the two lists have comparable sizes; galloping (exponential) search wins
+//! when one list is much shorter than the other — the common case when a
+//! low-degree node is compared against a celebrity. [`count_common`] picks
+//! between the two automatically.
+
+use crate::node::NodeId;
+
+/// Threshold ratio between list lengths above which galloping search is used.
+const GALLOP_RATIO: usize = 16;
+
+/// Counts elements present in both sorted, deduplicated slices.
+#[inline]
+pub fn count_common(a: &[NodeId], b: &[NodeId], ) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.len() / short.len() >= GALLOP_RATIO {
+        count_common_gallop(short, long)
+    } else {
+        count_common_merge(a, b)
+    }
+}
+
+/// Linear-merge intersection count. `O(|a| + |b|)`.
+#[inline]
+pub fn count_common_merge(a: &[NodeId], b: &[NodeId]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Galloping intersection count: for each element of the short list, locate
+/// it in the long list with an exponentially widening probe followed by a
+/// binary search. `O(|short| · log |long|)`.
+pub fn count_common_gallop(short: &[NodeId], long: &[NodeId]) -> usize {
+    let mut count = 0;
+    let mut lo = 0usize;
+    for &x in short {
+        // Exponential probe from the last found position: advance `hi` until
+        // `long[hi] >= x` (or the end), keeping `lo` at the last probed
+        // position known to be `< x`. The element equal to `x`, if present,
+        // then lies in `long[lo..=hi]`.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < long.len() && long[hi] < x {
+            lo = hi;
+            hi += step;
+            step <<= 1;
+        }
+        let hi = (hi + 1).min(long.len());
+        match long[lo..hi].binary_search(&x) {
+            Ok(pos) => {
+                count += 1;
+                lo += pos + 1;
+            }
+            Err(pos) => {
+                lo += pos;
+            }
+        }
+        if lo >= long.len() {
+            break;
+        }
+    }
+    count
+}
+
+/// Materializes the intersection of two sorted, deduplicated slices.
+pub fn intersection(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Materializes the union of two sorted, deduplicated slices.
+pub fn union(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Jaccard similarity of two sorted, deduplicated slices; `0.0` when both are
+/// empty.
+pub fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = count_common(a, b) as f64;
+    let uni = (a.len() + b.len()) as f64 - inter;
+    inter / uni
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    #[test]
+    fn merge_count_basic() {
+        let a = ids(&[1, 3, 5, 7, 9]);
+        let b = ids(&[2, 3, 4, 7, 10]);
+        assert_eq!(count_common_merge(&a, &b), 2);
+    }
+
+    #[test]
+    fn gallop_count_matches_merge() {
+        let a = ids(&[5, 100, 2000]);
+        let b: Vec<NodeId> = (0..5000).map(NodeId).collect();
+        assert_eq!(count_common_gallop(&a, &b), 3);
+        assert_eq!(count_common_merge(&a, &b), 3);
+        assert_eq!(count_common(&a, &b), 3);
+    }
+
+    #[test]
+    fn empty_inputs_give_zero() {
+        assert_eq!(count_common(&[], &ids(&[1, 2])), 0);
+        assert_eq!(count_common(&ids(&[1, 2]), &[]), 0);
+        assert_eq!(count_common(&[], &[]), 0);
+    }
+
+    #[test]
+    fn disjoint_and_identical_sets() {
+        let a = ids(&[1, 2, 3]);
+        let b = ids(&[4, 5, 6]);
+        assert_eq!(count_common(&a, &b), 0);
+        assert_eq!(count_common(&a, &a), 3);
+    }
+
+    #[test]
+    fn intersection_and_union_contents() {
+        let a = ids(&[1, 2, 4, 6]);
+        let b = ids(&[2, 3, 4, 5]);
+        assert_eq!(intersection(&a, &b), ids(&[2, 4]));
+        assert_eq!(union(&a, &b), ids(&[1, 2, 3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let a = ids(&[1, 2, 3, 4]);
+        let b = ids(&[3, 4, 5, 6]);
+        let j = jaccard(&a, &b);
+        assert!((j - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(jaccard(&[], &[]), 0.0);
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn gallop_handles_short_list_beyond_long_end() {
+        let a = ids(&[100, 200, 300]);
+        let b = ids(&[1, 2, 3]);
+        assert_eq!(count_common_gallop(&a, &b), 0);
+        assert_eq!(count_common_gallop(&b, &a), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn count_common_matches_hashset(mut xs in proptest::collection::vec(0u32..500, 0..200),
+                                        mut ys in proptest::collection::vec(0u32..500, 0..200)) {
+            xs.sort_unstable();
+            xs.dedup();
+            ys.sort_unstable();
+            ys.dedup();
+            let a = ids(&xs);
+            let b = ids(&ys);
+            let expected = xs.iter().filter(|x| ys.contains(x)).count();
+            proptest::prop_assert_eq!(count_common(&a, &b), expected);
+            proptest::prop_assert_eq!(count_common_merge(&a, &b), expected);
+            let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+            proptest::prop_assert_eq!(count_common_gallop(short, long), expected);
+        }
+
+        #[test]
+        fn union_and_intersection_sizes_are_consistent(mut xs in proptest::collection::vec(0u32..200, 0..100),
+                                                       mut ys in proptest::collection::vec(0u32..200, 0..100)) {
+            xs.sort_unstable();
+            xs.dedup();
+            ys.sort_unstable();
+            ys.dedup();
+            let a = ids(&xs);
+            let b = ids(&ys);
+            let inter = intersection(&a, &b);
+            let uni = union(&a, &b);
+            // |A| + |B| = |A ∪ B| + |A ∩ B|
+            proptest::prop_assert_eq!(a.len() + b.len(), uni.len() + inter.len());
+            // Union is sorted and deduplicated.
+            let mut sorted = uni.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            proptest::prop_assert_eq!(uni, sorted);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Graph serialization: whitespace-separated edge lists (the format every
+//! public social-network dataset in the paper ships in) and a compact binary
+//! format for caching generated graphs between experiment runs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, Write};
+
+/// Magic bytes identifying the binary graph format.
+const MAGIC: &[u8; 4] = b"SNRG";
+/// Current binary format version.
+const VERSION: u8 = 1;
+
+/// Writes `g` as a text edge list: one `u v` pair per line, undirected edges
+/// once each, preceded by a `# nodes=<n>` header so isolated nodes survive a
+/// round trip.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> Result<(), GraphError> {
+    writeln!(w, "# nodes={} directed={}", g.node_count(), g.is_directed())?;
+    for e in g.edges() {
+        writeln!(w, "{} {}", e.src.0, e.dst.0)?;
+    }
+    Ok(())
+}
+
+/// Reads a text edge list produced by [`write_edge_list`] (or any
+/// whitespace-separated `u v` file; lines starting with `#` other than the
+/// header are ignored).
+pub fn read_edge_list<R: BufRead>(r: R) -> Result<CsrGraph, GraphError> {
+    let mut node_count = 0usize;
+    let mut directed = false;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            for token in rest.split_whitespace() {
+                if let Some(v) = token.strip_prefix("nodes=") {
+                    node_count = v.parse().map_err(|_| GraphError::ParseEdge {
+                        line: idx + 1,
+                        content: line.to_string(),
+                    })?;
+                } else if let Some(v) = token.strip_prefix("directed=") {
+                    directed = v.parse().unwrap_or(false);
+                }
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (a, b) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(GraphError::ParseEdge { line: idx + 1, content: line.to_string() })
+            }
+        };
+        let parse = |s: &str| -> Result<u32, GraphError> {
+            s.parse().map_err(|_| GraphError::ParseEdge { line: idx + 1, content: line.to_string() })
+        };
+        edges.push((NodeId(parse(a)?), NodeId(parse(b)?)));
+    }
+    let mut builder =
+        if directed { GraphBuilder::directed(node_count) } else { GraphBuilder::undirected(node_count) };
+    builder.reserve_edges(edges.len());
+    builder.extend_edges(edges);
+    Ok(builder.build())
+}
+
+/// Serializes `g` into the compact binary format.
+///
+/// Layout: magic, version, directed flag, node count (u64), adjacency length
+/// (u64), offsets as u64 deltas… actually offsets as u64 values, then targets
+/// as u32 values. All little-endian.
+pub fn to_bytes(g: &CsrGraph) -> Bytes {
+    let (offsets, targets) = g.raw();
+    let mut buf = BytesMut::with_capacity(4 + 2 + 16 + offsets.len() * 8 + targets.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(g.is_directed() as u8);
+    buf.put_u64_le(g.node_count() as u64);
+    buf.put_u64_le(targets.len() as u64);
+    for &o in offsets {
+        buf.put_u64_le(o as u64);
+    }
+    for &t in targets {
+        buf.put_u32_le(t.0);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph written by [`to_bytes`].
+pub fn from_bytes(mut data: &[u8]) -> Result<CsrGraph, GraphError> {
+    if data.len() < 4 + 2 + 16 {
+        return Err(GraphError::InvalidBinary("payload too small for header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::InvalidBinary("bad magic bytes".into()));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(GraphError::InvalidBinary(format!("unsupported version {version}")));
+    }
+    let directed = data.get_u8() != 0;
+    let node_count = data.get_u64_le() as usize;
+    let target_len = data.get_u64_le() as usize;
+    let need = (node_count + 1) * 8 + target_len * 4;
+    if data.remaining() < need {
+        return Err(GraphError::InvalidBinary(format!(
+            "payload truncated: need {need} more bytes, have {}",
+            data.remaining()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(node_count + 1);
+    for _ in 0..=node_count {
+        offsets.push(data.get_u64_le() as usize);
+    }
+    if *offsets.last().unwrap_or(&0) != target_len || offsets[0] != 0 {
+        return Err(GraphError::InvalidBinary("inconsistent offset array".into()));
+    }
+    let mut targets = Vec::with_capacity(target_len);
+    for _ in 0..target_len {
+        let t = data.get_u32_le();
+        if t as usize >= node_count {
+            return Err(GraphError::InvalidBinary(format!("target {t} out of range")));
+        }
+        targets.push(NodeId(t));
+    }
+    Ok(CsrGraph::from_normalized_parts(node_count, offsets, targets, directed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 4)])
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_preserves_isolated_nodes_via_header() {
+        let g = CsrGraph::from_edges(10, &[(0, 1)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.node_count(), 10);
+        assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage_lines() {
+        let data = "0 1\nnot an edge\n";
+        let err = read_edge_list(data.as_bytes()).unwrap_err();
+        match err {
+            GraphError::ParseEdge { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_accepts_headerless_files() {
+        let data = "0 1\n1 2\n2 0\n";
+        let g = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn edge_list_rejects_single_token_line() {
+        let data = "0 1\n7\n";
+        assert!(read_edge_list(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let g2 = from_bytes(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_directed_and_empty() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(NodeId(0), NodeId(2));
+        let g = b.build();
+        let g2 = from_bytes(&to_bytes(&g)).unwrap();
+        assert_eq!(g, g2);
+
+        let empty = CsrGraph::from_edges(0, &[]);
+        let e2 = from_bytes(&to_bytes(&empty)).unwrap();
+        assert_eq!(empty, e2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let g = sample();
+        let mut bytes = to_bytes(&g).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(GraphError::InvalidBinary(_))));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_wrong_version() {
+        let g = sample();
+        let mut bytes = to_bytes(&g).to_vec();
+        bytes[4] = 99;
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn binary_roundtrip_random_graphs(edges in proptest::collection::vec((0u32..40, 0u32..40), 0..200)) {
+            let g = CsrGraph::from_edges(40, &edges);
+            let g2 = from_bytes(&to_bytes(&g)).unwrap();
+            proptest::prop_assert_eq!(g, g2);
+        }
+
+        #[test]
+        fn edge_list_roundtrip_random_graphs(edges in proptest::collection::vec((0u32..25, 0u32..25), 0..100)) {
+            let g = CsrGraph::from_edges(25, &edges);
+            let mut buf = Vec::new();
+            write_edge_list(&g, &mut buf).unwrap();
+            let g2 = read_edge_list(buf.as_slice()).unwrap();
+            proptest::prop_assert_eq!(g, g2);
+        }
+    }
+}

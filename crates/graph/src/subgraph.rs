@@ -1,0 +1,185 @@
+//! Induced subgraphs and node relabelling.
+//!
+//! The realization models (`snr-sampling`) produce copies whose node ids are
+//! *scrambled* relative to the underlying graph, so that the matcher can not
+//! accidentally exploit id equality as a signal. This module provides the
+//! relabelling machinery plus plain induced subgraphs (used when restricting
+//! an experiment to nodes that survive in both copies).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// A bijective relabelling of node ids produced by [`permute`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relabelling {
+    /// `old_to_new[old] = new`.
+    pub old_to_new: Vec<NodeId>,
+    /// `new_to_old[new] = old`.
+    pub new_to_old: Vec<NodeId>,
+}
+
+impl Relabelling {
+    /// Identity relabelling over `n` nodes.
+    pub fn identity(n: usize) -> Self {
+        let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        Relabelling { old_to_new: ids.clone(), new_to_old: ids }
+    }
+
+    /// Builds a relabelling from an `old -> new` permutation vector.
+    ///
+    /// # Panics
+    /// Panics (debug assertion) if the vector is not a permutation.
+    pub fn from_permutation(old_to_new: Vec<NodeId>) -> Self {
+        let n = old_to_new.len();
+        let mut new_to_old = vec![NodeId(u32::MAX); n];
+        for (old, &new) in old_to_new.iter().enumerate() {
+            debug_assert!(new.index() < n, "permutation target out of range");
+            debug_assert_eq!(new_to_old[new.index()], NodeId(u32::MAX), "duplicate target in permutation");
+            new_to_old[new.index()] = NodeId::from_index(old);
+        }
+        Relabelling { old_to_new, new_to_old }
+    }
+
+    /// Maps an old id to its new id.
+    #[inline]
+    pub fn to_new(&self, old: NodeId) -> NodeId {
+        self.old_to_new[old.index()]
+    }
+
+    /// Maps a new id back to the old id.
+    #[inline]
+    pub fn to_old(&self, new: NodeId) -> NodeId {
+        self.new_to_old[new.index()]
+    }
+
+    /// Number of nodes covered by the relabelling.
+    pub fn len(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// True when the relabelling covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.old_to_new.is_empty()
+    }
+}
+
+/// Applies a node permutation to `g`, producing the isomorphic graph with
+/// relabelled ids and the relabelling used.
+pub fn permute(g: &CsrGraph, old_to_new: Vec<NodeId>) -> (CsrGraph, Relabelling) {
+    assert_eq!(old_to_new.len(), g.node_count(), "permutation length must equal node count");
+    let relab = Relabelling::from_permutation(old_to_new);
+    let mut b = if g.is_directed() {
+        GraphBuilder::directed(g.node_count())
+    } else {
+        GraphBuilder::undirected(g.node_count())
+    };
+    b.reserve_edges(g.edge_count());
+    for e in g.edges() {
+        b.add_edge(relab.to_new(e.src), relab.to_new(e.dst));
+    }
+    (b.build(), relab)
+}
+
+/// Induced subgraph on `keep` (a set of node ids of `g`).
+///
+/// Returns the subgraph (with dense new ids `0..keep.len()`) and the mapping
+/// `new -> old`.
+pub fn induced_subgraph(g: &CsrGraph, keep: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+    let mut old_to_new = vec![u32::MAX; g.node_count()];
+    let mut new_to_old = Vec::with_capacity(keep.len());
+    for (new, &old) in keep.iter().enumerate() {
+        if old_to_new[old.index()] == u32::MAX {
+            old_to_new[old.index()] = new_to_old.len() as u32;
+            new_to_old.push(old);
+            debug_assert_eq!(new_to_old.len() - 1, new.min(new_to_old.len() - 1));
+        }
+    }
+    let mut b = if g.is_directed() {
+        GraphBuilder::directed(new_to_old.len())
+    } else {
+        GraphBuilder::undirected(new_to_old.len())
+    };
+    for e in g.edges() {
+        let (s, d) = (old_to_new[e.src.index()], old_to_new[e.dst.index()]);
+        if s != u32::MAX && d != u32::MAX {
+            b.add_edge(NodeId(s), NodeId(d));
+        }
+    }
+    (b.build(), new_to_old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_relabelling_maps_to_self() {
+        let r = Relabelling::identity(4);
+        for i in 0..4 {
+            assert_eq!(r.to_new(NodeId(i)), NodeId(i));
+            assert_eq!(r.to_old(NodeId(i)), NodeId(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn permutation_roundtrips() {
+        let r = Relabelling::from_permutation(vec![NodeId(2), NodeId(0), NodeId(1)]);
+        for i in 0..3u32 {
+            assert_eq!(r.to_old(r.to_new(NodeId(i))), NodeId(i));
+        }
+    }
+
+    #[test]
+    fn permute_preserves_structure() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (pg, relab) = permute(&g, vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(pg.node_count(), 4);
+        assert_eq!(pg.edge_count(), 3);
+        // Edge {0,1} must map to {3,2}.
+        assert!(pg.has_edge(NodeId(3), NodeId(2)));
+        assert!(pg.has_edge(NodeId(2), NodeId(1)));
+        assert!(pg.has_edge(NodeId(1), NodeId(0)));
+        assert!(!pg.has_edge(NodeId(3), NodeId(0)));
+        // Degrees are preserved under the relabelling.
+        for v in 0..4u32 {
+            assert_eq!(g.degree(NodeId(v)), pg.degree(relab.to_new(NodeId(v))));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let (sub, new_to_old) = induced_subgraph(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // 0-1 and 1-2 survive; 2-3, 3-4, 0-4 dropped
+        assert_eq!(new_to_old, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_of_empty_keep_is_empty() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let (sub, map) = induced_subgraph(&g, &[]);
+        assert_eq!(sub.node_count(), 0);
+        assert_eq!(sub.edge_count(), 0);
+        assert!(map.is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn permute_preserves_degree_multiset(edges in proptest::collection::vec((0u32..30, 0u32..30), 0..120)) {
+            let g = CsrGraph::from_edges(30, &edges);
+            // Reverse permutation as a simple non-identity bijection.
+            let perm: Vec<NodeId> = (0..30u32).rev().map(NodeId).collect();
+            let (pg, _) = permute(&g, perm);
+            let mut d1: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+            let mut d2: Vec<usize> = pg.nodes().map(|v| pg.degree(v)).collect();
+            d1.sort_unstable();
+            d2.sort_unstable();
+            proptest::prop_assert_eq!(d1, d2);
+            proptest::prop_assert_eq!(g.edge_count(), pg.edge_count());
+        }
+    }
+}

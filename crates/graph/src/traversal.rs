@@ -1,0 +1,164 @@
+//! Breadth-first traversal and connected components.
+//!
+//! The realization models need connectivity information in a few places: the
+//! independent-cascade realization grows copies from a seed node, and the
+//! experiment harness reports how much of each copy is reachable (the paper
+//! notes that copies of sparse graphs like Enron lose a large connected
+//! fraction). These routines are deliberately simple and allocation-frugal.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Breadth-first search from `source`; returns the distance (in hops) to each
+/// node, `u32::MAX` for unreachable nodes.
+pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.node_count()];
+    if source.index() >= g.node_count() {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes reachable from `source` (including `source` itself), in BFS order.
+pub fn bfs_reachable(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    if source.index() >= g.node_count() {
+        return order;
+    }
+    let mut queue = VecDeque::new();
+    visited[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Connected-component labelling for undirected graphs.
+///
+/// Returns `(labels, component_count)` where `labels[v]` is the component id
+/// of node `v` (ids are dense, assigned in discovery order).
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut next_label = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        labels[start] = next_label;
+        queue.push_back(NodeId::from_index(start));
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v.index()] == u32::MAX {
+                    labels[v.index()] = next_label;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next_label += 1;
+    }
+    (labels, next_label as usize)
+}
+
+/// Size of the largest connected component; `0` for the empty graph.
+pub fn largest_component_size(g: &CsrGraph) -> usize {
+    let (labels, count) = connected_components(g);
+    if count == 0 {
+        return 0;
+    }
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> CsrGraph {
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_unreachable_nodes_are_max() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+        assert_eq!(d[3], u32::MAX);
+    }
+
+    #[test]
+    fn bfs_reachable_contains_component_only() {
+        let g = two_triangles();
+        let r = bfs_reachable(&g, NodeId(0));
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&NodeId(0)));
+        assert!(r.contains(&NodeId(1)));
+        assert!(r.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn connected_components_of_two_triangles() {
+        let g = two_triangles();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let g = CsrGraph::from_edges(5, &[(0, 1)]);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 4); // {0,1}, {2}, {3}, {4}
+        assert_eq!(largest_component_size(&g), 2);
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph_is_zero() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(largest_component_size(&g), 0);
+    }
+
+    #[test]
+    fn bfs_from_out_of_range_source_is_empty() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        assert!(bfs_reachable(&g, NodeId(10)).is_empty());
+        assert!(bfs_distances(&g, NodeId(10)).iter().all(|&d| d == u32::MAX));
+    }
+}

@@ -1,0 +1,393 @@
+//! The MapReduce execution engine.
+
+use crate::partition::partition_for;
+use crate::stats::{EngineStats, RoundStats};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::time::Instant;
+
+/// Default number of input records per map task.
+const DEFAULT_CHUNK: usize = 8_192;
+
+/// An in-memory MapReduce engine.
+///
+/// One engine instance corresponds to one "cluster": it owns a worker count,
+/// a partition count for the shuffle, and cumulative [`EngineStats`] across
+/// every job (round) it runs. Jobs are expressed as plain closures; see
+/// [`Engine::run`].
+#[derive(Debug)]
+pub struct Engine {
+    workers: usize,
+    reduce_partitions: usize,
+    chunk_size: usize,
+    stats: Mutex<EngineStats>,
+}
+
+impl Engine {
+    /// Creates an engine with `workers` map/reduce threads and the same
+    /// number of shuffle partitions.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Engine {
+            workers,
+            reduce_partitions: workers.max(1),
+            chunk_size: DEFAULT_CHUNK,
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// Creates a single-threaded engine (useful for deterministic debugging).
+    pub fn sequential() -> Self {
+        Engine::new(1)
+    }
+
+    /// Overrides the number of shuffle partitions (reduce tasks).
+    pub fn with_reduce_partitions(mut self, partitions: usize) -> Self {
+        self.reduce_partitions = partitions.max(1);
+        self
+    }
+
+    /// Overrides the number of input records per map task.
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk_size = chunk.max(1);
+        self
+    }
+
+    /// Number of worker threads used for map and reduce tasks.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A snapshot of the cumulative statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.lock().clone()
+    }
+
+    /// Clears the cumulative statistics.
+    pub fn reset_stats(&self) {
+        self.stats.lock().clear();
+    }
+
+    /// Runs one MapReduce round.
+    ///
+    /// * `map` is applied to every input record and emits intermediate
+    ///   `(key, value)` pairs.
+    /// * Pairs are shuffled (hash-partitioned and grouped by key).
+    /// * `reduce` is applied once per distinct key with all of its values and
+    ///   emits output records.
+    ///
+    /// The output order is deterministic: results are sorted by the reduce
+    /// partition index, then by key order within each partition.
+    pub fn run<I, K, V, O, M, R>(&self, label: &str, input: Vec<I>, map: M, reduce: R) -> Vec<O>
+    where
+        I: Send,
+        K: Hash + Eq + Ord + Send,
+        V: Send,
+        O: Send,
+        M: Fn(I) -> Vec<(K, V)> + Sync,
+        R: Fn(K, Vec<V>) -> Vec<O> + Sync,
+    {
+        let start = Instant::now();
+        let input_records = input.len();
+        let parts = self.reduce_partitions;
+
+        // ---- Map phase -----------------------------------------------------
+        // Split the input into chunks and map them on the worker pool. Each
+        // worker produces `parts` buckets of (key, value) pairs so the shuffle
+        // is just a concatenation of per-worker buckets.
+        let chunk_size = self.chunk_size;
+        let chunks: Vec<Vec<I>> = split_into_chunks(input, chunk_size);
+        let map_tasks = chunks.len();
+        let buckets: Vec<Vec<Vec<(K, V)>>> = if self.workers == 1 || map_tasks <= 1 {
+            chunks
+                .into_iter()
+                .map(|chunk| {
+                    let mut local: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+                    for record in chunk {
+                        for (k, v) in map(record) {
+                            let p = partition_for(&k, parts);
+                            local[p].push((k, v));
+                        }
+                    }
+                    local
+                })
+                .collect()
+        } else {
+            parallel_map(self.workers, chunks, |chunk| {
+                let mut local: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+                for record in chunk {
+                    for (k, v) in map(record) {
+                        let p = partition_for(&k, parts);
+                        local[p].push((k, v));
+                    }
+                }
+                local
+            })
+        };
+
+        // ---- Shuffle phase --------------------------------------------------
+        // Regroup: partition p receives the p-th bucket of every map task.
+        let mut shuffled_records = 0usize;
+        let mut partitions: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+        for mut worker_buckets in buckets {
+            for p in (0..parts).rev() {
+                let bucket = worker_buckets.pop().expect("bucket count mismatch");
+                shuffled_records += bucket.len();
+                partitions[p].extend(bucket);
+            }
+        }
+
+        // ---- Reduce phase ---------------------------------------------------
+        let reduce_fn = &reduce;
+        let reduced: Vec<(usize, Vec<O>)> = if self.workers == 1 || parts <= 1 {
+            partitions
+                .into_iter()
+                .map(|pairs| reduce_partition(pairs, reduce_fn))
+                .collect()
+        } else {
+            parallel_map(self.workers, partitions, |pairs| reduce_partition(pairs, reduce_fn))
+        };
+
+        let key_groups: usize = reduced.iter().map(|(groups, _)| *groups).sum();
+        let mut output = Vec::new();
+        for (_, mut part_out) in reduced {
+            output.append(&mut part_out);
+        }
+
+        self.stats.lock().record(RoundStats {
+            label: label.to_string(),
+            input_records,
+            shuffled_records,
+            key_groups,
+            output_records: output.len(),
+            map_tasks,
+            reduce_tasks: parts,
+            duration: start.elapsed(),
+        });
+        output
+    }
+}
+
+/// Groups a partition's `(key, value)` pairs by key (in sorted key order) and
+/// applies the reducer. Returns `(number_of_key_groups, outputs)`.
+fn reduce_partition<K, V, O, R>(mut pairs: Vec<(K, V)>, reduce: &R) -> (usize, Vec<O>)
+where
+    K: Hash + Eq + Ord,
+    R: Fn(K, Vec<V>) -> Vec<O>,
+{
+    // Group with a HashMap, then sort keys for deterministic output order.
+    let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+    for (k, v) in pairs.drain(..) {
+        groups.entry(k).or_default().push(v);
+    }
+    let mut keyed: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    let group_count = keyed.len();
+    let mut out = Vec::new();
+    for (k, vs) in keyed {
+        out.extend(reduce(k, vs));
+    }
+    (group_count, out)
+}
+
+/// Splits `input` into chunks of at most `chunk_size` records.
+fn split_into_chunks<I>(input: Vec<I>, chunk_size: usize) -> Vec<Vec<I>> {
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let mut chunks = Vec::with_capacity(input.len() / chunk_size + 1);
+    let mut current = Vec::with_capacity(chunk_size.min(input.len()));
+    for record in input {
+        current.push(record);
+        if current.len() == chunk_size {
+            chunks.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Applies `f` to every task on a pool of `workers` crossbeam scoped threads,
+/// preserving task order in the result.
+fn parallel_map<T, U, F>(workers: usize, tasks: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let task_count = tasks.len();
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(task_count);
+    slots.resize_with(task_count, || None);
+    let slots = Mutex::new(slots);
+    let queue = Mutex::new(tasks.into_iter().enumerate().collect::<Vec<_>>());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.min(task_count).max(1) {
+            scope.spawn(|_| loop {
+                let next = queue.lock().pop();
+                match next {
+                    Some((idx, task)) => {
+                        let result = f(task);
+                        slots.lock()[idx] = Some(result);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("mapreduce worker thread panicked");
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("task slot not filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_count(engine: &Engine, docs: Vec<String>) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = engine.run(
+            "wc",
+            docs,
+            |doc: String| doc.split_whitespace().map(|w| (w.to_string(), 1usize)).collect(),
+            |w, ones| vec![(w, ones.len())],
+        );
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn word_count_single_threaded() {
+        let engine = Engine::sequential();
+        let out = word_count(&engine, vec!["x y x".into(), "y z".into()]);
+        assert_eq!(out, vec![("x".into(), 2), ("y".into(), 2), ("z".into(), 1)]);
+    }
+
+    #[test]
+    fn word_count_multi_threaded_matches_sequential() {
+        let seq = Engine::sequential();
+        let par = Engine::new(4).with_chunk_size(1);
+        let docs: Vec<String> = (0..50).map(|i| format!("w{} w{} shared", i, i % 7)).collect();
+        assert_eq!(word_count(&seq, docs.clone()), word_count(&par, docs));
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output_and_counts_a_round() {
+        let engine = Engine::new(2);
+        let out: Vec<(u32, u32)> =
+            engine.run("empty", Vec::<u32>::new(), |x| vec![(x, x)], |k, _| vec![(k, k)]);
+        assert!(out.is_empty());
+        let stats = engine.stats();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.total_input_records, 0);
+        assert_eq!(stats.total_shuffled_records, 0);
+    }
+
+    #[test]
+    fn stats_track_shuffled_and_output_records() {
+        let engine = Engine::new(3).with_chunk_size(2);
+        let input: Vec<u32> = (0..10).collect();
+        // Each record emits 2 pairs; keys collapse into 5 groups.
+        let out: Vec<(u32, usize)> = engine.run(
+            "pairs",
+            input,
+            |x| vec![(x % 5, x), (x % 5, x + 100)],
+            |k, vs| vec![(k, vs.len())],
+        );
+        assert_eq!(out.len(), 5);
+        let stats = engine.stats();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.total_input_records, 10);
+        assert_eq!(stats.total_shuffled_records, 20);
+        assert_eq!(stats.total_output_records, 5);
+        assert_eq!(stats.per_round[0].key_groups, 5);
+        // Every group got both pairs from each of its 2 source records.
+        for (_, count) in out {
+            assert_eq!(count, 4);
+        }
+    }
+
+    #[test]
+    fn chained_rounds_accumulate_round_count() {
+        let engine = Engine::new(2);
+        let first: Vec<(u32, u32)> =
+            engine.run("r1", vec![1u32, 2, 3], |x| vec![(x % 2, x)], |k, vs| vec![(k, vs.iter().sum())]);
+        let second: Vec<(u32, u32)> =
+            engine.run("r2", first, |(k, v)| vec![(k, v * 2)], |k, vs| vec![(k, vs.iter().sum())]);
+        assert_eq!(engine.stats().rounds, 2);
+        assert!(!second.is_empty());
+    }
+
+    #[test]
+    fn reduce_sees_all_values_for_a_key_exactly_once() {
+        let engine = Engine::new(4).with_chunk_size(3).with_reduce_partitions(5);
+        let input: Vec<u64> = (0..1000).collect();
+        let mut out: Vec<(u64, u64)> = engine.run(
+            "sum",
+            input,
+            |x| vec![(x % 10, x)],
+            |k, vs| vec![(k, vs.into_iter().sum::<u64>())],
+        );
+        out.sort();
+        assert_eq!(out.len(), 10);
+        for (k, sum) in out {
+            // Sum of k, k+10, ..., k+990 = 100*k + 10*(0+10+...+990)/10
+            let expected: u64 = (0..100).map(|i| k + 10 * i).sum();
+            assert_eq!(sum, expected, "wrong sum for key {k}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.per_round[0].reduce_tasks, 5);
+        assert!(stats.per_round[0].map_tasks >= 300);
+    }
+
+    #[test]
+    fn output_is_deterministic_across_runs() {
+        let run = || {
+            let engine = Engine::new(4).with_chunk_size(7);
+            let input: Vec<u32> = (0..200).collect();
+            engine.run(
+                "det",
+                input,
+                |x| vec![(x % 17, x)],
+                |k, mut vs| {
+                    vs.sort_unstable();
+                    vec![(k, vs)]
+                },
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn split_into_chunks_covers_all_records() {
+        let chunks = split_into_chunks((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), 10);
+        assert_eq!(chunks[3], vec![9]);
+        assert!(split_into_chunks(Vec::<u32>::new(), 3).is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn mapreduce_sum_matches_direct_sum(values in proptest::collection::vec(0u64..1000, 0..300),
+                                            workers in 1usize..6,
+                                            chunk in 1usize..20) {
+            let engine = Engine::new(workers).with_chunk_size(chunk);
+            let expected: u64 = values.iter().sum();
+            let out: Vec<u64> = engine.run(
+                "psum",
+                values,
+                |x| vec![((), x)],
+                |_, vs| vec![vs.into_iter().sum::<u64>()],
+            );
+            let total: u64 = out.into_iter().sum();
+            proptest::prop_assert_eq!(total, expected);
+        }
+    }
+}

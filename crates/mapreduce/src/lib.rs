@@ -1,0 +1,45 @@
+//! # snr-mapreduce
+//!
+//! A small, in-memory MapReduce engine used to express the User-Matching
+//! algorithm of Korula & Lattanzi in exactly the shape the paper claims for
+//! it: *"the internal for loop can be implemented efficiently with 4
+//! consecutive rounds of MapReduce, so the total running time would consist
+//! of `O(k log D)` MapReductions."*
+//!
+//! The engine is deliberately faithful to the programming model rather than
+//! to any particular distributed runtime: a job is a `map` function applied
+//! to every input record, a hash-partitioned shuffle, and a `reduce` function
+//! applied to every key group. Jobs run on a pool of OS threads (crossbeam
+//! scoped threads); the [`Engine`] records per-round statistics (records
+//! mapped, key groups reduced, shuffled record counts) so that the
+//! round-complexity claims can be checked empirically — see the
+//! round-counting integration tests and the `bench_mapreduce` benchmark.
+//!
+//! ## Example
+//!
+//! ```
+//! use snr_mapreduce::Engine;
+//!
+//! // Classic word count.
+//! let engine = Engine::new(4);
+//! let docs = vec!["a b a".to_string(), "b c".to_string()];
+//! let mut counts: Vec<(String, usize)> = engine.run(
+//!     "wordcount",
+//!     docs,
+//!     |doc| doc.split_whitespace().map(|w| (w.to_string(), 1usize)).collect(),
+//!     |word, ones| vec![(word, ones.iter().sum())],
+//! );
+//! counts.sort();
+//! assert_eq!(counts, vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)]);
+//! assert_eq!(engine.stats().rounds, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod partition;
+pub mod stats;
+
+pub use engine::Engine;
+pub use stats::{EngineStats, RoundStats};

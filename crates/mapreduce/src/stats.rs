@@ -1,0 +1,127 @@
+//! Execution statistics.
+//!
+//! The paper's efficiency argument is about *round complexity*: User-Matching
+//! needs `O(k log D)` MapReduce rounds, four per degree bucket. The engine
+//! keeps enough bookkeeping to verify that claim on real runs.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Statistics of a single MapReduce round (one job execution).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Human-readable job label.
+    pub label: String,
+    /// Number of input records mapped.
+    pub input_records: usize,
+    /// Number of intermediate `(key, value)` records emitted by mappers.
+    pub shuffled_records: usize,
+    /// Number of distinct key groups seen by reducers.
+    pub key_groups: usize,
+    /// Number of output records emitted by reducers.
+    pub output_records: usize,
+    /// Number of map tasks (input chunks).
+    pub map_tasks: usize,
+    /// Number of reduce tasks (partitions).
+    pub reduce_tasks: usize,
+    /// Wall-clock duration of the round.
+    #[serde(with = "duration_micros")]
+    pub duration: Duration,
+}
+
+mod duration_micros {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(d.as_micros() as u64)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let micros = <u64 as serde::Deserialize>::deserialize(d)?;
+        Ok(Duration::from_micros(micros))
+    }
+}
+
+/// Aggregate statistics across every round run on an [`crate::Engine`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Number of rounds (jobs) executed so far.
+    pub rounds: usize,
+    /// Total records mapped across all rounds.
+    pub total_input_records: usize,
+    /// Total intermediate records shuffled across all rounds.
+    pub total_shuffled_records: usize,
+    /// Total output records across all rounds.
+    pub total_output_records: usize,
+    /// Per-round details in execution order.
+    pub per_round: Vec<RoundStats>,
+}
+
+impl EngineStats {
+    /// Records a completed round.
+    pub fn record(&mut self, round: RoundStats) {
+        self.rounds += 1;
+        self.total_input_records += round.input_records;
+        self.total_shuffled_records += round.shuffled_records;
+        self.total_output_records += round.output_records;
+        self.per_round.push(round);
+    }
+
+    /// Total wall-clock time across all rounds.
+    pub fn total_duration(&self) -> Duration {
+        self.per_round.iter().map(|r| r.duration).sum()
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        *self = EngineStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(label: &str, input: usize, shuffled: usize, output: usize) -> RoundStats {
+        RoundStats {
+            label: label.into(),
+            input_records: input,
+            shuffled_records: shuffled,
+            key_groups: output,
+            output_records: output,
+            map_tasks: 2,
+            reduce_tasks: 4,
+            duration: Duration::from_micros(150),
+        }
+    }
+
+    #[test]
+    fn record_accumulates_totals() {
+        let mut s = EngineStats::default();
+        s.record(round("a", 10, 30, 5));
+        s.record(round("b", 20, 10, 7));
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.total_input_records, 30);
+        assert_eq!(s.total_shuffled_records, 40);
+        assert_eq!(s.total_output_records, 12);
+        assert_eq!(s.per_round.len(), 2);
+        assert_eq!(s.total_duration(), Duration::from_micros(300));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = EngineStats::default();
+        s.record(round("a", 1, 1, 1));
+        s.clear();
+        assert_eq!(s, EngineStats::default());
+    }
+
+    #[test]
+    fn round_stats_serde_roundtrip() {
+        let r = round("serde", 3, 9, 2);
+        let json = serde_json::to_string(&r).unwrap();
+        let r2: RoundStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, r2);
+    }
+}

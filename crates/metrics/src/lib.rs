@@ -1,0 +1,30 @@
+//! # snr-metrics
+//!
+//! Evaluation machinery for reconciliation experiments: scoring a link set
+//! against the ground truth, the precision/recall definitions the paper
+//! uses, per-degree breakdowns (Figure 4), and small helpers for rendering
+//! the result tables that the experiment binaries print next to the paper's
+//! numbers.
+//!
+//! Terminology follows the paper's tables:
+//!
+//! * **good** — identification links `(u, v)` where `v` really is the same
+//!   underlying user as `u`;
+//! * **bad** — links between accounts of different users;
+//! * the tables of §5 count *newly identified* pairs, i.e. seeds are
+//!   excluded from both counts ([`Evaluation::new_good`] /
+//!   [`Evaluation::new_bad`]); precision and error rate are reported over
+//!   newly identified pairs as well.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod by_degree;
+pub mod evaluation;
+pub mod report;
+pub mod table;
+
+pub use by_degree::{degree_curve, DegreeBucketMetrics};
+pub use evaluation::Evaluation;
+pub use report::{ExperimentRecord, MeasuredRow};
+pub use table::TextTable;

@@ -1,0 +1,140 @@
+//! Minimal text-table rendering for the experiment binaries.
+//!
+//! The binaries print their results as aligned text tables next to the
+//! paper's reference numbers; this helper keeps the formatting in one place
+//! without pulling in a table-rendering dependency.
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells are rendered empty, extra cells are kept.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as a string with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |row: &[String], widths: &[usize], out: &mut String| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&format!("{cell:<width$}"));
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            // Trim trailing spaces for clean diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &widths, &mut out);
+        let underline: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_row(&underline, &widths, &mut out);
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float as a percentage with one decimal place, e.g. `97.3%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["seed", "good", "bad"]);
+        t.row(["20%", "41472", "203"]);
+        t.row(["5%", "36484", "236"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("seed"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[2].contains("41472"));
+        // Columns align: the "good" header starts at the same offset in all lines.
+        let offset = lines[0].find("good").unwrap();
+        assert_eq!(&lines[2][offset..offset + 5], "41472");
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3"]);
+        let s = t.render();
+        assert!(s.contains('3'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(["x", "y"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn pct_formats_one_decimal() {
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(pct(0.1734), "17.3%");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["b"]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

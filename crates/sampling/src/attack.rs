@@ -1,0 +1,177 @@
+//! Adversarial attack model (the "Robustness to attack" experiment of §5).
+//!
+//! The paper's strongest robustness test: after producing two copies of the
+//! underlying network (edge survival 0.75), an attacker adds, *in each
+//! copy*, a malicious mirror node `w` for every real node `v`, and connects
+//! `w` to each neighbor of `v` independently with probability 0.5 — i.e.
+//! users accept a friend request from a fake profile of a friend half the
+//! time. The attacker plants the same fake identity in both networks, so the
+//! two mirrors of a victim correspond to each other in the ground truth;
+//! what the experiment measures is whether any *real* user gets matched to a
+//! fake (or to the wrong real user) — those are the errors the paper counts.
+
+use crate::ground_truth::GroundTruth;
+use crate::realization::RealizationPair;
+use rand::Rng;
+use snr_graph::{CsrGraph, GraphBuilder, GraphError, NodeId};
+
+/// Adds attack mirror nodes to both copies of `pair`.
+///
+/// For every node `v` of a copy, a fake node `w_v` is appended (ids
+/// `n..2n`), and each edge `(u, v)` of the copy spawns the edge `(u, w_v)`
+/// independently with probability `accept_prob`.
+///
+/// **Ground truth.** The attacker creates the fake profile of a victim in
+/// *both* networks, so the mirror of `v` in copy 1 and the mirror of `v` in
+/// copy 2 are the same (attacker-owned) identity; the returned ground truth
+/// pairs them with each other. Aligning the attacker's two fake accounts is
+/// therefore counted as a correct (if useless) identification — errors are
+/// real users matched to fakes or to the wrong real user, which is exactly
+/// the quantity the paper's "46,955 correct / 114 wrong" result measures.
+pub fn inject_attack<R: Rng + ?Sized>(
+    pair: &RealizationPair,
+    accept_prob: f64,
+    rng: &mut R,
+) -> Result<RealizationPair, GraphError> {
+    if !(0.0..=1.0).contains(&accept_prob) || accept_prob.is_nan() {
+        return Err(GraphError::InvalidParameter(format!(
+            "accept_prob = {accept_prob} must be in [0, 1]"
+        )));
+    }
+    let g1 = attack_one_copy(&pair.g1, accept_prob, rng);
+    let g2 = attack_one_copy(&pair.g2, accept_prob, rng);
+
+    // Extend the ground truth: original nodes keep their correspondence and
+    // the mirror of `v` in copy 1 corresponds to the mirror of `v` in copy 2
+    // (same attacker identity). Mirrors of nodes without a counterpart map
+    // to nothing.
+    let n1 = pair.truth.g1_len();
+    let n2 = pair.truth.g2_len();
+    let mut forward: Vec<Option<NodeId>> = Vec::with_capacity(g1.node_count());
+    for u1 in 0..n1 {
+        forward.push(pair.truth.counterpart_in_g2(NodeId::from_index(u1)));
+    }
+    for u1 in 0..n1 {
+        forward.push(
+            pair.truth
+                .counterpart_in_g2(NodeId::from_index(u1))
+                .map(|v2| NodeId::from_index(n2 + v2.index())),
+        );
+    }
+    forward.resize(g1.node_count(), None);
+    let truth = GroundTruth::from_forward(forward, g2.node_count());
+
+    Ok(RealizationPair { g1, g2, truth })
+}
+
+/// Builds the attacked version of a single copy.
+fn attack_one_copy<R: Rng + ?Sized>(g: &CsrGraph, accept_prob: f64, rng: &mut R) -> CsrGraph {
+    let n = g.node_count();
+    let mut b = GraphBuilder::undirected(2 * n);
+    b.reserve_edges(g.edge_count() * 2);
+    for e in g.edges() {
+        b.add_edge(e.src, e.dst);
+    }
+    for v in 0..n {
+        let fake = NodeId::from_index(n + v);
+        for &u in g.neighbors(NodeId::from_index(v)) {
+            if rng.gen::<f64>() < accept_prob {
+                b.add_edge(u, fake);
+            }
+        }
+    }
+    b.ensure_nodes(2 * n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::independent::independent_deletion_symmetric;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snr_generators::preferential_attachment;
+
+    fn base_pair(seed: u64) -> RealizationPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = preferential_attachment(800, 8, &mut rng).unwrap();
+        independent_deletion_symmetric(&g, 0.75, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        let pair = base_pair(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(inject_attack(&pair, 1.5, &mut rng).is_err());
+        assert!(inject_attack(&pair, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn attack_doubles_the_node_count() {
+        let pair = base_pair(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let attacked = inject_attack(&pair, 0.5, &mut rng).unwrap();
+        assert_eq!(attacked.g1.node_count(), 2 * pair.g1.node_count());
+        assert_eq!(attacked.g2.node_count(), 2 * pair.g2.node_count());
+    }
+
+    #[test]
+    fn real_edges_are_preserved() {
+        let pair = base_pair(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let attacked = inject_attack(&pair, 0.5, &mut rng).unwrap();
+        for e in pair.g1.edges() {
+            assert!(attacked.g1.has_edge(e.src, e.dst));
+        }
+    }
+
+    #[test]
+    fn real_nodes_keep_their_counterparts_and_mirrors_pair_with_mirrors() {
+        let pair = base_pair(3);
+        let n = pair.g1.node_count();
+        let mut rng = StdRng::seed_from_u64(4);
+        let attacked = inject_attack(&pair, 0.5, &mut rng).unwrap();
+        for v in 0..n as u32 {
+            let real = pair.truth.counterpart_in_g2(NodeId(v));
+            assert_eq!(attacked.truth.counterpart_in_g2(NodeId(v)), real);
+            // The mirror of v in copy 1 corresponds to the mirror of v's
+            // counterpart in copy 2.
+            let mirror = attacked.truth.counterpart_in_g2(NodeId(n as u32 + v));
+            assert_eq!(mirror, real.map(|r| NodeId(n as u32 + r.0)));
+        }
+        // A real node is never paired with a mirror.
+        for v in 0..n as u32 {
+            if let Some(c) = attacked.truth.counterpart_in_g2(NodeId(v)) {
+                assert!(c.index() < n, "real node {v} paired with a mirror");
+            }
+        }
+    }
+
+    #[test]
+    fn fake_degree_is_roughly_half_of_the_victim_degree() {
+        let pair = base_pair(4);
+        let n = pair.g1.node_count();
+        let mut rng = StdRng::seed_from_u64(5);
+        let attacked = inject_attack(&pair, 0.5, &mut rng).unwrap();
+        let mut victim_total = 0usize;
+        let mut fake_total = 0usize;
+        for v in 0..n {
+            victim_total += pair.g1.degree(NodeId::from_index(v));
+            fake_total += attacked.g1.degree(NodeId::from_index(n + v));
+        }
+        let ratio = fake_total as f64 / victim_total as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn accept_prob_zero_adds_isolated_fakes() {
+        let pair = base_pair(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let attacked = inject_attack(&pair, 0.0, &mut rng).unwrap();
+        assert_eq!(attacked.g1.edge_count(), pair.g1.edge_count());
+        let n = pair.g1.node_count();
+        for v in n..2 * n {
+            assert_eq!(attacked.g1.degree(NodeId::from_index(v)), 0);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Independent edge deletion — the paper's primary realization model.
+//!
+//! Each edge of the underlying graph `G(V, E)` survives in copy `i`
+//! independently with probability `s_i` (§3.1). The two copies are sampled
+//! independently of each other, so an edge can survive in both, either, or
+//! neither.
+
+use crate::realization::{pair_from_edge_subsets, RealizationPair};
+use rand::Rng;
+use snr_graph::{CsrGraph, GraphError, NodeId};
+
+/// Produces two copies of `g` by independent edge deletion with survival
+/// probabilities `s1` and `s2`.
+pub fn independent_deletion<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    s1: f64,
+    s2: f64,
+    rng: &mut R,
+) -> Result<RealizationPair, GraphError> {
+    for (name, s) in [("s1", s1), ("s2", s2)] {
+        if !(0.0..=1.0).contains(&s) || s.is_nan() {
+            return Err(GraphError::InvalidParameter(format!("{name} = {s} must be in [0, 1]")));
+        }
+    }
+    let mut edges1: Vec<(NodeId, NodeId)> = Vec::with_capacity((g.edge_count() as f64 * s1) as usize + 1);
+    let mut edges2: Vec<(NodeId, NodeId)> = Vec::with_capacity((g.edge_count() as f64 * s2) as usize + 1);
+    for e in g.edges() {
+        if rng.gen::<f64>() < s1 {
+            edges1.push((e.src, e.dst));
+        }
+        if rng.gen::<f64>() < s2 {
+            edges2.push((e.src, e.dst));
+        }
+    }
+    Ok(pair_from_edge_subsets(g.node_count(), &edges1, &edges2, rng))
+}
+
+/// Convenience wrapper for the symmetric case `s1 = s2 = s` used throughout
+/// the paper's proofs and most experiments.
+pub fn independent_deletion_symmetric<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    s: f64,
+    rng: &mut R,
+) -> Result<RealizationPair, GraphError> {
+    independent_deletion(g, s, s, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snr_generators::preferential_attachment;
+
+    #[test]
+    fn rejects_invalid_probabilities() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(independent_deletion(&g, 1.5, 0.5, &mut rng).is_err());
+        assert!(independent_deletion(&g, 0.5, -0.1, &mut rng).is_err());
+        assert!(independent_deletion(&g, f64::NAN, 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn survival_one_keeps_every_edge() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pair = independent_deletion_symmetric(&g, 1.0, &mut rng).unwrap();
+        assert_eq!(pair.g1.edge_count(), 4);
+        assert_eq!(pair.g2.edge_count(), 4);
+        assert_eq!(pair.matchable_nodes(), 5);
+    }
+
+    #[test]
+    fn survival_zero_removes_every_edge() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pair = independent_deletion_symmetric(&g, 0.0, &mut rng).unwrap();
+        assert_eq!(pair.g1.edge_count(), 0);
+        assert_eq!(pair.g2.edge_count(), 0);
+        assert_eq!(pair.matchable_nodes(), 0);
+    }
+
+    #[test]
+    fn surviving_edge_fraction_is_near_s() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = preferential_attachment(5_000, 10, &mut rng).unwrap();
+        let pair = independent_deletion(&g, 0.5, 0.75, &mut rng).unwrap();
+        let f1 = pair.g1.edge_count() as f64 / g.edge_count() as f64;
+        let f2 = pair.g2.edge_count() as f64 / g.edge_count() as f64;
+        assert!((f1 - 0.5).abs() < 0.02, "f1 = {f1}");
+        assert!((f2 - 0.75).abs() < 0.02, "f2 = {f2}");
+    }
+
+    #[test]
+    fn copies_are_subgraphs_of_the_underlying_graph() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = preferential_attachment(500, 5, &mut rng).unwrap();
+        let pair = independent_deletion_symmetric(&g, 0.6, &mut rng).unwrap();
+        // Every edge of copy 1 exists in the underlying graph (copy 1 keeps
+        // underlying ids).
+        for e in pair.g1.edges() {
+            assert!(g.has_edge(e.src, e.dst));
+        }
+        // Every edge of copy 2, mapped back through the ground truth, exists
+        // in the underlying graph.
+        for e in pair.g2.edges() {
+            let a = pair.truth.counterpart_in_g1(e.src).unwrap();
+            let b = pair.truth.counterpart_in_g1(e.dst).unwrap();
+            assert!(g.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn copies_are_sampled_independently() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = preferential_attachment(2_000, 8, &mut rng).unwrap();
+        let pair = independent_deletion_symmetric(&g, 0.5, &mut rng).unwrap();
+        // The overlap of the two copies should be ~ s^2 of the original
+        // edges, not ~ s (which would indicate perfectly correlated copies).
+        let mut shared = 0usize;
+        for e in pair.g1.edges() {
+            let a = pair.truth.counterpart_in_g2(e.src).unwrap();
+            let b = pair.truth.counterpart_in_g2(e.dst).unwrap();
+            if pair.g2.has_edge(a, b) {
+                shared += 1;
+            }
+        }
+        let frac = shared as f64 / g.edge_count() as f64;
+        assert!((frac - 0.25).abs() < 0.03, "shared fraction {frac} not ~ s^2");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = preferential_attachment(300, 4, &mut StdRng::seed_from_u64(6)).unwrap();
+        let p1 = independent_deletion_symmetric(&g, 0.5, &mut StdRng::seed_from_u64(7)).unwrap();
+        let p2 = independent_deletion_symmetric(&g, 0.5, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(p1.g1, p2.g1);
+        assert_eq!(p1.g2, p2.g2);
+        assert_eq!(p1.truth, p2.truth);
+    }
+}

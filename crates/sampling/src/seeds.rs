@@ -1,0 +1,148 @@
+//! Seed-link sampling.
+//!
+//! The model assumes a set of users explicitly linked across the two
+//! networks: "there is a linking probability `l` (typically, a small
+//! constant) and each node in `V` is linked across the networks
+//! independently with probability `l`". The paper also observes that in
+//! reality high-degree users (celebrities running cross-network promotions)
+//! are *more* likely to link their accounts, and that this can only help the
+//! algorithm — the degree-biased sampler below implements that variant for
+//! the extension experiments.
+
+use crate::realization::RealizationPair;
+use rand::Rng;
+use snr_graph::{GraphError, NodeId};
+
+/// Samples seed links uniformly: every truly-corresponding pair becomes a
+/// seed independently with probability `l`.
+pub fn sample_seeds<R: Rng + ?Sized>(
+    pair: &RealizationPair,
+    l: f64,
+    rng: &mut R,
+) -> Result<Vec<(NodeId, NodeId)>, GraphError> {
+    if !(0.0..=1.0).contains(&l) || l.is_nan() {
+        return Err(GraphError::InvalidParameter(format!("l = {l} must be in [0, 1]")));
+    }
+    Ok(pair
+        .truth
+        .correct_pairs()
+        .filter(|_| rng.gen::<f64>() < l)
+        .collect())
+}
+
+/// Samples seed links with probability proportional to the node's degree in
+/// copy 1, scaled so that the *expected number* of seeds matches the uniform
+/// sampler with probability `l` (i.e. `E[|L|] = l · matchable`). Degrees are
+/// capped so no single probability exceeds 1.
+pub fn sample_seeds_degree_biased<R: Rng + ?Sized>(
+    pair: &RealizationPair,
+    l: f64,
+    rng: &mut R,
+) -> Result<Vec<(NodeId, NodeId)>, GraphError> {
+    if !(0.0..=1.0).contains(&l) || l.is_nan() {
+        return Err(GraphError::InvalidParameter(format!("l = {l} must be in [0, 1]")));
+    }
+    let pairs: Vec<(NodeId, NodeId)> = pair.truth.correct_pairs().collect();
+    if pairs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let total_degree: usize = pairs.iter().map(|&(u1, _)| pair.g1.degree(u1)).sum();
+    if total_degree == 0 {
+        // Degenerate: no edges at all; fall back to uniform sampling.
+        return sample_seeds(pair, l, rng);
+    }
+    let budget = l * pairs.len() as f64;
+    Ok(pairs
+        .into_iter()
+        .filter(|&(u1, _)| {
+            let p = (budget * pair.g1.degree(u1) as f64 / total_degree as f64).min(1.0);
+            rng.gen::<f64>() < p
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::independent::independent_deletion_symmetric;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snr_generators::preferential_attachment;
+
+    fn pair(seed: u64) -> RealizationPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = preferential_attachment(3_000, 6, &mut rng).unwrap();
+        independent_deletion_symmetric(&g, 0.7, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        let p = pair(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_seeds(&p, 1.5, &mut rng).is_err());
+        assert!(sample_seeds_degree_biased(&p, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn every_seed_is_a_correct_pair() {
+        let p = pair(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for seeds in [
+            sample_seeds(&p, 0.1, &mut rng).unwrap(),
+            sample_seeds_degree_biased(&p, 0.1, &mut rng).unwrap(),
+        ] {
+            assert!(!seeds.is_empty());
+            for (u1, u2) in seeds {
+                assert!(p.truth.is_correct(u1, u2));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_seed_count_is_near_expectation() {
+        let p = pair(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = 0.1;
+        let seeds = sample_seeds(&p, l, &mut rng).unwrap();
+        let expected = l * p.truth.matchable_count() as f64;
+        assert!(
+            (seeds.len() as f64 - expected).abs() < 0.25 * expected,
+            "got {} expected ~{expected}",
+            seeds.len()
+        );
+    }
+
+    #[test]
+    fn degree_biased_seeds_have_higher_average_degree() {
+        let p = pair(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let uniform = sample_seeds(&p, 0.1, &mut rng).unwrap();
+        let biased = sample_seeds_degree_biased(&p, 0.1, &mut rng).unwrap();
+        let avg = |seeds: &[(NodeId, NodeId)]| {
+            seeds.iter().map(|&(u1, _)| p.g1.degree(u1) as f64).sum::<f64>() / seeds.len() as f64
+        };
+        assert!(
+            avg(&biased) > 1.5 * avg(&uniform),
+            "biased {} uniform {}",
+            avg(&biased),
+            avg(&uniform)
+        );
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let p = pair(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(sample_seeds(&p, 0.0, &mut rng).unwrap().is_empty());
+        let all = sample_seeds(&p, 1.0, &mut rng).unwrap();
+        assert_eq!(all.len(), p.truth.matchable_count());
+    }
+
+    #[test]
+    fn empty_pair_yields_no_seeds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let empty = crate::realization::pair_from_edge_subsets(0, &[], &[], &mut rng);
+        assert!(sample_seeds(&empty, 0.5, &mut rng).unwrap().is_empty());
+        assert!(sample_seeds_degree_biased(&empty, 0.5, &mut rng).unwrap().is_empty());
+    }
+}

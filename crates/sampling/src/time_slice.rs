@@ -1,0 +1,125 @@
+//! Time-slice realization (the DBLP and Gowalla experiments of Table 5).
+//!
+//! The paper builds its most realistic copy pairs by splitting a temporal
+//! dataset into disjoint time periods: DBLP papers from even years vs odd
+//! years, Gowalla co-check-ins from even months vs odd months. The two
+//! copies are *not* subsets of a common edge set in general — they only
+//! overlap where a relationship recurs in both period classes — which is
+//! what makes these experiments harder than the random-deletion ones.
+
+use crate::realization::{pair_from_edge_subsets, RealizationPair};
+use rand::Rng;
+use snr_generators::TemporalGraph;
+use snr_graph::NodeId;
+
+/// Builds a copy pair by keeping, in each copy, only the edges whose
+/// timestamp satisfies the corresponding predicate.
+pub fn time_slice_pair<R, F1, F2>(
+    tg: &TemporalGraph,
+    keep1: F1,
+    keep2: F2,
+    rng: &mut R,
+) -> RealizationPair
+where
+    R: Rng + ?Sized,
+    F1: Fn(u32) -> bool,
+    F2: Fn(u32) -> bool,
+{
+    let mut edges1: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut edges2: Vec<(NodeId, NodeId)> = Vec::new();
+    for e in tg.edges() {
+        if keep1(e.time) {
+            edges1.push((e.src, e.dst));
+        }
+        if keep2(e.time) {
+            edges2.push((e.src, e.dst));
+        }
+    }
+    pair_from_edge_subsets(tg.node_count(), &edges1, &edges2, rng)
+}
+
+/// The paper's odd/even split: copy 1 keeps even timestamps, copy 2 keeps
+/// odd timestamps.
+pub fn odd_even_split<R: Rng + ?Sized>(tg: &TemporalGraph, rng: &mut R) -> RealizationPair {
+    time_slice_pair(tg, |t| t % 2 == 0, |t| t % 2 == 1, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snr_generators::temporal::TemporalEdge;
+
+    fn tiny() -> TemporalGraph {
+        TemporalGraph::new(
+            5,
+            vec![
+                TemporalEdge { src: NodeId(0), dst: NodeId(1), time: 0 },
+                TemporalEdge { src: NodeId(0), dst: NodeId(1), time: 1 },
+                TemporalEdge { src: NodeId(1), dst: NodeId(2), time: 2 },
+                TemporalEdge { src: NodeId(2), dst: NodeId(3), time: 3 },
+                TemporalEdge { src: NodeId(3), dst: NodeId(4), time: 4 },
+            ],
+        )
+    }
+
+    #[test]
+    fn odd_even_split_partitions_by_timestamp_parity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pair = odd_even_split(&tiny(), &mut rng);
+        // Even times: edges at t=0 (0-1), t=2 (1-2), t=4 (3-4) => 3 edges.
+        assert_eq!(pair.g1.edge_count(), 3);
+        // Odd times: t=1 (0-1), t=3 (2-3) => 2 edges.
+        assert_eq!(pair.g2.edge_count(), 2);
+    }
+
+    #[test]
+    fn recurring_relationships_appear_in_both_copies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pair = odd_even_split(&tiny(), &mut rng);
+        // The (0,1) relationship occurs at t=0 and t=1, so it exists in both
+        // copies (under the ground-truth mapping).
+        let a = pair.truth.counterpart_in_g2(NodeId(0)).unwrap();
+        let b = pair.truth.counterpart_in_g2(NodeId(1)).unwrap();
+        assert!(pair.g1.has_edge(NodeId(0), NodeId(1)));
+        assert!(pair.g2.has_edge(a, b));
+    }
+
+    #[test]
+    fn custom_predicates_are_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pair = time_slice_pair(&tiny(), |t| t < 2, |t| t >= 2, &mut rng);
+        assert_eq!(pair.g1.edge_count(), 1); // t=0 and t=1 are the same pair (0,1)
+        assert_eq!(pair.g2.edge_count(), 3);
+    }
+
+    #[test]
+    fn generated_temporal_graph_splits_overlap_partially() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tg = TemporalGraph::affiliation(1_000, 3_000, 3, 10, &mut rng).unwrap();
+        let pair = odd_even_split(&tg, &mut rng);
+        assert!(pair.g1.edge_count() > 500);
+        assert!(pair.g2.edge_count() > 500);
+        // Some relationships recur across parity classes, but not all:
+        let mut shared = 0usize;
+        for e in pair.g1.edges() {
+            let a = pair.truth.counterpart_in_g2(e.src).unwrap();
+            let b = pair.truth.counterpart_in_g2(e.dst).unwrap();
+            if pair.g2.has_edge(a, b) {
+                shared += 1;
+            }
+        }
+        assert!(shared > 0, "no overlap at all");
+        assert!(shared < pair.g1.edge_count(), "copies are identical");
+    }
+
+    #[test]
+    fn empty_temporal_graph_is_handled() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let tg = TemporalGraph::new(0, vec![]);
+        let pair = odd_even_split(&tg, &mut rng);
+        assert_eq!(pair.g1.node_count(), 0);
+        assert_eq!(pair.matchable_nodes(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Vertex-deletion extension.
+//!
+//! §3.1 of the paper lists "vertices could be deleted in the copies" as a
+//! model generalization that the analysis skips. This module implements it:
+//! each node is *present* in a copy independently with probability `v`, and
+//! a copy keeps only the surviving edges among present nodes (on top of the
+//! usual independent edge deletion). A node absent from a copy obviously
+//! cannot be matched; the ground truth still pairs it with its counterpart,
+//! so recall over matchable nodes (present with degree ≥ 1 in both copies)
+//! remains the meaningful metric.
+
+use crate::realization::{pair_from_edge_subsets, RealizationPair};
+use rand::Rng;
+use snr_graph::{CsrGraph, GraphError, NodeId};
+
+/// Parameters of the vertex+edge deletion realization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VertexDeletionConfig {
+    /// Probability that a node is present in copy 1.
+    pub node_survival_1: f64,
+    /// Probability that a node is present in copy 2.
+    pub node_survival_2: f64,
+    /// Probability that an edge (between two present nodes) survives in copy 1.
+    pub edge_survival_1: f64,
+    /// Probability that an edge (between two present nodes) survives in copy 2.
+    pub edge_survival_2: f64,
+}
+
+impl VertexDeletionConfig {
+    /// Symmetric configuration: the same node and edge survival in both copies.
+    pub fn symmetric(node_survival: f64, edge_survival: f64) -> Self {
+        VertexDeletionConfig {
+            node_survival_1: node_survival,
+            node_survival_2: node_survival,
+            edge_survival_1: edge_survival,
+            edge_survival_2: edge_survival,
+        }
+    }
+
+    fn validate(&self) -> Result<(), GraphError> {
+        for (name, p) in [
+            ("node_survival_1", self.node_survival_1),
+            ("node_survival_2", self.node_survival_2),
+            ("edge_survival_1", self.edge_survival_1),
+            ("edge_survival_2", self.edge_survival_2),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(GraphError::InvalidParameter(format!("{name} = {p} must be in [0, 1]")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Produces two copies of `g` where both nodes and edges are deleted
+/// independently per copy.
+pub fn vertex_and_edge_deletion<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    config: &VertexDeletionConfig,
+    rng: &mut R,
+) -> Result<RealizationPair, GraphError> {
+    config.validate()?;
+    let n = g.node_count();
+    let present1: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < config.node_survival_1).collect();
+    let present2: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < config.node_survival_2).collect();
+
+    let mut edges1: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut edges2: Vec<(NodeId, NodeId)> = Vec::new();
+    for e in g.edges() {
+        if present1[e.src.index()]
+            && present1[e.dst.index()]
+            && rng.gen::<f64>() < config.edge_survival_1
+        {
+            edges1.push((e.src, e.dst));
+        }
+        if present2[e.src.index()]
+            && present2[e.dst.index()]
+            && rng.gen::<f64>() < config.edge_survival_2
+        {
+            edges2.push((e.src, e.dst));
+        }
+    }
+    Ok(pair_from_edge_subsets(n, &edges1, &edges2, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snr_generators::preferential_attachment;
+
+    #[test]
+    fn rejects_invalid_probabilities() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let bad = VertexDeletionConfig { node_survival_1: 1.3, ..VertexDeletionConfig::symmetric(0.5, 0.5) };
+        assert!(vertex_and_edge_deletion(&g, &bad, &mut rng).is_err());
+        let bad = VertexDeletionConfig { edge_survival_2: -0.1, ..VertexDeletionConfig::symmetric(0.5, 0.5) };
+        assert!(vertex_and_edge_deletion(&g, &bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn full_survival_reduces_to_plain_copies() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pair =
+            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(1.0, 1.0), &mut rng).unwrap();
+        assert_eq!(pair.g1.edge_count(), 4);
+        assert_eq!(pair.g2.edge_count(), 4);
+        assert_eq!(pair.matchable_nodes(), 5);
+    }
+
+    #[test]
+    fn zero_node_survival_removes_all_edges() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pair =
+            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(0.0, 1.0), &mut rng).unwrap();
+        assert_eq!(pair.g1.edge_count(), 0);
+        assert_eq!(pair.g2.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_survival_compounds_with_node_survival() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = preferential_attachment(4_000, 10, &mut rng).unwrap();
+        let cfg = VertexDeletionConfig::symmetric(0.8, 0.5);
+        let pair = vertex_and_edge_deletion(&g, &cfg, &mut rng).unwrap();
+        // An edge needs both endpoints present (0.8^2) and the edge kept
+        // (0.5): expected survival 0.32.
+        let frac = pair.g1.edge_count() as f64 / g.edge_count() as f64;
+        assert!((frac - 0.32).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn matchable_nodes_shrink_with_node_deletion() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = preferential_attachment(2_000, 8, &mut rng).unwrap();
+        let keep_all =
+            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(1.0, 0.7), &mut rng).unwrap();
+        let drop_some =
+            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(0.6, 0.7), &mut rng).unwrap();
+        assert!(drop_some.matchable_nodes() < keep_all.matchable_nodes());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = preferential_attachment(500, 5, &mut StdRng::seed_from_u64(5)).unwrap();
+        let cfg = VertexDeletionConfig::symmetric(0.7, 0.6);
+        let a = vertex_and_edge_deletion(&g, &cfg, &mut StdRng::seed_from_u64(6)).unwrap();
+        let b = vertex_and_edge_deletion(&g, &cfg, &mut StdRng::seed_from_u64(6)).unwrap();
+        assert_eq!(a.g1, b.g1);
+        assert_eq!(a.g2, b.g2);
+        assert_eq!(a.truth, b.truth);
+    }
+}

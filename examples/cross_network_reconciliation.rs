@@ -1,0 +1,76 @@
+//! Cross-network reconciliation with correlated scopes.
+//!
+//! ```text
+//! cargo run --release --example cross_network_reconciliation
+//! ```
+//!
+//! The motivating scenario of the paper's introduction: a user's personal
+//! network (Facebook-like) and professional network (LinkedIn-like) expose
+//! *different parts* of her real ego-network. We model the real network as
+//! an affiliation network (users grouped into communities — families, teams,
+//! clubs), and build the two online networks by deleting whole communities
+//! independently per copy, exactly the Table 4 setting. The example also
+//! shows the effect of degree-biased seeds (celebrities link their accounts
+//! more often), an extension discussed in §3.1.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_reconcile::prelude::*;
+
+fn report(label: &str, pair: &RealizationPair, seeds: &[(NodeId, NodeId)]) {
+    let config = MatchingConfig::default().with_threshold(2).with_iterations(2);
+    let outcome = UserMatching::new(config).run(&pair.g1, &pair.g2, seeds);
+    let eval = Evaluation::score(pair, &outcome.links, outcome.links.seed_count());
+    println!(
+        "{label:<28} seeds={:<5} discovered={:<6} precision={:>6.2}% recall={:>6.2}%",
+        seeds.len(),
+        outcome.discovered(),
+        100.0 * eval.precision(),
+        100.0 * eval.recall()
+    );
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // The "real" social structure: 8,000 users in ~800 overlapping
+    // communities (families, workplaces, clubs).
+    let config = AffiliationConfig {
+        users: 8_000,
+        communities: 800,
+        memberships_per_user: 4,
+        fold_cap: 25,
+    };
+    println!("generating the affiliation network…");
+    let network = AffiliationNetwork::generate(&config, &mut rng).expect("valid parameters");
+    println!(
+        "  {} users, {} communities, {} friendships",
+        network.user_count(),
+        network.community_count(),
+        network.graph.edge_count()
+    );
+
+    // Each online network only sees the communities its scope covers: every
+    // community is dropped from a copy independently with probability 0.25.
+    let pair = community_deletion(&network, 0.25, &mut rng).expect("valid probability");
+    println!(
+        "personal copy: {} edges | professional copy: {} edges | users visible in both: {}\n",
+        pair.g1.edge_count(),
+        pair.g2.edge_count(),
+        pair.matchable_nodes()
+    );
+
+    println!("reconciliation quality as the seed set changes:");
+    for link_prob in [0.02, 0.05, 0.10] {
+        let seeds = sample_seeds(&pair, link_prob, &mut rng).expect("valid probability");
+        report(&format!("uniform seeds ({}%)", (link_prob * 100.0) as u32), &pair, &seeds);
+    }
+
+    // Celebrities / highly connected users are more likely to cross-link
+    // their accounts; the paper argues this can only help the algorithm.
+    let biased = sample_seeds_degree_biased(&pair, 0.05, &mut rng).expect("valid probability");
+    report("degree-biased seeds (5%)", &pair, &biased);
+
+    println!("\nTakeaway: even with whole social circles missing from one of the copies, a few");
+    println!("percent of linked accounts is enough to reconcile most users with ~100% precision.");
+}

@@ -1,0 +1,71 @@
+//! Cross-backend equivalence: the sequential, rayon, and MapReduce backends
+//! must produce bit-for-bit identical link sets on identical inputs. This is
+//! what makes the parallel and MapReduce claims of the paper meaningful —
+//! they are *the same algorithm*, only scheduled differently.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_reconcile::core::{Backend, MatchingConfig, UserMatching};
+use social_reconcile::prelude::*;
+
+fn workload(seed: u64, n: usize, m: usize, s: f64, l: f64) -> (RealizationPair, Vec<(NodeId, NodeId)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = preferential_attachment(n, m, &mut rng).unwrap();
+    let pair = independent_deletion_symmetric(&g, s, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, l, &mut rng).unwrap();
+    (pair, seeds)
+}
+
+fn run(pair: &RealizationPair, seeds: &[(NodeId, NodeId)], backend: Backend, t: u32) -> Linking {
+    let config = MatchingConfig::default()
+        .with_threshold(t)
+        .with_iterations(2)
+        .with_backend(backend);
+    UserMatching::new(config).run(&pair.g1, &pair.g2, seeds).links
+}
+
+#[test]
+fn all_backends_agree_on_a_pa_workload() {
+    let (pair, seeds) = workload(11, 1_500, 8, 0.6, 0.08);
+    for threshold in [1, 2, 3] {
+        let seq = run(&pair, &seeds, Backend::Sequential, threshold);
+        let ray = run(&pair, &seeds, Backend::Rayon, threshold);
+        let mr = run(&pair, &seeds, Backend::MapReduce { workers: 3 }, threshold);
+        assert_eq!(seq, ray, "rayon differs at T={threshold}");
+        assert_eq!(seq, mr, "mapreduce differs at T={threshold}");
+    }
+}
+
+#[test]
+fn all_backends_agree_on_a_sparse_workload() {
+    let (pair, seeds) = workload(12, 2_000, 4, 0.5, 0.15);
+    let seq = run(&pair, &seeds, Backend::Sequential, 2);
+    let ray = run(&pair, &seeds, Backend::Rayon, 2);
+    let mr = run(&pair, &seeds, Backend::MapReduce { workers: 2 }, 2);
+    assert_eq!(seq, ray);
+    assert_eq!(seq, mr);
+}
+
+#[test]
+fn all_backends_agree_under_attack() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let g = preferential_attachment(1_000, 8, &mut rng).unwrap();
+    let clean = independent_deletion_symmetric(&g, 0.75, &mut rng).unwrap();
+    let attacked = inject_attack(&clean, 0.5, &mut rng).unwrap();
+    let seeds = sample_seeds(&attacked, 0.10, &mut rng).unwrap();
+    let seq = run(&attacked, &seeds, Backend::Sequential, 2);
+    let ray = run(&attacked, &seeds, Backend::Rayon, 2);
+    let mr = run(&attacked, &seeds, Backend::MapReduce { workers: 4 }, 2);
+    assert_eq!(seq, ray);
+    assert_eq!(seq, mr);
+}
+
+#[test]
+fn backend_runs_are_deterministic_across_repetitions() {
+    let (pair, seeds) = workload(14, 1_200, 6, 0.6, 0.10);
+    for backend in [Backend::Sequential, Backend::Rayon, Backend::MapReduce { workers: 3 }] {
+        let a = run(&pair, &seeds, backend, 2);
+        let b = run(&pair, &seeds, backend, 2);
+        assert_eq!(a, b, "{backend:?} is not deterministic");
+    }
+}

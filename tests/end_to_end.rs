@@ -1,0 +1,139 @@
+//! End-to-end pipeline tests: every realization model, both algorithms,
+//! scored against ground truth. These exercise the same code paths as the
+//! experiment binaries but at a size small enough for CI, with assertions on
+//! the qualitative claims the paper makes for each setting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_reconcile::prelude::*;
+
+fn reconcile(pair: &RealizationPair, seeds: &[(NodeId, NodeId)], threshold: u32) -> Evaluation {
+    let config = MatchingConfig::default().with_threshold(threshold).with_iterations(2);
+    let outcome = UserMatching::new(config).run(&pair.g1, &pair.g2, seeds);
+    Evaluation::score(pair, &outcome.links, outcome.links.seed_count())
+}
+
+#[test]
+fn independent_deletion_pipeline_has_high_precision_and_recall() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = preferential_attachment(4_000, 16, &mut rng).unwrap();
+    let pair = independent_deletion_symmetric(&g, 0.5, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, 0.05, &mut rng).unwrap();
+    let eval = reconcile(&pair, &seeds, 2);
+    assert!(eval.precision() > 0.97, "precision {}", eval.precision());
+    assert!(eval.recall() > 0.5, "recall {}", eval.recall());
+    assert!(eval.new_good > seeds.len(), "should at least double the seed set");
+}
+
+#[test]
+fn cascade_pipeline_reaches_near_perfect_precision() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = preferential_attachment(4_000, 16, &mut rng).unwrap();
+    let pair = cascade_realization(&g, 0.05, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, 0.05, &mut rng).unwrap();
+    let eval = reconcile(&pair, &seeds, 2);
+    // Figure 3: the cascade model is the easiest setting — essentially no
+    // errors (the paper reports zero at 63k nodes; at this scale hubs are
+    // shared more heavily, so we allow a small margin) and near-total recall
+    // of co-present nodes.
+    assert!(eval.precision() > 0.96, "precision {}", eval.precision());
+    assert!(eval.recall() > 0.8, "recall {}", eval.recall());
+}
+
+#[test]
+fn community_deletion_pipeline_matches_table4_shape() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = AffiliationConfig {
+        users: 4_000,
+        communities: 400,
+        memberships_per_user: 4,
+        fold_cap: 25,
+    };
+    let net = AffiliationNetwork::generate(&cfg, &mut rng).unwrap();
+    let pair = community_deletion(&net, 0.25, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, 0.10, &mut rng).unwrap();
+    let eval = reconcile(&pair, &seeds, 2);
+    assert!(eval.precision() > 0.97, "precision {}", eval.precision());
+    assert!(eval.recall() > 0.7, "recall {}", eval.recall());
+}
+
+#[test]
+fn time_slice_pipeline_recovers_a_meaningful_fraction() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let tg = TemporalGraph::affiliation(3_000, 12_000, 3, 20, &mut rng).unwrap();
+    let pair = odd_even_split(&tg, &mut rng);
+    let seeds = sample_seeds(&pair, 0.10, &mut rng).unwrap();
+    let eval = reconcile(&pair, &seeds, 2);
+    // Table 5 regime: precision drops relative to the clean models but the
+    // algorithm still identifies clearly more than the seed set with a
+    // bounded error rate.
+    assert!(eval.new_good > 0);
+    assert!(eval.error_rate() < 0.25, "error rate {}", eval.error_rate());
+}
+
+#[test]
+fn attack_pipeline_keeps_precision_high() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = preferential_attachment(3_000, 12, &mut rng).unwrap();
+    let clean = independent_deletion_symmetric(&g, 0.75, &mut rng).unwrap();
+    let attacked = inject_attack(&clean, 0.5, &mut rng).unwrap();
+    let seeds = sample_seeds(&attacked, 0.10, &mut rng).unwrap();
+
+    let config = MatchingConfig::default().with_threshold(2).with_iterations(2);
+    let outcome = UserMatching::new(config).run(&attacked.g1, &attacked.g2, &seeds);
+    let eval = Evaluation::score(&attacked, &outcome.links, outcome.links.seed_count());
+    assert!(eval.precision() > 0.93, "precision under attack {}", eval.precision());
+
+    // A substantial majority of the *real* users are still aligned; matching
+    // the attacker's own mirror accounts with each other does not count.
+    let real_aligned = outcome
+        .links
+        .pairs()
+        .filter(|&(u1, u2)| u1.index() < g.node_count() && attacked.truth.is_correct(u1, u2))
+        .count();
+    assert!(
+        real_aligned as f64 > 0.55 * g.node_count() as f64,
+        "aligned {} of {}",
+        real_aligned,
+        g.node_count()
+    );
+}
+
+#[test]
+fn baseline_is_never_dramatically_better_than_user_matching() {
+    // Sanity comparison used by the ablation experiment: on a standard
+    // random-deletion workload the baseline must not out-discover
+    // User-Matching by any meaningful margin (it may tie on easy inputs).
+    let mut rng = StdRng::seed_from_u64(6);
+    let g = preferential_attachment(3_000, 12, &mut rng).unwrap();
+    let pair = independent_deletion_symmetric(&g, 0.5, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, 0.05, &mut rng).unwrap();
+
+    let um = reconcile(&pair, &seeds, 2);
+    let base_outcome = BaselineMatching::with_defaults().run(&pair.g1, &pair.g2, &seeds);
+    let base = Evaluation::score(&pair, &base_outcome.links, base_outcome.links.seed_count());
+    assert!(base.new_good <= um.new_good + um.new_good / 5);
+    // And the full algorithm must not have materially worse precision.
+    assert!(um.precision() + 0.02 >= base.precision());
+}
+
+#[test]
+fn degenerate_inputs_do_not_panic() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Empty graph.
+    let empty = CsrGraph::from_edges(0, &[]);
+    let outcome = UserMatching::with_defaults().run(&empty, &empty, &[]);
+    assert_eq!(outcome.links.len(), 0);
+
+    // Graph with edges but zero seeds.
+    let g = preferential_attachment(200, 4, &mut rng).unwrap();
+    let pair = independent_deletion_symmetric(&g, 0.5, &mut rng).unwrap();
+    let outcome = UserMatching::with_defaults().run(&pair.g1, &pair.g2, &[]);
+    assert_eq!(outcome.links.len(), 0);
+
+    // s = 0 (both copies empty of edges): nothing to match, no panic.
+    let pair = independent_deletion_symmetric(&g, 0.0, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, 0.5, &mut rng).unwrap();
+    let outcome = UserMatching::with_defaults().run(&pair.g1, &pair.g2, &seeds);
+    assert_eq!(outcome.discovered(), 0);
+}

@@ -1,0 +1,85 @@
+//! Empirical check of the paper's round-complexity claim: User-Matching runs
+//! in `O(k log D)` MapReduce rounds, four per (iteration, degree-bucket)
+//! phase.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_reconcile::core::{Backend, MatchingConfig, UserMatching};
+use social_reconcile::prelude::*;
+
+fn build(seed: u64) -> (RealizationPair, Vec<(NodeId, NodeId)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = preferential_attachment(1_500, 8, &mut rng).unwrap();
+    let pair = independent_deletion_symmetric(&g, 0.6, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, 0.10, &mut rng).unwrap();
+    (pair, seeds)
+}
+
+#[test]
+fn phase_count_is_k_times_log_d() {
+    let (pair, seeds) = build(21);
+    for k in [1u32, 2, 3] {
+        let config = MatchingConfig::default().with_iterations(k);
+        let outcome = UserMatching::new(config).run(&pair.g1, &pair.g2, &seeds);
+        let max_degree = pair.g1.max_degree().max(pair.g2.max_degree());
+        let log_d = (usize::BITS - 1 - max_degree.leading_zeros()) as usize; // floor(log2 D)
+        assert_eq!(
+            outcome.phases.len(),
+            k as usize * log_d,
+            "k={k}, max degree {max_degree}"
+        );
+    }
+}
+
+#[test]
+fn mapreduce_rounds_are_four_per_phase() {
+    let (pair, seeds) = build(22);
+    let config = MatchingConfig::default()
+        .with_iterations(2)
+        .with_backend(Backend::MapReduce { workers: 2 });
+    let (outcome, stats) =
+        UserMatching::new(config).run_with_round_stats(&pair.g1, &pair.g2, &seeds);
+    assert_eq!(stats.rounds, 4 * outcome.phases.len());
+    assert_eq!(stats.per_round.len(), stats.rounds);
+    // The witness-counting rounds account for a substantial share of the
+    // shuffle volume (the selection rounds re-shuffle the aggregated score
+    // table, which is smaller than or comparable to the witness stream).
+    let witness_shuffle: usize = stats
+        .per_round
+        .iter()
+        .filter(|r| r.label == "witness-count")
+        .map(|r| r.shuffled_records)
+        .sum();
+    assert!(witness_shuffle > 0);
+    assert!(witness_shuffle * 4 >= stats.total_shuffled_records);
+}
+
+#[test]
+fn disabling_bucketing_collapses_to_k_phases() {
+    let (pair, seeds) = build(23);
+    let config = MatchingConfig::default()
+        .with_iterations(2)
+        .with_degree_bucketing(false)
+        .with_backend(Backend::MapReduce { workers: 2 });
+    let (outcome, stats) =
+        UserMatching::new(config).run_with_round_stats(&pair.g1, &pair.g2, &seeds);
+    assert_eq!(outcome.phases.len(), 2);
+    assert_eq!(stats.rounds, 8);
+}
+
+#[test]
+fn engine_round_statistics_are_internally_consistent() {
+    let (pair, seeds) = build(24);
+    let config = MatchingConfig::default()
+        .with_iterations(1)
+        .with_backend(Backend::MapReduce { workers: 3 });
+    let (_, stats) = UserMatching::new(config).run_with_round_stats(&pair.g1, &pair.g2, &seeds);
+    assert_eq!(stats.per_round.len(), stats.rounds);
+    let sum_inputs: usize = stats.per_round.iter().map(|r| r.input_records).sum();
+    let sum_outputs: usize = stats.per_round.iter().map(|r| r.output_records).sum();
+    assert_eq!(sum_inputs, stats.total_input_records);
+    assert_eq!(sum_outputs, stats.total_output_records);
+    for round in &stats.per_round {
+        assert!(round.key_groups <= round.shuffled_records.max(1));
+    }
+}
