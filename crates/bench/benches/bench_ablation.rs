@@ -20,10 +20,11 @@ fn bench_bucketing_ablation(c: &mut Criterion) {
     group.bench_function("with_bucketing", |b| {
         let cfg = MatchingConfig::default().with_threshold(2).with_iterations(1);
         b.iter(|| {
-            black_box(
-                UserMatching::new(cfg.clone())
-                    .run(&workload.pair.g1, &workload.pair.g2, &workload.seeds),
-            )
+            black_box(UserMatching::new(cfg.clone()).run(
+                &workload.pair.g1,
+                &workload.pair.g2,
+                &workload.seeds,
+            ))
         })
     });
     group.bench_function("without_bucketing", |b| {
@@ -32,18 +33,20 @@ fn bench_bucketing_ablation(c: &mut Criterion) {
             .with_iterations(1)
             .with_degree_bucketing(false);
         b.iter(|| {
-            black_box(
-                UserMatching::new(cfg.clone())
-                    .run(&workload.pair.g1, &workload.pair.g2, &workload.seeds),
-            )
+            black_box(UserMatching::new(cfg.clone()).run(
+                &workload.pair.g1,
+                &workload.pair.g2,
+                &workload.seeds,
+            ))
         })
     });
     group.bench_function("baseline_common_neighbors", |b| {
         b.iter(|| {
-            black_box(
-                BaselineMatching::with_defaults()
-                    .run(&workload.pair.g1, &workload.pair.g2, &workload.seeds),
-            )
+            black_box(BaselineMatching::with_defaults().run(
+                &workload.pair.g1,
+                &workload.pair.g2,
+                &workload.seeds,
+            ))
         })
     });
     group.finish();
@@ -57,10 +60,11 @@ fn bench_iteration_count(c: &mut Criterion) {
         group.bench_function(format!("k={k}"), |b| {
             let cfg = MatchingConfig::default().with_threshold(2).with_iterations(k);
             b.iter(|| {
-                black_box(
-                    UserMatching::new(cfg.clone())
-                        .run(&workload.pair.g1, &workload.pair.g2, &workload.seeds),
-                )
+                black_box(UserMatching::new(cfg.clone()).run(
+                    &workload.pair.g1,
+                    &workload.pair.g2,
+                    &workload.seeds,
+                ))
             })
         });
     }

@@ -29,22 +29,18 @@ fn bench_engine_vs_direct(c: &mut Criterion) {
     });
 
     for workers in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("engine", workers),
-            &workers,
-            |b, &workers| {
-                let engine = Engine::new(workers);
-                b.iter(|| {
-                    let out: Vec<(u32, u64)> = engine.run(
-                        "sum",
-                        records.clone(),
-                        |(k, v)| vec![(k, v as u64)],
-                        |k, vs| vec![(k, vs.into_iter().sum())],
-                    );
-                    black_box(out)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("engine", workers), &workers, |b, &workers| {
+            let engine = Engine::new(workers);
+            b.iter(|| {
+                let out: Vec<(u32, u64)> = engine.run(
+                    "sum",
+                    records.clone(),
+                    |(k, v)| vec![(k, v as u64)],
+                    |k, vs| vec![(k, vs.into_iter().sum())],
+                );
+                black_box(out)
+            })
+        });
     }
     group.finish();
 }

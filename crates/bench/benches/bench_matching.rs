@@ -15,9 +15,7 @@ fn bench_full_algorithm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
             let config = MatchingConfig::default().with_threshold(2).with_iterations(1);
             b.iter(|| {
-                black_box(
-                    UserMatching::new(config.clone()).run(&w.pair.g1, &w.pair.g2, &w.seeds),
-                )
+                black_box(UserMatching::new(config.clone()).run(&w.pair.g1, &w.pair.g2, &w.seeds))
             })
         });
     }

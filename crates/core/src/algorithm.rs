@@ -3,7 +3,7 @@
 use crate::backend::Backend;
 use crate::config::MatchingConfig;
 use crate::linking::Linking;
-use crate::matching::{mapreduce_mutual_best, mutual_best_pairs};
+use crate::matching::{mapreduce_mutual_best, mutual_best_pairs, mutual_best_pairs_rayon};
 use crate::stats::{MatchingOutcome, PhaseStats};
 use crate::witness::{count_mapreduce, count_witnesses};
 use snr_graph::{CsrGraph, NodeId};
@@ -136,15 +136,14 @@ impl UserMatching {
                         (scores.len(), pairs)
                     }
                     _ => {
-                        let scores = count_witnesses(
-                            g1,
-                            g2,
-                            &links,
-                            min_degree,
-                            min_degree,
-                            cfg.backend,
-                        );
-                        let pairs = mutual_best_pairs(&scores, cfg.threshold);
+                        let scores =
+                            count_witnesses(g1, g2, &links, min_degree, min_degree, cfg.backend);
+                        // Selection follows the same backend as scoring, so
+                        // Backend::Rayon is parallel through the whole phase.
+                        let pairs = match cfg.backend {
+                            Backend::Rayon => mutual_best_pairs_rayon(&scores, cfg.threshold),
+                            _ => mutual_best_pairs(&scores, cfg.threshold),
+                        };
                         (scores.len(), pairs)
                     }
                 };
@@ -210,8 +209,9 @@ mod tests {
         let g1 = CsrGraph::from_edges(4, edges);
         let g2 = g1.clone();
         let seeds = vec![(NodeId(1), NodeId(1)), (NodeId(2), NodeId(2))];
-        let outcome = UserMatching::new(MatchingConfig::default().with_threshold(2).with_iterations(1))
-            .run(&g1, &g2, &seeds);
+        let outcome =
+            UserMatching::new(MatchingConfig::default().with_threshold(2).with_iterations(1))
+                .run(&g1, &g2, &seeds);
         assert!(outcome.links.linked_in_g2(NodeId(0)) == Some(NodeId(0)));
         assert_eq!(outcome.links.seed_count(), 2);
         assert!(outcome.discovered() >= 1);
@@ -241,8 +241,9 @@ mod tests {
         // m = 20 (expected intersection degree 2·m·s² = 10); we keep the
         // same density at a smaller node count.
         let (pair, seeds) = pa_pair(3_000, 20, 0.5, 42);
-        let outcome = UserMatching::new(MatchingConfig::default().with_threshold(2).with_iterations(2))
-            .run(&pair.g1, &pair.g2, &seeds);
+        let outcome =
+            UserMatching::new(MatchingConfig::default().with_threshold(2).with_iterations(2))
+                .run(&pair.g1, &pair.g2, &seeds);
         let (good, bad) = score(&pair, &outcome);
         let matchable = pair.matchable_nodes();
         assert!(good * 2 > matchable, "good={good} matchable={matchable}");
@@ -261,8 +262,9 @@ mod tests {
         // With s = 1 the two copies are isomorphic; starting from 5% seeds
         // the algorithm should identify essentially every node of degree ≥ 2.
         let (pair, seeds) = pa_pair(2_000, 6, 1.0, 43);
-        let outcome = UserMatching::new(MatchingConfig::default().with_threshold(2).with_iterations(2))
-            .run(&pair.g1, &pair.g2, &seeds);
+        let outcome =
+            UserMatching::new(MatchingConfig::default().with_threshold(2).with_iterations(2))
+                .run(&pair.g1, &pair.g2, &seeds);
         let (good, bad) = score(&pair, &outcome);
         assert_eq!(bad, 0, "identical copies must not produce wrong matches");
         assert!(
@@ -276,8 +278,9 @@ mod tests {
     fn higher_threshold_never_lowers_precision() {
         let (pair, seeds) = pa_pair(2_000, 8, 0.6, 7);
         let run = |t: u32| {
-            let outcome = UserMatching::new(MatchingConfig::default().with_threshold(t).with_iterations(1))
-                .run(&pair.g1, &pair.g2, &seeds);
+            let outcome =
+                UserMatching::new(MatchingConfig::default().with_threshold(t).with_iterations(1))
+                    .run(&pair.g1, &pair.g2, &seeds);
             let (good, bad) = score(&pair, &outcome);
             (good, bad, outcome.links.len())
         };

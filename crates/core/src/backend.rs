@@ -19,9 +19,10 @@ use serde::{Deserialize, Serialize};
 
 /// Which execution strategy [`crate::UserMatching`] uses for the
 /// witness-counting and matching phases.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Backend {
     /// Single-threaded reference implementation.
+    #[default]
     Sequential,
     /// Data-parallel witness counting using rayon's global thread pool.
     Rayon,
@@ -31,12 +32,6 @@ pub enum Backend {
         /// Number of worker threads for the engine.
         workers: usize,
     },
-}
-
-impl Default for Backend {
-    fn default() -> Self {
-        Backend::Sequential
-    }
 }
 
 impl Backend {

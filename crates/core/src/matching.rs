@@ -15,6 +15,7 @@
 //! precision, in the same spirit as the paper's threshold.
 
 use crate::witness::ScoreTable;
+use rayon::prelude::*;
 use snr_graph::NodeId;
 use snr_mapreduce::Engine;
 use std::collections::HashMap;
@@ -45,30 +46,70 @@ impl Best {
             std::cmp::Ordering::Less => {}
         }
     }
+
+    /// Combines the best partners found over two disjoint sets of candidate
+    /// entries. Because the sets are disjoint, an equal best score across
+    /// the two halves means two distinct partners tie, so the merged best is
+    /// not unique. This makes the parallel reduction produce exactly the
+    /// state `consider` would reach sequentially, in any partition order.
+    fn merge(self, other: Best) -> Best {
+        match self.score.cmp(&other.score) {
+            std::cmp::Ordering::Greater => self,
+            std::cmp::Ordering::Less => other,
+            std::cmp::Ordering::Equal => {
+                Best { partner: self.partner.min(other.partner), score: self.score, unique: false }
+            }
+        }
+    }
 }
 
-/// Selects all mutual-best pairs with score at least `threshold` from a
-/// score table. Returns pairs in ascending `(g1, g2)` id order.
-pub fn mutual_best_pairs(scores: &ScoreTable, threshold: u32) -> Vec<(NodeId, NodeId)> {
-    // A threshold of 0 would link every scored pair; clamp it to 1 to keep
-    // the "at least one witness" invariant.
-    let threshold = threshold.max(1);
+/// Per-node best-partner tables for both sides of a score table.
+type BestTables = (HashMap<u32, Best>, HashMap<u32, Best>);
 
-    let mut best_for_u: HashMap<u32, Best> = HashMap::new();
-    let mut best_for_v: HashMap<u32, Best> = HashMap::new();
-    for (&(u, v), &score) in scores {
-        best_for_u
-            .entry(u)
-            .and_modify(|b| b.consider(v, score))
-            .or_insert(Best { partner: v, score, unique: true });
-        best_for_v
-            .entry(v)
-            .and_modify(|b| b.consider(u, score))
-            .or_insert(Best { partner: u, score, unique: true });
+fn accumulate_entry(tables: &mut BestTables, u: u32, v: u32, score: u32) {
+    tables.0.entry(u).and_modify(|b| b.consider(v, score)).or_insert(Best {
+        partner: v,
+        score,
+        unique: true,
+    });
+    tables.1.entry(v).and_modify(|b| b.consider(u, score)).or_insert(Best {
+        partner: u,
+        score,
+        unique: true,
+    });
+}
+
+fn merge_tables(mut into: BestTables, from: BestTables) -> BestTables {
+    for (node, best) in from.0 {
+        match into.0.entry(node) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let merged = e.get().merge(best);
+                *e.get_mut() = merged;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(best);
+            }
+        }
     }
+    for (node, best) in from.1 {
+        match into.1.entry(node) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let merged = e.get().merge(best);
+                *e.get_mut() = merged;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(best);
+            }
+        }
+    }
+    into
+}
 
+/// Selects the mutual-best pairs out of completed best-partner tables.
+fn select_mutual(tables: &BestTables, threshold: u32) -> Vec<(NodeId, NodeId)> {
+    let (best_for_u, best_for_v) = tables;
     let mut out = Vec::new();
-    for (&u, bu) in &best_for_u {
+    for (&u, bu) in best_for_u {
         if bu.score < threshold || !bu.unique {
             continue;
         }
@@ -81,6 +122,43 @@ pub fn mutual_best_pairs(scores: &ScoreTable, threshold: u32) -> Vec<(NodeId, No
     }
     out.sort_unstable();
     out
+}
+
+/// Selects all mutual-best pairs with score at least `threshold` from a
+/// score table. Returns pairs in ascending `(g1, g2)` id order.
+pub fn mutual_best_pairs(scores: &ScoreTable, threshold: u32) -> Vec<(NodeId, NodeId)> {
+    // A threshold of 0 would link every scored pair; clamp it to 1 to keep
+    // the "at least one witness" invariant.
+    let threshold = threshold.max(1);
+
+    let mut tables: BestTables = (HashMap::new(), HashMap::new());
+    for (&(u, v), &score) in scores {
+        accumulate_entry(&mut tables, u, v, score);
+    }
+    select_mutual(&tables, threshold)
+}
+
+/// The same selection with the best-partner tables built in parallel: score
+/// entries are partitioned across rayon workers, each worker accumulates
+/// partial tables, and partials are merged with [`Best::merge`] (which
+/// preserves tie-abstention across partition boundaries). Produces exactly
+/// the same pairs as [`mutual_best_pairs`] — this is what makes
+/// [`crate::Backend::Rayon`] bit-for-bit equivalent to the sequential
+/// backend through the whole phase, not just witness counting.
+pub fn mutual_best_pairs_rayon(scores: &ScoreTable, threshold: u32) -> Vec<(NodeId, NodeId)> {
+    let threshold = threshold.max(1);
+    let entries: Vec<((u32, u32), u32)> = scores.iter().map(|(&k, &s)| (k, s)).collect();
+    let tables = entries
+        .par_iter()
+        .fold(
+            || (HashMap::new(), HashMap::new()),
+            |mut tables: BestTables, &((u, v), score)| {
+                accumulate_entry(&mut tables, u, v, score);
+                tables
+            },
+        )
+        .reduce(|| (HashMap::new(), HashMap::new()), merge_tables);
+    select_mutual(&tables, threshold)
 }
 
 /// The same mutual-best selection expressed as MapReduce rounds on the
@@ -237,6 +315,42 @@ mod tests {
     }
 
     #[test]
+    fn rayon_selection_matches_sequential_selection() {
+        let mut entries = Vec::new();
+        for u in 0..40u32 {
+            for v in 0..40u32 {
+                let s = (u * 19 + v * 23) % 7;
+                if s > 0 {
+                    entries.push(((u, v), s));
+                }
+            }
+        }
+        let scores = table(&entries);
+        for threshold in [1, 2, 4, 6] {
+            assert_eq!(
+                mutual_best_pairs_rayon(&scores, threshold),
+                mutual_best_pairs(&scores, threshold),
+                "mismatch at threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn rayon_selection_abstains_on_ties_like_sequential() {
+        // Ties that only become visible when partial tables are merged:
+        // every node has exactly two partners with the same score, so every
+        // candidate must abstain no matter how the entries are partitioned.
+        let mut entries = Vec::new();
+        for u in 0..64u32 {
+            entries.push(((u, u), 5));
+            entries.push(((u, (u + 1) % 64), 5));
+        }
+        let scores = table(&entries);
+        assert!(mutual_best_pairs(&scores, 1).is_empty());
+        assert!(mutual_best_pairs_rayon(&scores, 1).is_empty());
+    }
+
+    #[test]
     fn mapreduce_selection_matches_in_memory_selection() {
         let mut entries = Vec::new();
         for u in 0..30u32 {
@@ -267,6 +381,18 @@ mod tests {
             let expected = mutual_best_pairs(&scores, threshold);
             let got = mapreduce_mutual_best(&engine, &scores, threshold);
             proptest::prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn rayon_and_sequential_agree_on_random_tables(
+            entries in proptest::collection::vec(((0u32..15, 0u32..15), 1u32..6), 0..80),
+            threshold in 1u32..4,
+        ) {
+            let scores: ScoreTable = entries.into_iter().collect();
+            proptest::prop_assert_eq!(
+                mutual_best_pairs_rayon(&scores, threshold),
+                mutual_best_pairs(&scores, threshold)
+            );
         }
 
         #[test]

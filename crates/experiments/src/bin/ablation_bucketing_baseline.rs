@@ -44,10 +44,7 @@ fn main() {
     let without = run_user_matching(
         &pair,
         0.05,
-        MatchingConfig::default()
-            .with_threshold(1)
-            .with_iterations(2)
-            .with_degree_bucketing(false),
+        MatchingConfig::default().with_threshold(1).with_iterations(2).with_degree_bucketing(false),
         args.seed,
     );
     let mut t1 = TextTable::new(["variant", "new good", "new bad", "error rate"]);
@@ -79,7 +76,9 @@ fn main() {
     );
 
     // ------------------------------------------------------------------ 2 --
-    println!("Ablation 2 — baseline vs User-Matching under attack (s = 0.75, accept 0.5, 10% seeds)\n");
+    println!(
+        "Ablation 2 — baseline vs User-Matching under attack (s = 0.75, accept 0.5, 10% seeds)\n"
+    );
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0xAB1A_0002);
     let clean = independent_deletion_symmetric(&fb.graph, 0.75, &mut rng).expect("valid s");
     let attacked = inject_attack(&clean, 0.5, &mut rng).expect("valid accept prob");
@@ -169,8 +168,12 @@ fn main() {
     );
 
     println!("Paper's qualitative claims to check:");
-    println!("  * removing degree bucketing inflates the error count (~1.5x) for the same good matches;");
-    println!("  * under attack the baseline's recall collapses to roughly half of User-Matching's;");
+    println!(
+        "  * removing degree bucketing inflates the error count (~1.5x) for the same good matches;"
+    );
+    println!(
+        "  * under attack the baseline's recall collapses to roughly half of User-Matching's;"
+    );
     println!("  * on the noisy Wikipedia-style workload the baseline's error rate is much higher.");
     args.maybe_write_json(&record);
 }

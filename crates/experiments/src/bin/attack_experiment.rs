@@ -32,8 +32,13 @@ fn main() {
     let attacked = inject_attack(&clean, accept_prob, &mut rng).expect("valid accept prob");
     let possible = fb.graph.node_count();
 
-    let mut table =
-        TextTable::new(["T", "real users aligned", "wrong matches", "precision", "aligned / possible"]);
+    let mut table = TextTable::new([
+        "T",
+        "real users aligned",
+        "wrong matches",
+        "precision",
+        "aligned / possible",
+    ]);
     let mut record = ExperimentRecord::new("attack_experiment", "Section 5, robustness to attack")
         .parameter("survival", survival.to_string())
         .parameter("accept_prob", accept_prob.to_string())

@@ -25,7 +25,9 @@ fn main() {
     let thresholds = [1u32, 2, 3, 4, 5];
 
     println!("Figure 2 — PA underlying graph (n = {n}, m = {m}), random deletion s = {s}");
-    println!("Paper: precision is 100% at every threshold; recall grows with the seed probability.\n");
+    println!(
+        "Paper: precision is 100% at every threshold; recall grows with the seed probability.\n"
+    );
 
     let mut rng = StdRng::seed_from_u64(args.seed);
     let g = preferential_attachment(n, m, &mut rng).expect("valid PA parameters");
@@ -33,7 +35,8 @@ fn main() {
     let matchable = pair.matchable_nodes();
     println!("matchable nodes (degree >= 1 in both copies): {matchable}\n");
 
-    let mut table = TextTable::new(["seed prob", "T", "seeds", "new good", "new bad", "precision", "recall"]);
+    let mut table =
+        TextTable::new(["seed prob", "T", "seeds", "new good", "new bad", "precision", "recall"]);
     let mut record = ExperimentRecord::new("figure2_pa_deletion", "Figure 2")
         .parameter("n", n.to_string())
         .parameter("m", m.to_string())

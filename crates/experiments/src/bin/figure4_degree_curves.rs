@@ -28,11 +28,16 @@ fn run_dataset(
     let run = run_user_matching(pair, 0.10, config, args.seed);
     let curve = degree_curve(pair, &run.outcome.links, DEGREE_BOUNDS);
 
-    println!("{name} (T = 2, 10% seeds): overall precision {}, recall {}\n",
-        pct(run.eval.precision()), pct(run.eval.recall()));
-    let mut table = TextTable::new(["min-copy degree", "matchable", "good", "bad", "precision", "recall"]);
+    println!(
+        "{name} (T = 2, 10% seeds): overall precision {}, recall {}\n",
+        pct(run.eval.precision()),
+        pct(run.eval.recall())
+    );
+    let mut table =
+        TextTable::new(["min-copy degree", "matchable", "good", "bad", "precision", "recall"]);
     for b in &curve {
-        let hi = if b.degree_hi == usize::MAX { "+".to_string() } else { format!("-{}", b.degree_hi) };
+        let hi =
+            if b.degree_hi == usize::MAX { "+".to_string() } else { format!("-{}", b.degree_hi) };
         table.row([
             format!("{}{hi}", b.degree_lo),
             b.matchable.to_string(),

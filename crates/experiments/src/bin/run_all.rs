@@ -47,7 +47,10 @@ fn main() {
     for name in EXPERIMENTS {
         let exe = bin_dir.join(name);
         if !exe.exists() {
-            eprintln!("skipping {name}: {} not built (run `cargo build --release -p snr-experiments`)", exe.display());
+            eprintln!(
+                "skipping {name}: {} not built (run `cargo build --release -p snr-experiments`)",
+                exe.display()
+            );
             failures += 1;
             continue;
         }

@@ -19,7 +19,8 @@ fn main() {
     let seed = args.seed;
 
     println!("Table 1 — dataset statistics (proxy vs paper)\n");
-    let mut table = TextTable::new(["dataset", "proxy nodes", "proxy edges", "paper nodes", "paper edges"]);
+    let mut table =
+        TextTable::new(["dataset", "proxy nodes", "proxy edges", "paper nodes", "paper edges"]);
     let mut record = ExperimentRecord::new("table1_datasets", "Table 1")
         .parameter("scale", format!("{scale:?}"))
         .parameter("seed", seed.to_string());
@@ -44,11 +45,7 @@ fn main() {
 
     let reference = table1_reference();
     let lookup = |name: &str| {
-        reference
-            .iter()
-            .find(|(n, _, _)| *n == name)
-            .map(|&(_, n, e)| (n, e))
-            .unwrap_or((0, 0))
+        reference.iter().find(|(n, _, _)| *n == name).map(|&(_, n, e)| (n, e)).unwrap_or((0, 0))
     };
 
     let pa = pa_dataset(scale, seed);

@@ -27,8 +27,14 @@ fn main() {
 
     println!("Table 2 — relative running time on R-MAT graphs (s = 0.5, seed prob = 0.10, T = 2, k = 1)\n");
 
-    let mut table =
-        TextTable::new(["graph", "nodes", "edges", "matcher time (s)", "relative", "paper relative"]);
+    let mut table = TextTable::new([
+        "graph",
+        "nodes",
+        "edges",
+        "matcher time (s)",
+        "relative",
+        "paper relative",
+    ]);
     let mut record = ExperimentRecord::new("table2_scalability", "Table 2")
         .parameter("exponents", format!("{exponents:?}"))
         .parameter("seed", args.seed.to_string());
@@ -71,6 +77,8 @@ fn main() {
     println!("{table}");
     println!("Paper's qualitative claim: running time grows with graph size but the algorithm");
     println!("remains runnable end-to-end at every size with the same resources (the paper's");
-    println!("largest jump, 12.5x for RMAT28, reflects a 4x node-count increase plus memory pressure).");
+    println!(
+        "largest jump, 12.5x for RMAT28, reflects a 4x node-count increase plus memory pressure)."
+    );
     args.maybe_write_json(&record);
 }

@@ -100,7 +100,11 @@ fn main() {
     println!("Paper's qualitative claims to check:");
     println!("  * on the Facebook-scale graph, error rates stay well under 1% at T >= 2;");
     println!("  * lowering T raises good matches substantially with only a mild increase in bad;");
-    println!("  * the sparse Enron graph has lower recall and a higher (but still small) error rate.");
-    println!("  (Proxy graphs are smaller at demo scale, so absolute counts are proportionally lower.)");
+    println!(
+        "  * the sparse Enron graph has lower recall and a higher (but still small) error rate."
+    );
+    println!(
+        "  (Proxy graphs are smaller at demo scale, so absolute counts are proportionally lower.)"
+    );
     args.maybe_write_json(&record);
 }

@@ -102,7 +102,9 @@ fn main() {
     println!("Paper's qualitative claims to check:");
     println!("  * DBLP/Gowalla: error rates of a few percent, far higher recall than the seed set alone;");
     println!("  * recall is concentrated on nodes of intersection degree > 5 (see figure4_degree_curves);");
-    println!("  * Wikipedia: the hardest setting — error rate in the tens of percent range, threshold 5");
+    println!(
+        "  * Wikipedia: the hardest setting — error rate in the tens of percent range, threshold 5"
+    );
     println!("    trades recall for noticeably better precision.");
     args.maybe_write_json(&record);
 }

@@ -24,8 +24,9 @@ use snr_sampling::sample_seeds;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let mut record = ExperimentRecord::new("theory_validation", "Section 4 (Theorems 1-4, Lemmas 11-12)")
-        .parameter("seed", args.seed.to_string());
+    let mut record =
+        ExperimentRecord::new("theory_validation", "Section 4 (Theorems 1-4, Lemmas 11-12)")
+            .parameter("seed", args.seed.to_string());
 
     // ---------------------------------------------------------------- ER --
     let n = if args.full { 40_000 } else { 8_000 };
@@ -148,8 +149,14 @@ fn main() {
             .paper_value("high_degree_recall", 1.0),
     );
 
-    println!("The theoretical thresholds (T = 3 for ER, T = 9 and m·s² ≥ 22 for PA) are sufficient");
-    println!("conditions chosen to make the proofs go through; the measured runs show the algorithm");
-    println!("doing at least as well as predicted at far milder settings, which is the paper's point.");
+    println!(
+        "The theoretical thresholds (T = 3 for ER, T = 9 and m·s² ≥ 22 for PA) are sufficient"
+    );
+    println!(
+        "conditions chosen to make the proofs go through; the measured runs show the algorithm"
+    );
+    println!(
+        "doing at least as well as predicted at far milder settings, which is the paper's point."
+    );
     args.maybe_write_json(&record);
 }

@@ -34,7 +34,12 @@ pub struct AffiliationConfig {
 
 impl Default for AffiliationConfig {
     fn default() -> Self {
-        AffiliationConfig { users: 10_000, communities: 1_000, memberships_per_user: 4, fold_cap: 40 }
+        AffiliationConfig {
+            users: 10_000,
+            communities: 1_000,
+            memberships_per_user: 4,
+            fold_cap: 40,
+        }
     }
 }
 
@@ -214,8 +219,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let n1 = AffiliationNetwork::generate(&small_config(), &mut StdRng::seed_from_u64(11)).unwrap();
-        let n2 = AffiliationNetwork::generate(&small_config(), &mut StdRng::seed_from_u64(11)).unwrap();
+        let n1 =
+            AffiliationNetwork::generate(&small_config(), &mut StdRng::seed_from_u64(11)).unwrap();
+        let n2 =
+            AffiliationNetwork::generate(&small_config(), &mut StdRng::seed_from_u64(11)).unwrap();
         assert_eq!(n1.graph, n2.graph);
         assert_eq!(n1.communities, n2.communities);
     }

@@ -20,7 +20,7 @@ pub fn configuration_model<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<CsrGraph, GraphError> {
     let total: usize = degrees.iter().sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return Err(GraphError::InvalidParameter(format!(
             "degree sequence sums to {total}, which is odd"
         )));

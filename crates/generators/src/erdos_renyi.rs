@@ -93,7 +93,8 @@ fn pair_from_linear_index(idx: u64, n: u64) -> (u64, u64) {
     // quadratic formula for an initial guess, then correct locally for
     // floating-point error.
     let row_start = |u: u64| u * (n - 1) - u * u.saturating_sub(1) / 2;
-    let mut u = ((2.0 * n as f64 - 1.0
+    let mut u = ((2.0 * n as f64
+        - 1.0
         - ((2.0 * n as f64 - 1.0).powi(2) - 8.0 * idx as f64).max(0.0).sqrt())
         / 2.0)
         .floor() as u64;

@@ -42,9 +42,7 @@ pub fn preferential_attachment<R: Rng + ?Sized>(
     // Node 0 starts with m self-loops in the Bollobás–Riordan construction;
     // represent them only in the endpoint multiset (the simple graph drops
     // self-loops) so that node 0 has non-zero attachment mass.
-    for _ in 0..2 * m {
-        endpoints.push(0);
-    }
+    endpoints.extend(std::iter::repeat_n(0, 2 * m));
 
     for v in 1..n as u32 {
         // The new node's edges are inserted one after another; each endpoint
@@ -128,8 +126,7 @@ mod tests {
         let g = preferential_attachment(10_000, 5, &mut rng).unwrap();
         // "First-mover advantage" (Lemma 7): early nodes end up with much
         // larger degree than the median.
-        let early_avg: f64 =
-            (0..50).map(|i| g.degree(NodeId(i)) as f64).sum::<f64>() / 50.0;
+        let early_avg: f64 = (0..50).map(|i| g.degree(NodeId(i)) as f64).sum::<f64>() / 50.0;
         let hist = degree_histogram(&g);
         let median = {
             let mut seen = 0;

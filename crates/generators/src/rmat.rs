@@ -159,8 +159,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = rmat(&RmatConfig::graph500(14, 16), &mut rng).unwrap();
         let stats = snr_graph::GraphStats::compute(&g);
-        assert!(stats.max_degree as f64 > 20.0 * stats.avg_degree,
-            "max {} avg {}", stats.max_degree, stats.avg_degree);
+        assert!(
+            stats.max_degree as f64 > 20.0 * stats.avg_degree,
+            "max {} avg {}",
+            stats.max_degree,
+            stats.avg_degree
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
     let n: usize = block_sizes.iter().sum();
     let mut labels = Vec::with_capacity(n);
     for (b, &size) in block_sizes.iter().enumerate() {
-        labels.extend(std::iter::repeat(b as u32).take(size));
+        labels.extend(std::iter::repeat_n(b as u32, size));
     }
 
     let mut builder = GraphBuilder::undirected(n);
@@ -101,8 +101,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let a = stochastic_block_model(&[50, 50], 0.1, 0.01, &mut StdRng::seed_from_u64(4)).unwrap();
-        let b = stochastic_block_model(&[50, 50], 0.1, 0.01, &mut StdRng::seed_from_u64(4)).unwrap();
+        let a =
+            stochastic_block_model(&[50, 50], 0.1, 0.01, &mut StdRng::seed_from_u64(4)).unwrap();
+        let b =
+            stochastic_block_model(&[50, 50], 0.1, 0.01, &mut StdRng::seed_from_u64(4)).unwrap();
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
     }

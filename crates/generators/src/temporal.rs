@@ -101,9 +101,7 @@ impl TemporalGraph {
         crate::check_probability("repeat_prob", repeat_prob)?;
 
         let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
-        for _ in 0..2 * m {
-            endpoints.push(0);
-        }
+        endpoints.extend(std::iter::repeat_n(0, 2 * m));
         let mut edges = Vec::with_capacity(n * m);
         for v in 1..n as u32 {
             for _ in 0..m {
@@ -142,7 +140,8 @@ impl TemporalGraph {
     ) -> Result<Self, GraphError> {
         if authors == 0 || papers == 0 || authors_per_paper < 2 {
             return Err(GraphError::InvalidParameter(
-                "temporal affiliation needs authors >= 1, papers >= 1, authors_per_paper >= 2".into(),
+                "temporal affiliation needs authors >= 1, papers >= 1, authors_per_paper >= 2"
+                    .into(),
             ));
         }
         if periods == 0 {
@@ -192,11 +191,7 @@ impl TemporalGraph {
             teams.push(team.clone());
             for i in 0..team.len() {
                 for j in (i + 1)..team.len() {
-                    edges.push(TemporalEdge {
-                        src: NodeId(team[i]),
-                        dst: NodeId(team[j]),
-                        time,
-                    });
+                    edges.push(TemporalEdge { src: NodeId(team[i]), dst: NodeId(team[j]), time });
                 }
             }
         }

@@ -26,7 +26,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     if n == 0 {
         return Err(GraphError::InvalidParameter("watts_strogatz needs n >= 1".into()));
     }
-    if k % 2 != 0 {
+    if !k.is_multiple_of(2) {
         return Err(GraphError::InvalidParameter(format!("k = {k} must be even")));
     }
     if k >= n {

@@ -1,0 +1,122 @@
+//! Cross-generator invariants: degree-sum/edge-count consistency (the
+//! handshake lemma — every generator here produces simple graphs, so the
+//! adjacency-entry count must be exactly twice the logical edge count),
+//! edge-count bounds implied by each model's construction, and same-seed
+//! determinism / cross-seed variation for the four generator families the
+//! paper's evaluation relies on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snr_generators::{
+    gnm, gnp, preferential_attachment, rmat, AffiliationConfig, AffiliationNetwork, RmatConfig,
+};
+use snr_graph::CsrGraph;
+
+/// Handshake lemma for simple undirected graphs: the sum of degrees equals
+/// twice the number of edges. Violations would mean duplicated or dangling
+/// adjacency entries — exactly the corruption CSR normalization must prevent.
+fn assert_degree_sum_invariant(g: &CsrGraph, label: &str) {
+    assert_eq!(
+        g.total_degree(),
+        2 * g.edge_count(),
+        "{label}: degree sum {} != 2 * edge count {}",
+        g.total_degree(),
+        g.edge_count()
+    );
+    let recount: usize = g.nodes().map(|v| g.degree(v)).sum();
+    assert_eq!(recount, g.total_degree(), "{label}: per-node degrees disagree with raw arrays");
+    for e in g.edges() {
+        assert!(e.src != e.dst, "{label}: self-loop {e:?} in a simple graph");
+    }
+}
+
+#[test]
+fn preferential_attachment_degree_and_edge_invariants() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let (n, m) = (3_000, 7);
+    let g = preferential_attachment(n, m, &mut rng).unwrap();
+    assert_degree_sum_invariant(&g, "preferential_attachment");
+    assert_eq!(g.node_count(), n);
+    // Each arriving node adds at most m edges; duplicate choices and dropped
+    // self-loops can only remove edges.
+    assert!(g.edge_count() <= (n - 1) * m);
+    assert!(g.edge_count() as f64 > 0.85 * (n * m) as f64, "edges {}", g.edge_count());
+}
+
+#[test]
+fn erdos_renyi_degree_and_edge_invariants() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let (n, p) = (1_500, 0.008);
+    let g = gnp(n, p, &mut rng).unwrap();
+    assert_degree_sum_invariant(&g, "gnp");
+    assert_eq!(g.node_count(), n);
+    let expected = n as f64 * (n as f64 - 1.0) / 2.0 * p;
+    assert!(
+        (g.edge_count() as f64 - expected).abs() < 0.15 * expected,
+        "gnp edge count {} far from expectation {expected}",
+        g.edge_count()
+    );
+
+    let g = gnm(800, 2_000, &mut rng).unwrap();
+    assert_degree_sum_invariant(&g, "gnm");
+    assert_eq!(g.edge_count(), 2_000, "gnm must produce exactly m edges");
+}
+
+#[test]
+fn affiliation_degree_and_edge_invariants() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let cfg =
+        AffiliationConfig { users: 1_500, communities: 150, memberships_per_user: 3, fold_cap: 15 };
+    let net = AffiliationNetwork::generate(&cfg, &mut rng).unwrap();
+    assert_degree_sum_invariant(&net.graph, "affiliation");
+    assert_eq!(net.graph.node_count(), cfg.users);
+    // Folding links each user to at most fold_cap earlier co-members per
+    // membership, so the edge count is bounded by users * memberships * cap.
+    assert!(
+        net.graph.edge_count() <= cfg.users * cfg.memberships_per_user * cfg.fold_cap,
+        "affiliation edge count {} above the folding bound",
+        net.graph.edge_count()
+    );
+    // Total memberships are bounded by the per-user target.
+    let memberships: usize = net.communities.iter().map(|c| c.len()).sum();
+    assert!(memberships <= cfg.users * cfg.memberships_per_user);
+}
+
+#[test]
+fn rmat_degree_and_edge_invariants() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let cfg = RmatConfig::graph500(11, 8);
+    let g = rmat(&cfg, &mut rng).unwrap();
+    assert_degree_sum_invariant(&g, "rmat");
+    assert_eq!(g.node_count(), 1 << 11);
+    let samples = (1usize << 11) * 8;
+    assert!(g.edge_count() <= samples);
+    assert!(g.edge_count() > samples / 2, "rmat kept only {} of {samples} samples", g.edge_count());
+}
+
+#[test]
+fn all_four_generators_are_seed_deterministic() {
+    let pa = |seed: u64| preferential_attachment(800, 5, &mut StdRng::seed_from_u64(seed)).unwrap();
+    let er = |seed: u64| gnp(600, 0.01, &mut StdRng::seed_from_u64(seed)).unwrap();
+    let af = |seed: u64| {
+        let cfg = AffiliationConfig {
+            users: 600,
+            communities: 60,
+            memberships_per_user: 3,
+            fold_cap: 10,
+        };
+        AffiliationNetwork::generate(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap().graph
+    };
+    let rm =
+        |seed: u64| rmat(&RmatConfig::graph500(9, 6), &mut StdRng::seed_from_u64(seed)).unwrap();
+
+    assert_eq!(pa(7), pa(7), "preferential_attachment not deterministic");
+    assert_eq!(er(7), er(7), "erdos_renyi not deterministic");
+    assert_eq!(af(7), af(7), "affiliation not deterministic");
+    assert_eq!(rm(7), rm(7), "rmat not deterministic");
+
+    assert_ne!(pa(7), pa(8), "preferential_attachment ignores its seed");
+    assert_ne!(er(7), er(8), "erdos_renyi ignores its seed");
+    assert_ne!(af(7), af(8), "affiliation ignores its seed");
+    assert_ne!(rm(7), rm(8), "rmat ignores its seed");
+}

@@ -67,7 +67,7 @@ mod tests {
         let path = CsrGraph::from_edges(21, &[(0, 1), (1, 2)]); // max degree 2
         let schedule = bucket_schedule(&star, &path, 1);
         assert_eq!(schedule, vec![4, 3, 2, 1]); // floor(log2 20) = 4
-        // Order does not depend on which graph holds the larger degree.
+                                                // Order does not depend on which graph holds the larger degree.
         assert_eq!(schedule, bucket_schedule(&path, &star, 1));
     }
 

@@ -14,7 +14,7 @@ const GALLOP_RATIO: usize = 16;
 
 /// Counts elements present in both sorted, deduplicated slices.
 #[inline]
-pub fn count_common(a: &[NodeId], b: &[NodeId], ) -> usize {
+pub fn count_common(a: &[NodeId], b: &[NodeId]) -> usize {
     if a.is_empty() || b.is_empty() {
         return 0;
     }

@@ -54,17 +54,19 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<CsrGraph, GraphError> {
         let mut it = line.split_whitespace();
         let (a, b) = match (it.next(), it.next()) {
             (Some(a), Some(b)) => (a, b),
-            _ => {
-                return Err(GraphError::ParseEdge { line: idx + 1, content: line.to_string() })
-            }
+            _ => return Err(GraphError::ParseEdge { line: idx + 1, content: line.to_string() }),
         };
         let parse = |s: &str| -> Result<u32, GraphError> {
-            s.parse().map_err(|_| GraphError::ParseEdge { line: idx + 1, content: line.to_string() })
+            s.parse()
+                .map_err(|_| GraphError::ParseEdge { line: idx + 1, content: line.to_string() })
         };
         edges.push((NodeId(parse(a)?), NodeId(parse(b)?)));
     }
-    let mut builder =
-        if directed { GraphBuilder::directed(node_count) } else { GraphBuilder::undirected(node_count) };
+    let mut builder = if directed {
+        GraphBuilder::directed(node_count)
+    } else {
+        GraphBuilder::undirected(node_count)
+    };
     builder.reserve_edges(edges.len());
     builder.extend_edges(edges);
     Ok(builder.build())

@@ -35,7 +35,11 @@ impl Relabelling {
         let mut new_to_old = vec![NodeId(u32::MAX); n];
         for (old, &new) in old_to_new.iter().enumerate() {
             debug_assert!(new.index() < n, "permutation target out of range");
-            debug_assert_eq!(new_to_old[new.index()], NodeId(u32::MAX), "duplicate target in permutation");
+            debug_assert_eq!(
+                new_to_old[new.index()],
+                NodeId(u32::MAX),
+                "duplicate target in permutation"
+            );
             new_to_old[new.index()] = NodeId::from_index(old);
         }
         Relabelling { old_to_new, new_to_old }

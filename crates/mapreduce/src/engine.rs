@@ -141,10 +141,7 @@ impl Engine {
         // ---- Reduce phase ---------------------------------------------------
         let reduce_fn = &reduce;
         let reduced: Vec<(usize, Vec<O>)> = if self.workers == 1 || parts <= 1 {
-            partitions
-                .into_iter()
-                .map(|pairs| reduce_partition(pairs, reduce_fn))
-                .collect()
+            partitions.into_iter().map(|pairs| reduce_partition(pairs, reduce_fn)).collect()
         } else {
             parallel_map(self.workers, partitions, |pairs| reduce_partition(pairs, reduce_fn))
         };
@@ -240,11 +237,7 @@ where
     })
     .expect("mapreduce worker thread panicked");
 
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|slot| slot.expect("task slot not filled"))
-        .collect()
+    slots.into_inner().into_iter().map(|slot| slot.expect("task slot not filled")).collect()
 }
 
 #[cfg(test)]
@@ -316,8 +309,12 @@ mod tests {
     #[test]
     fn chained_rounds_accumulate_round_count() {
         let engine = Engine::new(2);
-        let first: Vec<(u32, u32)> =
-            engine.run("r1", vec![1u32, 2, 3], |x| vec![(x % 2, x)], |k, vs| vec![(k, vs.iter().sum())]);
+        let first: Vec<(u32, u32)> = engine.run(
+            "r1",
+            vec![1u32, 2, 3],
+            |x| vec![(x % 2, x)],
+            |k, vs| vec![(k, vs.iter().sum())],
+        );
         let second: Vec<(u32, u32)> =
             engine.run("r2", first, |(k, v)| vec![(k, v * 2)], |k, vs| vec![(k, vs.iter().sum())]);
         assert_eq!(engine.stats().rounds, 2);

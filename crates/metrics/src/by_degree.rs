@@ -139,7 +139,8 @@ mod tests {
         let m = DegreeBucketMetrics { degree_lo: 1, degree_hi: 5, matchable: 10, good: 5, bad: 5 };
         assert!((m.recall() - 0.5).abs() < 1e-12);
         assert!((m.precision() - 0.5).abs() < 1e-12);
-        let empty = DegreeBucketMetrics { degree_lo: 1, degree_hi: 5, matchable: 0, good: 0, bad: 0 };
+        let empty =
+            DegreeBucketMetrics { degree_lo: 1, degree_hi: 5, matchable: 0, good: 0, bad: 0 };
         assert_eq!(empty.recall(), 0.0);
         assert_eq!(empty.precision(), 1.0);
     }

@@ -55,10 +55,8 @@ pub fn cascade_realization<R: Rng + ?Sized>(
     // node" of the Facebook graph; any isolated-seed cascade would be
     // degenerate). Picking the max-degree node keeps the process
     // deterministic given the RNG.
-    let seed = g
-        .nodes()
-        .max_by_key(|&v| g.degree(v))
-        .expect("non-empty graph has a max-degree node");
+    let seed =
+        g.nodes().max_by_key(|&v| g.degree(v)).expect("non-empty graph has a max-degree node");
 
     let adopted1 = run_cascade(g, seed, p, rng);
     let adopted2 = run_cascade(g, seed, p, rng);

@@ -27,7 +27,10 @@ impl GroundTruth {
         for (u1, target) in g1_to_g2.iter().enumerate() {
             if let Some(u2) = target {
                 debug_assert!(u2.index() < g2_count, "g2 id out of bounds");
-                debug_assert!(g2_to_g1[u2.index()].is_none(), "two g1 nodes map to the same g2 node");
+                debug_assert!(
+                    g2_to_g1[u2.index()].is_none(),
+                    "two g1 nodes map to the same g2 node"
+                );
                 g2_to_g1[u2.index()] = Some(NodeId::from_index(u1));
             }
         }
@@ -88,10 +91,7 @@ mod tests {
 
     fn sample() -> GroundTruth {
         // g1 has 4 nodes; node 3 has no counterpart. g2 has 3 nodes.
-        GroundTruth::from_forward(
-            vec![Some(NodeId(2)), Some(NodeId(0)), Some(NodeId(1)), None],
-            3,
-        )
+        GroundTruth::from_forward(vec![Some(NodeId(2)), Some(NodeId(0)), Some(NodeId(1)), None], 3)
     }
 
     #[test]

@@ -22,8 +22,10 @@ pub fn independent_deletion<R: Rng + ?Sized>(
             return Err(GraphError::InvalidParameter(format!("{name} = {s} must be in [0, 1]")));
         }
     }
-    let mut edges1: Vec<(NodeId, NodeId)> = Vec::with_capacity((g.edge_count() as f64 * s1) as usize + 1);
-    let mut edges2: Vec<(NodeId, NodeId)> = Vec::with_capacity((g.edge_count() as f64 * s2) as usize + 1);
+    let mut edges1: Vec<(NodeId, NodeId)> =
+        Vec::with_capacity((g.edge_count() as f64 * s1) as usize + 1);
+    let mut edges2: Vec<(NodeId, NodeId)> =
+        Vec::with_capacity((g.edge_count() as f64 * s2) as usize + 1);
     for e in g.edges() {
         if rng.gen::<f64>() < s1 {
             edges1.push((e.src, e.dst));

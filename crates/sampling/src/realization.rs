@@ -39,7 +39,9 @@ impl RealizationPair {
         self.truth
             .correct_pairs()
             .filter(|&(u1, u2)| {
-                self.g1.degree(u1) >= 1 && self.g2.degree(u2) >= 1 && self.g1.degree(u1).min(self.g2.degree(u2)) > d
+                self.g1.degree(u1) >= 1
+                    && self.g2.degree(u2) >= 1
+                    && self.g1.degree(u1).min(self.g2.degree(u2)) > d
             })
             .count()
     }

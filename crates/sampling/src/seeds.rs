@@ -23,11 +23,7 @@ pub fn sample_seeds<R: Rng + ?Sized>(
     if !(0.0..=1.0).contains(&l) || l.is_nan() {
         return Err(GraphError::InvalidParameter(format!("l = {l} must be in [0, 1]")));
     }
-    Ok(pair
-        .truth
-        .correct_pairs()
-        .filter(|_| rng.gen::<f64>() < l)
-        .collect())
+    Ok(pair.truth.correct_pairs().filter(|_| rng.gen::<f64>() < l).collect())
 }
 
 /// Samples seed links with probability proportional to the node's degree in

@@ -45,7 +45,9 @@ impl VertexDeletionConfig {
             ("edge_survival_2", self.edge_survival_2),
         ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
-                return Err(GraphError::InvalidParameter(format!("{name} = {p} must be in [0, 1]")));
+                return Err(GraphError::InvalidParameter(format!(
+                    "{name} = {p} must be in [0, 1]"
+                )));
             }
         }
         Ok(())
@@ -94,9 +96,15 @@ mod tests {
     fn rejects_invalid_probabilities() {
         let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
         let mut rng = StdRng::seed_from_u64(0);
-        let bad = VertexDeletionConfig { node_survival_1: 1.3, ..VertexDeletionConfig::symmetric(0.5, 0.5) };
+        let bad = VertexDeletionConfig {
+            node_survival_1: 1.3,
+            ..VertexDeletionConfig::symmetric(0.5, 0.5)
+        };
         assert!(vertex_and_edge_deletion(&g, &bad, &mut rng).is_err());
-        let bad = VertexDeletionConfig { edge_survival_2: -0.1, ..VertexDeletionConfig::symmetric(0.5, 0.5) };
+        let bad = VertexDeletionConfig {
+            edge_survival_2: -0.1,
+            ..VertexDeletionConfig::symmetric(0.5, 0.5)
+        };
         assert!(vertex_and_edge_deletion(&g, &bad, &mut rng).is_err());
     }
 
@@ -105,7 +113,8 @@ mod tests {
         let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let mut rng = StdRng::seed_from_u64(1);
         let pair =
-            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(1.0, 1.0), &mut rng).unwrap();
+            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(1.0, 1.0), &mut rng)
+                .unwrap();
         assert_eq!(pair.g1.edge_count(), 4);
         assert_eq!(pair.g2.edge_count(), 4);
         assert_eq!(pair.matchable_nodes(), 5);
@@ -116,7 +125,8 @@ mod tests {
         let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let mut rng = StdRng::seed_from_u64(2);
         let pair =
-            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(0.0, 1.0), &mut rng).unwrap();
+            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(0.0, 1.0), &mut rng)
+                .unwrap();
         assert_eq!(pair.g1.edge_count(), 0);
         assert_eq!(pair.g2.edge_count(), 0);
     }
@@ -138,9 +148,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let g = preferential_attachment(2_000, 8, &mut rng).unwrap();
         let keep_all =
-            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(1.0, 0.7), &mut rng).unwrap();
+            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(1.0, 0.7), &mut rng)
+                .unwrap();
         let drop_some =
-            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(0.6, 0.7), &mut rng).unwrap();
+            vertex_and_edge_deletion(&g, &VertexDeletionConfig::symmetric(0.6, 0.7), &mut rng)
+                .unwrap();
         assert!(drop_some.matchable_nodes() < keep_all.matchable_nodes());
     }
 

@@ -19,7 +19,8 @@ fn main() {
 
     println!("building the underlying network and its two copies (edge survival 0.75)…");
     let network = preferential_attachment(12_000, 12, &mut rng).expect("valid parameters");
-    let clean = independent_deletion_symmetric(&network, 0.75, &mut rng).expect("valid probability");
+    let clean =
+        independent_deletion_symmetric(&network, 0.75, &mut rng).expect("valid probability");
 
     println!("injecting one malicious mirror node per user (friend-accept probability 0.5)…");
     let attacked = inject_attack(&clean, 0.5, &mut rng).expect("valid probability");
@@ -56,8 +57,14 @@ fn main() {
         );
     }
 
-    println!("\nWhy the attack fails (paper, §1): to fool the algorithm an attacker must share many");
-    println!("*already-identified* friends with the victim in both networks; copying a profile and");
+    println!(
+        "\nWhy the attack fails (paper, §1): to fool the algorithm an attacker must share many"
+    );
+    println!(
+        "*already-identified* friends with the victim in both networks; copying a profile and"
+    );
     println!("spamming friend requests gives the fake node witnesses in one network but not a");
-    println!("consistent set across both, so the mutual-best rule keeps preferring the real match.");
+    println!(
+        "consistent set across both, so the mutual-best rule keeps preferring the real match."
+    );
 }

@@ -35,12 +35,8 @@ fn main() {
 
     // The "real" social structure: 8,000 users in ~800 overlapping
     // communities (families, workplaces, clubs).
-    let config = AffiliationConfig {
-        users: 8_000,
-        communities: 800,
-        memberships_per_user: 4,
-        fold_cap: 25,
-    };
+    let config =
+        AffiliationConfig { users: 8_000, communities: 800, memberships_per_user: 4, fold_cap: 25 };
     println!("generating the affiliation network…");
     let network = AffiliationNetwork::generate(&config, &mut rng).expect("valid parameters");
     println!(

@@ -18,7 +18,7 @@ use rand::SeedableRng;
 use social_reconcile::prelude::*;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(1_307_1690);
+    let mut rng = StdRng::seed_from_u64(13_071_690);
 
     println!("building the hidden social network…");
     let network = preferential_attachment(15_000, 12, &mut rng).expect("valid parameters");
@@ -39,8 +39,9 @@ fn main() {
     let seeds = sample_seeds_degree_biased(&pair, 0.02, &mut rng).expect("valid probability");
     println!("known identities (seeds): {}\n", seeds.len());
 
-    let um_outcome = UserMatching::new(MatchingConfig::default().with_threshold(2).with_iterations(2))
-        .run(&pair.g1, &pair.g2, &seeds);
+    let um_outcome =
+        UserMatching::new(MatchingConfig::default().with_threshold(2).with_iterations(2))
+            .run(&pair.g1, &pair.g2, &seeds);
     let um = Evaluation::score(&pair, &um_outcome.links, um_outcome.links.seed_count());
 
     let base_outcome = BaselineMatching::with_defaults().run(&pair.g1, &pair.g2, &seeds);

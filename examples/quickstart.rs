@@ -58,8 +58,5 @@ fn main() {
         100.0 * eval.precision(),
         100.0 * eval.recall()
     );
-    println!(
-        "newly identified users: {} correct, {} wrong",
-        eval.new_good, eval.new_bad
-    );
+    println!("newly identified users: {} correct, {} wrong", eval.new_good, eval.new_bad);
 }

@@ -1,0 +1,73 @@
+//! Offline shim for `crossbeam::scope`, backed by `std::thread::scope`.
+//!
+//! Semantics difference: when a spawned thread panics, `std::thread::scope`
+//! resumes the panic at scope exit instead of returning `Err`, so the
+//! returned `Result` is always `Ok`. Callers that `.expect()` the result
+//! (the only pattern in this workspace) observe the same behavior either
+//! way: a worker panic aborts the calling test loudly.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Error half of the [`scope`] result (never constructed by this shim; the
+/// payload type matches crossbeam's so `.expect()` call sites compile
+/// unchanged).
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a scope handle (so it
+    /// could spawn further threads), mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_run_and_join() {
+        let counter = AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().expect("worker ok") * 2
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline shim for the subset of `proptest` used by this workspace.
+//!
+//! `proptest! { #[test] fn name(x in strategy, ...) { body } }` expands to a
+//! plain `#[test]` that draws the requested number of random cases from the
+//! strategies and runs the body for each. There is no shrinking: a failing
+//! case panics with the values baked into the assertion message.
+//!
+//! Supported strategies: integer and float ranges (`0u32..30`), tuples of
+//! strategies up to arity 3 (nested tuples work), and
+//! `collection::vec(elem, len_range)`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Number of cases run per property when not overridden via
+/// `ProptestConfig::with_cases`.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// A source of random test inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A deterministic generator seeded from the test's name, so each
+    /// property sees a stable stream of cases across runs.
+    pub fn deterministic(name: &str) -> Self {
+        let mut state = 0xA076_1D64_78BD_642Fu64;
+        for b in name.bytes() {
+            state = (state ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        self.next_u64() % span
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Produces values of `Self::Value` for test cases.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng),)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n =
+                if self.len.start < self.len.end { self.len.generate(rng) } else { self.len.start };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Configuration and common imports.
+pub mod prelude {
+    pub use super::{Strategy, TestRng};
+
+    /// Per-property configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: super::DEFAULT_CASES }
+        }
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// becomes a plain test running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @config($crate::prelude::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr)
+     $( #[test] fn $name:ident ( $( $arg:pat in $strategy:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    let ( $( $arg, )* ) =
+                        ( $( $crate::Strategy::generate(&($strategy), &mut __rng), )* );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property within a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0u32..30, (a, b) in (0u64..5, 0i32..3)) {
+            crate::prop_assert!(x < 30);
+            crate::prop_assert!(a < 5);
+            crate::prop_assert!((0..3).contains(&b));
+        }
+    }
+
+    crate::proptest! {
+        #![proptest_config(crate::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn vec_strategy_respects_length(mut xs in crate::collection::vec((0u32..10, 0u32..10), 0..50)) {
+            crate::prop_assert!(xs.len() < 50);
+            xs.sort();
+            for (a, b) in xs {
+                crate::prop_assert!(a < 10 && b < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_streams_per_name() {
+        use crate::Strategy;
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline shim for the subset of `rayon` used by this workspace.
+//!
+//! Provides `par_iter()` over slices and `Vec`s with the
+//! `fold(identity, fold_op).reduce(identity, reduce_op)` shape used by the
+//! witness-counting and mutual-best kernels. Work is split into one
+//! contiguous chunk per available core and executed on `std::thread::scope`
+//! threads — genuinely parallel, just without rayon's work stealing.
+//!
+//! As with real rayon, the grouping of items into fold accumulators is an
+//! implementation detail: callers must use commutative/associative
+//! reductions (all users here merge hash maps, which qualifies).
+
+#![forbid(unsafe_code)]
+
+/// Iterator-style entry point: `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed item type.
+    type Item: 'data;
+    /// The parallel iterator produced.
+    type Iter;
+
+    /// Returns a parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// A parallel iterator over a borrowed slice.
+pub struct ParSlice<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParSlice<'data, T> {
+    /// Parallel fold: each worker folds its chunk of items into an
+    /// accumulator seeded by `identity()`. Returns the per-chunk
+    /// accumulators, to be combined with [`ParFold::reduce`].
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParFold<'data, T, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, &'data T) -> A + Sync,
+    {
+        ParFold { slice: self.slice, identity, fold_op }
+    }
+
+    /// Parallel map collecting into a `Vec` in input order.
+    pub fn map<B, F>(self, op: F) -> ParMap<'data, T, F>
+    where
+        B: Send,
+        F: Fn(&'data T) -> B + Sync,
+    {
+        ParMap { slice: self.slice, op }
+    }
+}
+
+/// Pending parallel fold; finished by [`ParFold::reduce`].
+pub struct ParFold<'data, T, ID, F> {
+    slice: &'data [T],
+    identity: ID,
+    fold_op: F,
+}
+
+impl<'data, T, A, ID, F> ParFold<'data, T, ID, F>
+where
+    T: Sync,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, &'data T) -> A + Sync,
+{
+    /// Combines the per-chunk accumulators with `reduce_op`, starting from
+    /// `reduce_identity()`.
+    pub fn reduce<RID, R>(self, reduce_identity: RID, reduce_op: R) -> A
+    where
+        RID: Fn() -> A,
+        R: Fn(A, A) -> A,
+    {
+        let accumulators = run_chunked(self.slice, &|chunk| {
+            let mut acc = (self.identity)();
+            for item in chunk {
+                acc = (self.fold_op)(acc, item);
+            }
+            acc
+        });
+        let mut result = reduce_identity();
+        for acc in accumulators {
+            result = reduce_op(result, acc);
+        }
+        result
+    }
+}
+
+/// Pending parallel map; finished by [`ParMap::collect`].
+pub struct ParMap<'data, T, F> {
+    slice: &'data [T],
+    op: F,
+}
+
+impl<'data, T, B, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    B: Send,
+    F: Fn(&'data T) -> B + Sync,
+{
+    /// Collects mapped values, preserving input order.
+    pub fn collect(self) -> Vec<B> {
+        let chunks =
+            run_chunked(self.slice, &|chunk| chunk.iter().map(&self.op).collect::<Vec<B>>());
+        let mut out = Vec::with_capacity(self.slice.len());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Splits `slice` into contiguous chunks (several per available core, so
+/// reductions always see multiple partial accumulators and cores stay busy
+/// when chunks finish unevenly) and runs `f` on each chunk in a scoped
+/// thread. Results come back in chunk order.
+fn run_chunked<'data, T, A, F>(slice: &'data [T], f: &F) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    F: Fn(&'data [T]) -> A + Sync,
+{
+    if slice.is_empty() {
+        return Vec::new();
+    }
+    if slice.len() == 1 {
+        return vec![f(slice)];
+    }
+    let pieces = (current_num_threads() * 4).clamp(2, slice.len());
+    let chunk_size = slice.len().div_ceil(pieces);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            slice.chunks(chunk_size).map(|chunk| scope.spawn(move || f(chunk))).collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Glob-importable traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn fold_reduce_counts_like_sequential() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let par: HashMap<u32, u32> = items
+            .par_iter()
+            .fold(HashMap::new, |mut acc, &x| {
+                *acc.entry(x % 13).or_insert(0) += 1;
+                acc
+            })
+            .reduce(HashMap::new, |mut a, b| {
+                for (k, v) in b {
+                    *a.entry(k).or_insert(0) += v;
+                }
+                a
+            });
+        let mut seq: HashMap<u32, u32> = HashMap::new();
+        for x in &items {
+            *seq.entry(x % 13).or_insert(0) += 1;
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..5_000).collect();
+        let doubled = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_identity() {
+        let items: Vec<u32> = Vec::new();
+        let sum = items.par_iter().fold(|| 0u32, |a, &b| a + b).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 0);
+    }
+}

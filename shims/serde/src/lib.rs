@@ -1,0 +1,567 @@
+//! Offline shim for the subset of `serde` used by this workspace.
+//!
+//! The design collapses serde's visitor-based data model into one owned
+//! [`value::Value`] tree (the shapes JSON can express). `Serialize` builds a
+//! `Value`; `Deserialize` consumes one. The real trait signatures are kept —
+//! `fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>` —
+//! so handwritten `#[serde(with = "...")]` modules compile unchanged, and
+//! the companion `serde_derive` shim provides `#[derive(Serialize,
+//! Deserialize)]` for the struct/enum shapes in this workspace.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+/// A type that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized data.
+///
+/// Unlike real serde there is a single required method taking an owned
+/// [`value::Value`]; the named `serialize_*` helpers are provided so
+/// handwritten `with`-modules written against serde's API still compile.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Serialization error type.
+    type Error;
+
+    /// Consumes an owned value tree.
+    fn serialize_value(self, value: value::Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(value::Value::Bool(v))
+    }
+
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(value::Value::U64(v))
+    }
+
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(value::Value::I64(v))
+    }
+
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(value::Value::F64(v))
+    }
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(value::Value::Str(v.to_string()))
+    }
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A source of deserialized data: hands out one owned [`value::Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error type.
+    type Error: de::Error;
+
+    /// Takes the underlying value tree.
+    fn take_value(self) -> Result<value::Value, Self::Error>;
+}
+
+/// Deserialization error plumbing.
+pub mod de {
+    /// Trait every [`super::Deserializer`] error implements, so generated
+    /// and handwritten code can construct errors generically.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Serialization error plumbing (mirror of [`de`], rarely needed).
+pub mod ser {
+    /// Trait for constructing serializer errors generically.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// The owned value model plus the glue used by derived code.
+pub mod value {
+    use super::{de, Deserialize, Deserializer, Serialize, Serializer};
+    use std::convert::Infallible;
+    use std::fmt;
+
+    /// An owned tree covering every shape JSON can express.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Non-negative integer.
+        U64(u64),
+        /// Negative integer.
+        I64(i64),
+        /// Floating-point number.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Seq(Vec<Value>),
+        /// Object; insertion-ordered.
+        Map(Vec<(String, Value)>),
+    }
+
+    /// Error produced when a [`Value`] does not match the requested shape.
+    #[derive(Clone, Debug)]
+    pub struct Error(pub String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl de::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    /// [`Serializer`] producing an owned [`Value`]; cannot fail.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = Infallible;
+
+        fn serialize_value(self, value: Value) -> Result<Value, Infallible> {
+            Ok(value)
+        }
+    }
+
+    /// [`Deserializer`] reading from an owned [`Value`].
+    pub struct ValueDeserializer {
+        value: Value,
+    }
+
+    impl ValueDeserializer {
+        /// Wraps a value for deserialization.
+        pub fn new(value: Value) -> Self {
+            ValueDeserializer { value }
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = Error;
+
+        fn take_value(self) -> Result<Value, Error> {
+            Ok(self.value)
+        }
+    }
+
+    /// Serializes any [`Serialize`] type into a [`Value`].
+    pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+        match v.serialize(ValueSerializer) {
+            Ok(value) => value,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Deserializes any [`Deserialize`] type from a [`Value`].
+    pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, Error> {
+        T::deserialize(ValueDeserializer::new(value))
+    }
+
+    /// Removes the named field from an object's entry list; used by derived
+    /// struct deserializers.
+    pub fn take_field(map: &mut Vec<(String, Value)>, name: &str) -> Result<Value, Error> {
+        match map.iter().position(|(k, _)| k == name) {
+            Some(i) => Ok(map.remove(i).1),
+            None => Err(Error(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+use value::Value;
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize implementations for the primitives and std types
+// this workspace serializes.
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let err = |v: &Value| {
+                    <D::Error as de::Error>::custom(format!(
+                        "expected {} integer, found {v:?}", stringify!($t)
+                    ))
+                };
+                match value {
+                    Value::U64(n) => <$t>::try_from(n).map_err(|_| err(&Value::U64(n))),
+                    Value::I64(n) => <$t>::try_from(n).map_err(|_| err(&Value::I64(n))),
+                    other => Err(err(&other)),
+                }
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    serializer.serialize_u64(v as u64)
+                } else {
+                    serializer.serialize_i64(v)
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let err = |v: &Value| {
+                    <D::Error as de::Error>::custom(format!(
+                        "expected {} integer, found {v:?}", stringify!($t)
+                    ))
+                };
+                match value {
+                    Value::U64(n) => <$t>::try_from(n).map_err(|_| err(&Value::U64(n))),
+                    Value::I64(n) => <$t>::try_from(n).map_err(|_| err(&Value::I64(n))),
+                    other => Err(err(&other)),
+                }
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_f64(*self as f64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::F64(v) => Ok(v as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    // serde_json writes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(<D::Error as de::Error>::custom(format!(
+                        "expected float, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => {
+                Err(<D::Error as de::Error>::custom(format!("expected bool, found {other:?}")))
+            }
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => {
+                Err(<D::Error as de::Error>::custom(format!("expected string, found {other:?}")))
+            }
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => serializer.serialize_value(value::to_value(v)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => value::from_value(other).map(Some).map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Seq(self.iter().map(value::to_value).collect()))
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| value::from_value(v).map_err(<D::Error as de::Error>::custom))
+                .collect(),
+            other => {
+                Err(<D::Error as de::Error>::custom(format!("expected array, found {other:?}")))
+            }
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Seq(self.iter().map(value::to_value).collect()))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer
+            .serialize_value(Value::Seq(vec![value::to_value(&self.0), value::to_value(&self.1)]))
+    }
+}
+
+impl<'de, A: DeserializeOwned, B: DeserializeOwned> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = value::from_value(it.next().expect("len checked"))
+                    .map_err(<D::Error as de::Error>::custom)?;
+                let b = value::from_value(it.next().expect("len checked"))
+                    .map_err(<D::Error as de::Error>::custom)?;
+                Ok((a, b))
+            }
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected 2-element array, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Seq(vec![
+            value::to_value(&self.0),
+            value::to_value(&self.1),
+            value::to_value(&self.2),
+        ]))
+    }
+}
+
+impl<'de, A: DeserializeOwned, B: DeserializeOwned, C: DeserializeOwned> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) if items.len() == 3 => {
+                let mut it = items.into_iter();
+                let a = value::from_value(it.next().expect("len checked"))
+                    .map_err(<D::Error as de::Error>::custom)?;
+                let b = value::from_value(it.next().expect("len checked"))
+                    .map_err(<D::Error as de::Error>::custom)?;
+                let c = value::from_value(it.next().expect("len checked"))
+                    .map_err(<D::Error as de::Error>::custom)?;
+                Ok((a, b, c))
+            }
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected 3-element array, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Map(
+            self.iter().map(|(k, v)| (k.clone(), value::to_value(v))).collect(),
+        ))
+    }
+}
+
+impl<'de, V: DeserializeOwned> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    value::from_value(v).map(|v| (k, v)).map_err(<D::Error as de::Error>::custom)
+                })
+                .collect(),
+            other => {
+                Err(<D::Error as de::Error>::custom(format!("expected object, found {other:?}")))
+            }
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort keys so output is deterministic, matching BTreeMap behavior.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), value::to_value(v))).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_value(Value::Map(entries))
+    }
+}
+
+impl<'de, V: DeserializeOwned> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    value::from_value(v).map(|v| (k, v)).map_err(<D::Error as de::Error>::custom)
+                })
+                .collect(),
+            other => {
+                Err(<D::Error as de::Error>::custom(format!("expected object, found {other:?}")))
+            }
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Same representation as serde's std impl: {"secs": .., "nanos": ..}.
+        serializer.serialize_value(Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(self.subsec_nanos() as u64)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Map(mut entries) => {
+                let secs: u64 = value::take_field(&mut entries, "secs")
+                    .and_then(value::from_value)
+                    .map_err(<D::Error as de::Error>::custom)?;
+                let nanos: u32 = value::take_field(&mut entries, "nanos")
+                    .and_then(value::from_value)
+                    .map_err(<D::Error as de::Error>::custom)?;
+                Ok(Duration::new(secs, nanos))
+            }
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected {{secs, nanos}} object, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::{from_value, to_value, Value};
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(to_value(&42u32), Value::U64(42));
+        assert_eq!(from_value::<u32>(Value::U64(42)).unwrap(), 42);
+        assert_eq!(to_value(&-3i64), Value::I64(-3));
+        assert_eq!(from_value::<i64>(Value::I64(-3)).unwrap(), -3);
+        assert_eq!(to_value(&true), Value::Bool(true));
+        assert_eq!(to_value(&"hi".to_string()), Value::Str("hi".into()));
+        let v: Vec<u32> = from_value(to_value(&vec![1u32, 2, 3])).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(from_value::<u8>(Value::U64(300)).is_err());
+        assert!(from_value::<u32>(Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn option_and_map_roundtrip() {
+        let vals: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let back: Vec<Option<u32>> = from_value(to_value(&vals)).unwrap();
+        assert_eq!(back, vals);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        m.insert("b".to_string(), 2.5f64);
+        let back: BTreeMap<String, f64> = from_value(to_value(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(3, 123_456_789);
+        let back: Duration = from_value(to_value(&d)).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -65,8 +65,8 @@ pub mod prelude {
         Backend, BaselineMatching, Linking, MatchingConfig, MatchingOutcome, UserMatching,
     };
     pub use snr_generators::{
-        gnm, gnp, preferential_attachment, rmat, AffiliationConfig, AffiliationNetwork,
-        RmatConfig, TemporalGraph,
+        gnm, gnp, preferential_attachment, rmat, AffiliationConfig, AffiliationNetwork, RmatConfig,
+        TemporalGraph,
     };
     pub use snr_graph::{CsrGraph, GraphBuilder, GraphStats, NodeId};
     pub use snr_mapreduce::Engine;
@@ -76,7 +76,9 @@ pub mod prelude {
     pub use snr_sampling::community::community_deletion;
     pub use snr_sampling::independent::{independent_deletion, independent_deletion_symmetric};
     pub use snr_sampling::time_slice::{odd_even_split, time_slice_pair};
-    pub use snr_sampling::{sample_seeds, sample_seeds_degree_biased, GroundTruth, RealizationPair};
+    pub use snr_sampling::{
+        sample_seeds, sample_seeds_degree_biased, GroundTruth, RealizationPair,
+    };
 }
 
 #[cfg(test)]

@@ -8,7 +8,13 @@ use rand::SeedableRng;
 use social_reconcile::core::{Backend, MatchingConfig, UserMatching};
 use social_reconcile::prelude::*;
 
-fn workload(seed: u64, n: usize, m: usize, s: f64, l: f64) -> (RealizationPair, Vec<(NodeId, NodeId)>) {
+fn workload(
+    seed: u64,
+    n: usize,
+    m: usize,
+    s: f64,
+    l: f64,
+) -> (RealizationPair, Vec<(NodeId, NodeId)>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let g = preferential_attachment(n, m, &mut rng).unwrap();
     let pair = independent_deletion_symmetric(&g, s, &mut rng).unwrap();
@@ -17,10 +23,8 @@ fn workload(seed: u64, n: usize, m: usize, s: f64, l: f64) -> (RealizationPair, 
 }
 
 fn run(pair: &RealizationPair, seeds: &[(NodeId, NodeId)], backend: Backend, t: u32) -> Linking {
-    let config = MatchingConfig::default()
-        .with_threshold(t)
-        .with_iterations(2)
-        .with_backend(backend);
+    let config =
+        MatchingConfig::default().with_threshold(t).with_iterations(2).with_backend(backend);
     UserMatching::new(config).run(&pair.g1, &pair.g2, seeds).links
 }
 

@@ -56,11 +56,7 @@ fn degree_biased_seeds_are_at_least_as_effective_as_uniform() {
         biased_eval.recall(),
         uniform_eval.recall()
     );
-    assert!(
-        biased_eval.precision() > 0.90,
-        "biased precision {} too low",
-        biased_eval.precision()
-    );
+    assert!(biased_eval.precision() > 0.90, "biased precision {} too low", biased_eval.precision());
 }
 
 #[test]
@@ -82,16 +78,11 @@ fn raising_the_threshold_trades_recall_for_precision() {
     let pair = independent_deletion_symmetric(&g, 0.5, &mut rng).unwrap();
     let seeds = sample_seeds(&pair, 0.05, &mut rng).unwrap();
 
-    let evals: Vec<Evaluation> = [1u32, 2, 4, 6]
-        .iter()
-        .map(|&t| evaluate(&pair, &seeds, t))
-        .collect();
+    let evals: Vec<Evaluation> =
+        [1u32, 2, 4, 6].iter().map(|&t| evaluate(&pair, &seeds, t)).collect();
     // Recall (total links found) is non-increasing in the threshold.
     for w in evals.windows(2) {
-        assert!(
-            w[0].total_links >= w[1].total_links,
-            "links should not grow with the threshold"
-        );
+        assert!(w[0].total_links >= w[1].total_links, "links should not grow with the threshold");
     }
     // Error *counts* are non-increasing in the threshold as well.
     for w in evals.windows(2) {

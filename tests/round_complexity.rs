@@ -23,11 +23,7 @@ fn phase_count_is_k_times_log_d() {
         let outcome = UserMatching::new(config).run(&pair.g1, &pair.g2, &seeds);
         let max_degree = pair.g1.max_degree().max(pair.g2.max_degree());
         let log_d = (usize::BITS - 1 - max_degree.leading_zeros()) as usize; // floor(log2 D)
-        assert_eq!(
-            outcome.phases.len(),
-            k as usize * log_d,
-            "k={k}, max degree {max_degree}"
-        );
+        assert_eq!(outcome.phases.len(), k as usize * log_d, "k={k}, max degree {max_degree}");
     }
 }
 
