@@ -38,5 +38,34 @@ fn bench_rmat_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rmat_scaling);
+/// Same matcher, same workload, both graph representations: quantifies what
+/// running on the delta-encoded [`snr_graph::CompactCsr`] costs in time for
+/// what it saves in memory (the bytes-per-edge of both forms is printed so
+/// the trade-off is visible next to the timings).
+fn bench_representations(c: &mut Criterion) {
+    use snr_graph::GraphView;
+    let mut group = c.benchmark_group("scalability/representation");
+    group.sample_size(10);
+    let scale = 12u32;
+    let mut rng = StdRng::seed_from_u64(1_000 + scale as u64);
+    let g = rmat(&RmatConfig::graph500(scale, 16), &mut rng).expect("valid R-MAT parameters");
+    let pair = independent_deletion_symmetric(&g, 0.5, &mut rng).expect("valid probability");
+    let seeds = sample_seeds(&pair, 0.10, &mut rng).expect("valid probability");
+    let (c1, c2) = (pair.g1.compact(), pair.g2.compact());
+    println!(
+        "scalability/representation: csr {:.2} B/edge, compact {:.2} B/edge",
+        pair.g1.bytes_per_edge(),
+        c1.bytes_per_edge()
+    );
+    let config = MatchingConfig::default().with_threshold(2).with_iterations(1);
+    group.bench_function(BenchmarkId::new("csr", format!("2^{scale}")), |b| {
+        b.iter(|| black_box(UserMatching::new(config.clone()).run(&pair.g1, &pair.g2, &seeds)))
+    });
+    group.bench_function(BenchmarkId::new("compact", format!("2^{scale}")), |b| {
+        b.iter(|| black_box(UserMatching::new(config.clone()).run(&c1, &c2, &seeds)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rmat_scaling, bench_representations);
 criterion_main!(benches);

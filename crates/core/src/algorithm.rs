@@ -6,7 +6,7 @@ use crate::linking::Linking;
 use crate::matching::{mapreduce_mutual_best, mutual_best_pairs, mutual_best_pairs_rayon};
 use crate::stats::{MatchingOutcome, PhaseStats};
 use crate::witness::{count_mapreduce, count_witnesses};
-use snr_graph::{CsrGraph, NodeId};
+use snr_graph::{GraphView, NodeId};
 use snr_mapreduce::{Engine, EngineStats};
 use std::time::Instant;
 
@@ -52,20 +52,32 @@ impl UserMatching {
     }
 
     /// Runs the algorithm and returns the enlarged link set with statistics.
-    pub fn run(&self, g1: &CsrGraph, g2: &CsrGraph, seeds: &[(NodeId, NodeId)]) -> MatchingOutcome {
+    ///
+    /// Generic over [`GraphView`]: the two copies may be
+    /// [`snr_graph::CsrGraph`]s, [`snr_graph::CompactCsr`]s, or one of each —
+    /// the algorithm (and its output) is identical for every combination.
+    pub fn run<G1, G2>(&self, g1: &G1, g2: &G2, seeds: &[(NodeId, NodeId)]) -> MatchingOutcome
+    where
+        G1: GraphView + Sync,
+        G2: GraphView + Sync,
+    {
         self.run_internal(g1, g2, seeds, None)
     }
 
     /// Runs the algorithm on the MapReduce backend using a caller-supplied
     /// engine, so that the caller can inspect round statistics afterwards.
     /// Panics if the configured backend is not [`Backend::MapReduce`].
-    pub fn run_on_engine(
+    pub fn run_on_engine<G1, G2>(
         &self,
-        g1: &CsrGraph,
-        g2: &CsrGraph,
+        g1: &G1,
+        g2: &G2,
         seeds: &[(NodeId, NodeId)],
         engine: &Engine,
-    ) -> MatchingOutcome {
+    ) -> MatchingOutcome
+    where
+        G1: GraphView + Sync,
+        G2: GraphView + Sync,
+    {
         assert!(
             matches!(self.config.backend, Backend::MapReduce { .. }),
             "run_on_engine requires the MapReduce backend"
@@ -76,12 +88,16 @@ impl UserMatching {
     /// Runs on the MapReduce backend with a fresh engine and also returns the
     /// engine's round statistics (used to verify the `O(k log D)` round
     /// claim).
-    pub fn run_with_round_stats(
+    pub fn run_with_round_stats<G1, G2>(
         &self,
-        g1: &CsrGraph,
-        g2: &CsrGraph,
+        g1: &G1,
+        g2: &G2,
         seeds: &[(NodeId, NodeId)],
-    ) -> (MatchingOutcome, EngineStats) {
+    ) -> (MatchingOutcome, EngineStats)
+    where
+        G1: GraphView + Sync,
+        G2: GraphView + Sync,
+    {
         let workers = match self.config.backend {
             Backend::MapReduce { workers } => workers,
             _ => 1,
@@ -91,13 +107,17 @@ impl UserMatching {
         (outcome, engine.stats())
     }
 
-    fn run_internal(
+    fn run_internal<G1, G2>(
         &self,
-        g1: &CsrGraph,
-        g2: &CsrGraph,
+        g1: &G1,
+        g2: &G2,
         seeds: &[(NodeId, NodeId)],
         engine: Option<&Engine>,
-    ) -> MatchingOutcome {
+    ) -> MatchingOutcome
+    where
+        G1: GraphView + Sync,
+        G2: GraphView + Sync,
+    {
         let start = Instant::now();
         let cfg = &self.config;
         let mut links = Linking::with_seeds(g1.node_count(), g2.node_count(), seeds);

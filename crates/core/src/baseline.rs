@@ -17,7 +17,7 @@ use crate::matching::mutual_best_pairs;
 use crate::stats::{MatchingOutcome, PhaseStats};
 use crate::witness::count_witnesses;
 use serde::{Deserialize, Serialize};
-use snr_graph::{CsrGraph, NodeId};
+use snr_graph::{GraphView, NodeId};
 use std::time::Instant;
 
 /// Configuration of the baseline matcher.
@@ -62,8 +62,13 @@ impl BaselineMatching {
         &self.config
     }
 
-    /// Runs the baseline on a pair of graphs and a seed set.
-    pub fn run(&self, g1: &CsrGraph, g2: &CsrGraph, seeds: &[(NodeId, NodeId)]) -> MatchingOutcome {
+    /// Runs the baseline on a pair of graphs (any [`GraphView`]
+    /// representations) and a seed set.
+    pub fn run<G1, G2>(&self, g1: &G1, g2: &G2, seeds: &[(NodeId, NodeId)]) -> MatchingOutcome
+    where
+        G1: GraphView + Sync,
+        G2: GraphView + Sync,
+    {
         let start = Instant::now();
         let mut links = Linking::with_seeds(g1.node_count(), g2.node_count(), seeds);
         let mut phases = Vec::new();

@@ -16,7 +16,7 @@
 use crate::backend::Backend;
 use crate::linking::Linking;
 use rayon::prelude::*;
-use snr_graph::{CsrGraph, NodeId};
+use snr_graph::{GraphView, NodeId};
 use snr_mapreduce::Engine;
 use std::collections::HashMap;
 
@@ -37,14 +37,21 @@ pub type ScoreTable = HashMap<(u32, u32), u32>;
 /// recall (we verified this empirically; see the algorithm tests).
 ///
 /// Dispatches to the chosen backend; all backends return identical tables.
-pub fn count_witnesses(
-    g1: &CsrGraph,
-    g2: &CsrGraph,
+///
+/// Generic over [`GraphView`], so the same counting runs on [`snr_graph::CsrGraph`]
+/// and [`snr_graph::CompactCsr`] (or any mix of the two).
+pub fn count_witnesses<G1, G2>(
+    g1: &G1,
+    g2: &G2,
     links: &Linking,
     min_deg1: usize,
     min_deg2: usize,
     backend: Backend,
-) -> ScoreTable {
+) -> ScoreTable
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+{
     match backend {
         Backend::Sequential => count_sequential(g1, g2, links, min_deg1, min_deg2),
         Backend::Rayon => count_rayon(g1, g2, links, min_deg1, min_deg2),
@@ -57,9 +64,9 @@ pub fn count_witnesses(
 
 /// True if `(u, v)` is an eligible candidate in the current phase.
 #[inline]
-fn eligible(
-    g1: &CsrGraph,
-    g2: &CsrGraph,
+fn eligible<G1: GraphView, G2: GraphView>(
+    g1: &G1,
+    g2: &G2,
     links: &Linking,
     min_deg1: usize,
     min_deg2: usize,
@@ -72,24 +79,44 @@ fn eligible(
         && !links.is_linked_g2(v)
 }
 
+/// Collects the copy-2 candidates of one link into `buf`: neighbors of `w2`
+/// above the degree threshold and not yet linked. Decoding the list once per
+/// link (instead of once per copy-1 neighbor) keeps the inner loop a plain
+/// slice scan even when `G2` is a block-compressed representation.
+#[inline]
+fn eligible_g2_neighbors<G2: GraphView>(
+    g2: &G2,
+    links: &Linking,
+    w2: NodeId,
+    min_deg2: usize,
+    buf: &mut Vec<NodeId>,
+) {
+    buf.clear();
+    buf.extend(
+        g2.neighbors_iter(w2).filter(|&v| g2.degree(v) >= min_deg2 && !links.is_linked_g2(v)),
+    );
+}
+
 /// Sequential reference implementation.
-pub fn count_sequential(
-    g1: &CsrGraph,
-    g2: &CsrGraph,
+pub fn count_sequential<G1: GraphView, G2: GraphView>(
+    g1: &G1,
+    g2: &G2,
     links: &Linking,
     min_deg1: usize,
     min_deg2: usize,
 ) -> ScoreTable {
     let mut scores = ScoreTable::new();
+    let mut vs: Vec<NodeId> = Vec::new();
     for (w1, w2) in links.pairs() {
-        for &u in g1.neighbors(w1) {
+        eligible_g2_neighbors(g2, links, w2, min_deg2, &mut vs);
+        if vs.is_empty() {
+            continue;
+        }
+        for u in g1.neighbors_iter(w1) {
             if g1.degree(u) < min_deg1 || links.is_linked_g1(u) {
                 continue;
             }
-            for &v in g2.neighbors(w2) {
-                if g2.degree(v) < min_deg2 || links.is_linked_g2(v) {
-                    continue;
-                }
+            for &v in &vs {
                 *scores.entry((u.0, v.0)).or_insert(0) += 1;
             }
         }
@@ -99,34 +126,48 @@ pub fn count_sequential(
 
 /// Rayon data-parallel implementation: links are processed in parallel with
 /// per-thread partial tables folded together at the end.
-pub fn count_rayon(
-    g1: &CsrGraph,
-    g2: &CsrGraph,
+pub fn count_rayon<G1, G2>(
+    g1: &G1,
+    g2: &G2,
     links: &Linking,
     min_deg1: usize,
     min_deg2: usize,
-) -> ScoreTable {
+) -> ScoreTable
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+{
     let link_vec: Vec<(NodeId, NodeId)> = links.to_vec();
-    link_vec
+    // The fold state carries a scratch buffer next to the partial table so
+    // each worker decodes one link's eligible copy-2 neighbors without a
+    // per-link allocation (matching the sequential path's reuse).
+    let (scores, _) = link_vec
         .par_iter()
-        .fold(ScoreTable::new, |mut local, &(w1, w2)| {
-            for &u in g1.neighbors(w1) {
-                if g1.degree(u) < min_deg1 || links.is_linked_g1(u) {
-                    continue;
-                }
-                for &v in g2.neighbors(w2) {
-                    if g2.degree(v) < min_deg2 || links.is_linked_g2(v) {
-                        continue;
+        .fold(
+            || (ScoreTable::new(), Vec::new()),
+            |(mut local, mut vs), &(w1, w2)| {
+                eligible_g2_neighbors(g2, links, w2, min_deg2, &mut vs);
+                if !vs.is_empty() {
+                    for u in g1.neighbors_iter(w1) {
+                        if g1.degree(u) < min_deg1 || links.is_linked_g1(u) {
+                            continue;
+                        }
+                        for &v in &vs {
+                            *local.entry((u.0, v.0)).or_insert(0) += 1;
+                        }
                     }
-                    *local.entry((u.0, v.0)).or_insert(0) += 1;
                 }
-            }
-            local
-        })
-        .reduce(ScoreTable::new, |a, b| {
-            let (big, small) = if a.len() >= b.len() { (a, b) } else { (b, a) };
-            merge_into(big, small)
-        })
+                (local, vs)
+            },
+        )
+        .reduce(
+            || (ScoreTable::new(), Vec::new()),
+            |(a, _), (b, _)| {
+                let (big, small) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+                (merge_into(big, small), Vec::new())
+            },
+        );
+    scores
 }
 
 fn merge_into(mut big: ScoreTable, small: ScoreTable) -> ScoreTable {
@@ -140,28 +181,34 @@ fn merge_into(mut big: ScoreTable, small: ScoreTable) -> ScoreTable {
 /// `((u, v), 1)` record per witness and whose reducers sum the counts. This
 /// is round 1 of the paper's 4-round phase; see
 /// [`crate::matching::mapreduce_mutual_best`] for rounds 2–4.
-pub fn count_mapreduce(
-    g1: &CsrGraph,
-    g2: &CsrGraph,
+pub fn count_mapreduce<G1, G2>(
+    g1: &G1,
+    g2: &G2,
     links: &Linking,
     min_deg1: usize,
     min_deg2: usize,
     engine: &Engine,
-) -> ScoreTable {
+) -> ScoreTable
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+{
     let link_vec: Vec<(NodeId, NodeId)> = links.to_vec();
     let results: Vec<((u32, u32), u32)> = engine.run(
         "witness-count",
         link_vec,
         |(w1, w2)| {
             let mut out = Vec::new();
-            for &u in g1.neighbors(w1) {
+            let mut vs: Vec<NodeId> = Vec::new();
+            eligible_g2_neighbors(g2, links, w2, min_deg2, &mut vs);
+            if vs.is_empty() {
+                return out;
+            }
+            for u in g1.neighbors_iter(w1) {
                 if g1.degree(u) < min_deg1 || links.is_linked_g1(u) {
                     continue;
                 }
-                for &v in g2.neighbors(w2) {
-                    if g2.degree(v) < min_deg2 || links.is_linked_g2(v) {
-                        continue;
-                    }
+                for &v in &vs {
                     out.push(((u.0, v.0), 1u32));
                 }
             }
@@ -174,21 +221,21 @@ pub fn count_mapreduce(
 
 /// Brute-force witness counting over all candidate pairs; `O(n1 · n2 · d)`.
 /// Used only by tests as an oracle for the optimized implementations.
-pub fn count_brute_force(
-    g1: &CsrGraph,
-    g2: &CsrGraph,
+pub fn count_brute_force<G1: GraphView, G2: GraphView>(
+    g1: &G1,
+    g2: &G2,
     links: &Linking,
     min_deg1: usize,
     min_deg2: usize,
 ) -> ScoreTable {
     let mut scores = ScoreTable::new();
-    for u in g1.nodes() {
-        for v in g2.nodes() {
+    for u in g1.nodes_iter() {
+        for v in g2.nodes_iter() {
             if !eligible(g1, g2, links, min_deg1, min_deg2, u, v) {
                 continue;
             }
             let mut count = 0u32;
-            for &w1 in g1.neighbors(u) {
+            for w1 in g1.neighbors_iter(u) {
                 if let Some(w2) = links.linked_in_g2(w1) {
                     if g2.has_edge(v, w2) {
                         count += 1;
@@ -298,6 +345,28 @@ mod tests {
             assert_eq!(seq, oracle, "sequential mismatch at threshold {d1}");
             assert_eq!(par, oracle, "rayon mismatch at threshold {d1}");
             assert_eq!(mr, oracle, "mapreduce mismatch at threshold {d1}");
+        }
+    }
+
+    #[test]
+    fn compact_representation_produces_identical_tables() {
+        use snr_graph::GraphView;
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = preferential_attachment(400, 6, &mut rng).unwrap();
+        let pair = independent_deletion_symmetric(&g, 0.6, &mut rng).unwrap();
+        let seeds = sample_seeds(&pair, 0.12, &mut rng).unwrap();
+        let links = Linking::with_seeds(pair.g1.node_count(), pair.g2.node_count(), &seeds);
+        let (c1, c2) = (pair.g1.compact(), pair.g2.compact());
+        assert!(c1.memory_bytes() < GraphView::memory_bytes(&pair.g1));
+
+        for (d1, d2) in [(1, 1), (2, 2), (4, 4)] {
+            let on_csr = count_sequential(&pair.g1, &pair.g2, &links, d1, d2);
+            let on_compact = count_sequential(&c1, &c2, &links, d1, d2);
+            let mixed = count_sequential(&pair.g1, &c2, &links, d1, d2);
+            assert_eq!(on_compact, on_csr, "compact mismatch at threshold {d1}");
+            assert_eq!(mixed, on_csr, "mixed-representation mismatch at threshold {d1}");
+            let par = count_rayon(&c1, &c2, &links, d1, d2);
+            assert_eq!(par, on_csr, "compact rayon mismatch at threshold {d1}");
         }
     }
 

@@ -1,0 +1,34 @@
+//! Validates JSON experiment records emitted by the table/figure binaries.
+//!
+//! Usage: `validate_record <record.json> [<record.json> ...]`
+//!
+//! Prints one summary line per valid record and exits non-zero on the first
+//! malformed one. CI runs this after smoke-running the fastest experiment
+//! binaries so that a binary that "succeeds" while emitting an empty or
+//! non-finite record fails the build.
+
+use snr_experiments::validate_record_json;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_record <record.json> [<record.json> ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|json| validate_record_json(&json));
+        match result {
+            Ok(summary) => println!("ok {path}: {summary}"),
+            Err(msg) => {
+                eprintln!("FAIL {path}: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

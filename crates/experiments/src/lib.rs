@@ -30,6 +30,8 @@
 pub mod cli;
 pub mod datasets;
 pub mod runner;
+pub mod validate;
 
 pub use cli::ExperimentArgs;
-pub use runner::{run_baseline, run_user_matching, ExperimentRun};
+pub use runner::{run_baseline, run_user_matching, run_user_matching_on, ExperimentRun};
+pub use validate::validate_record_json;

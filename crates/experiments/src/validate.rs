@@ -1,0 +1,112 @@
+//! Schema validation for emitted experiment records.
+//!
+//! CI smoke-runs the fastest experiment binaries and then checks their
+//! `--json` output with [`validate_record_json`]: the record must parse,
+//! carry a non-empty identity, contain at least one measured row, and every
+//! number in it must be finite. This catches the failure mode where a
+//! binary "succeeds" while silently emitting NaNs or an empty table — a
+//! regression the exit code alone would never show.
+
+use snr_metrics::ExperimentRecord;
+
+/// Validates one JSON experiment record; returns a short human-readable
+/// summary on success and the first problem found on failure.
+pub fn validate_record_json(json: &str) -> Result<String, String> {
+    let record =
+        ExperimentRecord::from_json(json).map_err(|e| format!("record does not parse: {e:?}"))?;
+    if record.id.trim().is_empty() {
+        return Err("record id is empty".to_string());
+    }
+    if record.paper_reference.trim().is_empty() {
+        return Err(format!("record {:?} has an empty paper_reference", record.id));
+    }
+    if record.rows.is_empty() {
+        return Err(format!("record {:?} has no measured rows", record.id));
+    }
+    let mut values = 0usize;
+    for (i, row) in record.rows.iter().enumerate() {
+        if row.label.trim().is_empty() {
+            return Err(format!("record {:?}: row {i} has an empty label", record.id));
+        }
+        if row.values.is_empty() {
+            return Err(format!("record {:?}: row {:?} has no values", record.id, row.label));
+        }
+        for (key, &v) in row.values.iter().chain(row.paper.iter()) {
+            if !v.is_finite() {
+                return Err(format!(
+                    "record {:?}: row {:?} value {key:?} is not finite ({v})",
+                    record.id, row.label
+                ));
+            }
+            values += 1;
+        }
+    }
+    Ok(format!(
+        "{}: {} rows, {} finite values ({})",
+        record.id,
+        record.rows.len(),
+        values,
+        record.paper_reference
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_metrics::{ExperimentRecord, MeasuredRow};
+
+    fn valid_record() -> ExperimentRecord {
+        let mut rec = ExperimentRecord::new("table_test", "Table T").parameter("seed", "1");
+        rec.push_row(MeasuredRow::new("row-a").value("good", 10.0).paper_value("good", 12.0));
+        rec
+    }
+
+    #[test]
+    fn accepts_a_well_formed_record() {
+        let summary = validate_record_json(&valid_record().to_json()).unwrap();
+        assert!(summary.contains("table_test"));
+        assert!(summary.contains("1 rows"));
+    }
+
+    #[test]
+    fn rejects_unparseable_input() {
+        assert!(validate_record_json("{nope").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_rows() {
+        let rec = ExperimentRecord::new("x", "Table X");
+        let err = validate_record_json(&rec.to_json()).unwrap_err();
+        assert!(err.contains("no measured rows"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        // `1e999` overflows to +inf when parsed; NaN itself cannot round-trip
+        // through JSON (it serializes as null), so overflow is the way a
+        // non-finite number actually reaches a stored record.
+        let json = r#"{
+            "id": "x",
+            "paper_reference": "Table X",
+            "parameters": {},
+            "rows": [{"label": "r", "values": {"bad": 1e999}, "paper": {}}]
+        }"#;
+        let err = validate_record_json(json).unwrap_err();
+        assert!(err.contains("not finite"), "{err}");
+    }
+
+    #[test]
+    fn rejects_rows_without_values() {
+        let mut rec = ExperimentRecord::new("x", "Table X");
+        rec.push_row(MeasuredRow::new("r"));
+        let err = validate_record_json(&rec.to_json()).unwrap_err();
+        assert!(err.contains("no values"), "{err}");
+    }
+
+    #[test]
+    fn rejects_blank_identity() {
+        let mut rec = ExperimentRecord::new(" ", "Table X");
+        rec.push_row(MeasuredRow::new("r").value("v", 1.0));
+        assert!(validate_record_json(&rec.to_json()).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Acceptance check for the compact representation: on an RMAT-16 instance
+//! (the largest demo size of the Table 2 proxy), `CompactCsr` must use at
+//! most 60% of `CsrGraph`'s bytes per edge, and the two representations
+//! must agree on every statistic the matcher consumes.
+
+use snr_experiments::datasets::rmat_like;
+use snr_graph::{GraphStats, GraphView};
+
+#[test]
+fn compact_csr_uses_at_most_60_percent_of_csr_bytes_on_rmat16() {
+    let g = rmat_like(16, 20_140_707);
+    let compact = g.compact();
+
+    let csr_bpe = g.bytes_per_edge();
+    let compact_bpe = compact.bytes_per_edge();
+    let ratio = compact_bpe / csr_bpe;
+    assert!(
+        ratio <= 0.60,
+        "CompactCsr must be <= 60% of CsrGraph on RMAT-16: \
+         {compact_bpe:.2} / {csr_bpe:.2} B/edge = {ratio:.3}"
+    );
+
+    // Same graph, byte for byte of meaning: identical global statistics.
+    assert_eq!(GraphStats::compute(&g), GraphStats::compute(&compact));
+    assert_eq!(compact.to_csr(), g);
+}

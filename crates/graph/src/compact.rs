@@ -1,0 +1,490 @@
+//! Delta-encoded compressed sparse row storage.
+//!
+//! [`CompactCsr`] stores the same immutable graph as [`CsrGraph`] in roughly
+//! half the memory, which is what lets the Table 2 scalability proxy run
+//! RMAT-18/20/22 pipelines (three graphs resident at once) on one machine:
+//!
+//! * offsets are `u32` instead of `usize` (the paper's largest instance has
+//!   8.5G adjacency entries, but a single in-memory shard is bounded by
+//!   `u32` here — construction asserts it);
+//! * each sorted neighbor list is split into blocks of [`BLOCK_SIZE`]
+//!   entries; the first element of every block is stored verbatim in a skip
+//!   array and the rest as varint-encoded gaps from their predecessor.
+//!
+//! The skip entries keep the read API competitive with the uncompressed
+//! form: [`GraphView::degree`] is O(1) from the entry offsets, and
+//! [`GraphView::neighbor_cursor`] seeks by binary-searching block first
+//! elements before decoding at most one block — so galloping intersection
+//! ([`crate::intersect::count_common_cursors`]) and `has_edge` never decode
+//! more than `BLOCK_SIZE` gaps.
+
+use crate::csr::CsrGraph;
+use crate::intersect::SortedCursor;
+use crate::node::NodeId;
+use crate::view::GraphView;
+
+/// Number of adjacency entries per delta-encoded block. Each block costs one
+/// 8-byte skip entry, so larger blocks trade seek granularity for footprint;
+/// 64 keeps the skip overhead at 1/8 byte per entry while a worst-case seek
+/// decodes at most 63 gaps.
+pub const BLOCK_SIZE: usize = 64;
+
+/// An immutable graph in delta-encoded CSR form. See the module docs.
+///
+/// Construct one with [`CsrGraph::compact`] or [`CompactCsr::from_view`];
+/// convert back with [`CompactCsr::to_csr`]. All read access goes through
+/// [`GraphView`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactCsr {
+    node_count: usize,
+    directed: bool,
+    edge_count: usize,
+    max_degree: usize,
+    /// `entry_offsets[v]..entry_offsets[v + 1]` is node `v`'s index range in
+    /// entry space (not byte space); length `node_count + 1`.
+    entry_offsets: Vec<u32>,
+    /// `block_starts[v]..block_starts[v + 1]` is node `v`'s range in the
+    /// per-block skip arrays; length `node_count + 1`.
+    block_starts: Vec<u32>,
+    /// First element of each block, stored verbatim.
+    skip_firsts: Vec<u32>,
+    /// Byte offset of each block's gap stream inside `data`.
+    skip_bytes: Vec<u32>,
+    /// LEB128 varint gaps for the non-first elements of every block.
+    data: Vec<u8>,
+}
+
+#[inline]
+fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[inline]
+fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        v |= ((byte & 0x7f) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+impl CompactCsr {
+    /// Compacts any [`GraphView`] into delta-encoded form.
+    ///
+    /// # Panics
+    /// Panics if the adjacency has more than `u32::MAX` entries or the
+    /// encoded gap stream exceeds `u32::MAX` bytes (one in-memory shard is
+    /// `u32`-bounded by design; shard first at that scale).
+    pub fn from_view<G: GraphView>(g: &G) -> Self {
+        let n = g.node_count();
+        let entries = g.total_degree();
+        assert!(entries <= u32::MAX as usize, "adjacency entries ({entries}) overflow u32 offsets");
+
+        let mut entry_offsets = Vec::with_capacity(n + 1);
+        let mut block_starts = Vec::with_capacity(n + 1);
+        let mut skip_firsts = Vec::with_capacity(entries / BLOCK_SIZE + n);
+        let mut skip_bytes = Vec::with_capacity(entries / BLOCK_SIZE + n);
+        // Gaps in a sorted id space average well under 4 bytes of varint;
+        // reserve the common case and let pathological inputs reallocate.
+        let mut data = Vec::with_capacity(entries * 2);
+
+        entry_offsets.push(0u32);
+        block_starts.push(0u32);
+        for v in 0..n {
+            let mut prev = 0u32;
+            let mut count = 0usize;
+            for x in g.neighbors_iter(NodeId::from_index(v)) {
+                if count.is_multiple_of(BLOCK_SIZE) {
+                    skip_firsts.push(x.0);
+                    skip_bytes
+                        .push(u32::try_from(data.len()).expect("encoded gap stream overflows u32"));
+                } else {
+                    debug_assert!(x.0 > prev, "neighbor list of node {v} is not strictly sorted");
+                    write_varint(&mut data, x.0 - prev);
+                }
+                prev = x.0;
+                count += 1;
+            }
+            entry_offsets.push(entry_offsets[v] + count as u32);
+            block_starts.push(skip_firsts.len() as u32);
+        }
+        assert!(data.len() <= u32::MAX as usize, "encoded gap stream overflows u32");
+        // Drop the construction-time reservation slack: `memory_bytes()`
+        // reports lengths, so retained capacity would be invisible in the
+        // bytes-per-edge metric while still being resident.
+        data.shrink_to_fit();
+        skip_firsts.shrink_to_fit();
+        skip_bytes.shrink_to_fit();
+
+        CompactCsr {
+            node_count: n,
+            directed: g.is_directed(),
+            edge_count: g.edge_count(),
+            max_degree: g.max_degree(),
+            entry_offsets,
+            block_starts,
+            skip_firsts,
+            skip_bytes,
+            data,
+        }
+    }
+
+    /// Decodes back into the uncompressed CSR representation.
+    pub fn to_csr(&self) -> CsrGraph {
+        let n = self.node_count;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.total_degree());
+        offsets.push(0usize);
+        for v in 0..n {
+            targets.extend(self.neighbors_iter(NodeId::from_index(v)));
+            offsets.push(targets.len());
+        }
+        CsrGraph::from_normalized_parts(n, offsets, targets, self.directed)
+    }
+
+    /// Number of delta-encoded blocks (one skip entry each).
+    pub fn block_count(&self) -> usize {
+        self.skip_firsts.len()
+    }
+
+    fn cursor(&self, v: NodeId) -> CompactCursor<'_> {
+        let i = v.index();
+        let block_lo = self.block_starts[i] as usize;
+        let block_hi = self.block_starts[i + 1] as usize;
+        let total = (self.entry_offsets[i + 1] - self.entry_offsets[i]) as usize;
+        let (cur, byte_pos) = if total == 0 {
+            (0, 0)
+        } else {
+            (self.skip_firsts[block_lo], self.skip_bytes[block_lo] as usize)
+        };
+        CompactCursor {
+            skip_firsts: &self.skip_firsts,
+            skip_bytes: &self.skip_bytes,
+            data: &self.data,
+            block_lo,
+            block_hi,
+            total,
+            pos: 0,
+            cur_block: block_lo,
+            byte_pos,
+            cur,
+        }
+    }
+}
+
+impl GraphView for CompactCsr {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    #[inline]
+    fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.entry_offsets[i + 1] - self.entry_offsets[i]) as usize
+    }
+
+    #[inline]
+    fn total_degree(&self) -> usize {
+        *self.entry_offsets.last().unwrap_or(&0) as usize
+    }
+
+    fn neighbors_iter(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        CompactNeighbors { cursor: self.cursor(v) }
+    }
+
+    fn neighbor_cursor(&self, v: NodeId) -> impl SortedCursor + '_ {
+        self.cursor(v)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.entry_offsets.len()
+            + self.block_starts.len()
+            + self.skip_firsts.len()
+            + self.skip_bytes.len())
+            * std::mem::size_of::<u32>()
+            + self.data.len()
+    }
+}
+
+/// Decoding cursor over one node's delta-encoded neighbor list.
+struct CompactCursor<'a> {
+    skip_firsts: &'a [u32],
+    skip_bytes: &'a [u32],
+    data: &'a [u8],
+    /// The node's global block range.
+    block_lo: usize,
+    block_hi: usize,
+    /// Degree of the node.
+    total: usize,
+    /// Index of the current element within the list; exhausted when
+    /// `pos == total`.
+    pos: usize,
+    /// Global index of the block containing `pos`.
+    cur_block: usize,
+    /// Next byte to decode within `data`.
+    byte_pos: usize,
+    /// Decoded value at `pos` (meaningful only while `pos < total`).
+    cur: u32,
+}
+
+impl CompactCursor<'_> {
+    /// Repositions the cursor at the first element of global block `b`.
+    #[inline]
+    fn jump_to_block(&mut self, b: usize) {
+        self.cur_block = b;
+        self.pos = (b - self.block_lo) * BLOCK_SIZE;
+        self.cur = self.skip_firsts[b];
+        self.byte_pos = self.skip_bytes[b] as usize;
+    }
+}
+
+impl SortedCursor for CompactCursor<'_> {
+    #[inline]
+    fn current(&self) -> Option<NodeId> {
+        (self.pos < self.total).then_some(NodeId(self.cur))
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        if self.pos >= self.total {
+            return;
+        }
+        self.pos += 1;
+        if self.pos >= self.total {
+            return;
+        }
+        if self.pos.is_multiple_of(BLOCK_SIZE) {
+            self.cur_block += 1;
+            self.cur = self.skip_firsts[self.cur_block];
+            self.byte_pos = self.skip_bytes[self.cur_block] as usize;
+        } else {
+            self.cur += read_varint(self.data, &mut self.byte_pos);
+        }
+    }
+
+    fn seek(&mut self, target: NodeId) {
+        if self.pos >= self.total || self.cur >= target.0 {
+            return;
+        }
+        // Binary-search the skip entries of the blocks after the current one
+        // for the last block whose first element is <= target; everything in
+        // earlier blocks is < that first element, so decoding can start
+        // there.
+        let later_firsts = &self.skip_firsts[self.cur_block + 1..self.block_hi];
+        let jump = later_firsts.partition_point(|&f| f <= target.0);
+        if jump > 0 {
+            self.jump_to_block(self.cur_block + jump);
+        }
+        while self.pos < self.total && self.cur < target.0 {
+            self.advance();
+        }
+    }
+}
+
+/// Iterator adapter over [`CompactCursor`].
+struct CompactNeighbors<'a> {
+    cursor: CompactCursor<'a>,
+}
+
+impl Iterator for CompactNeighbors<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        let out = self.cursor.current();
+        self.cursor.advance();
+        out
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cursor.total - self.cursor.pos.min(self.cursor.total);
+        (left, Some(left))
+    }
+}
+
+impl CsrGraph {
+    /// Converts to the delta-encoded representation; see [`CompactCsr`].
+    pub fn compact(&self) -> CompactCsr {
+        CompactCsr::from_view(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::{count_common, count_common_cursors};
+
+    fn assert_same_graph(csr: &CsrGraph, compact: &CompactCsr) {
+        assert_eq!(GraphView::node_count(csr), compact.node_count());
+        assert_eq!(GraphView::edge_count(csr), compact.edge_count());
+        assert_eq!(GraphView::max_degree(csr), compact.max_degree());
+        assert_eq!(GraphView::total_degree(csr), compact.total_degree());
+        assert_eq!(GraphView::is_directed(csr), compact.is_directed());
+        for v in GraphView::nodes_iter(csr) {
+            assert_eq!(GraphView::degree(csr, v), compact.degree(v), "degree of {v:?}");
+            assert_eq!(
+                csr.neighbors(v),
+                compact.neighbors_iter(v).collect::<Vec<_>>(),
+                "neighbors of {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrips_small_graphs() {
+        for edges in [
+            &[][..],
+            &[(0u32, 1u32)][..],
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)][..],
+            &[(0, 5), (5, 9), (2, 7), (2, 9), (0, 9)][..],
+        ] {
+            let csr = CsrGraph::from_edges(10, edges);
+            let compact = csr.compact();
+            assert_same_graph(&csr, &compact);
+            assert_eq!(&compact.to_csr(), &csr);
+        }
+    }
+
+    #[test]
+    fn handles_lists_longer_than_one_block() {
+        // Hub with degree spanning several blocks, with irregular gaps.
+        let edges: Vec<(u32, u32)> =
+            (1..=(3 * BLOCK_SIZE as u32 + 17)).map(|i| (0, i * 3 + (i % 5))).collect();
+        let n = edges.iter().map(|&(_, b)| b as usize + 1).max().unwrap();
+        let csr = CsrGraph::from_edges(n, &edges);
+        let compact = csr.compact();
+        assert_same_graph(&csr, &compact);
+        assert!(compact.block_count() >= 4);
+    }
+
+    #[test]
+    fn cursor_seek_skips_blocks() {
+        let edges: Vec<(u32, u32)> = (1..=1000u32).map(|i| (0, i * 7)).collect();
+        let csr = CsrGraph::from_edges(7_001, &edges);
+        let compact = csr.compact();
+        let mut c = compact.neighbor_cursor(NodeId(0));
+        c.seek(NodeId(3_500));
+        assert_eq!(c.current(), Some(NodeId(3_500)));
+        c.seek(NodeId(6_999));
+        assert_eq!(c.current(), Some(NodeId(7_000)));
+        c.seek(NodeId(7_001));
+        assert_eq!(c.current(), None);
+        // has_edge goes through the same path.
+        assert!(compact.has_edge(NodeId(0), NodeId(700)));
+        assert!(!compact.has_edge(NodeId(0), NodeId(701)));
+    }
+
+    #[test]
+    fn cursor_intersection_matches_slice_intersection() {
+        let e1: Vec<(u32, u32)> = (1..=500u32).map(|i| (0, i * 3)).collect();
+        let e2: Vec<(u32, u32)> = (1..=500u32).map(|i| (0, i * 5)).collect();
+        let g1 = CsrGraph::from_edges(3_000, &e1);
+        let g2 = CsrGraph::from_edges(3_000, &e2);
+        let (c1, c2) = (g1.compact(), g2.compact());
+        let expected = count_common(g1.neighbors(NodeId(0)), g2.neighbors(NodeId(0)));
+        assert_eq!(
+            count_common_cursors(c1.neighbor_cursor(NodeId(0)), c2.neighbor_cursor(NodeId(0))),
+            expected
+        );
+        // Mixed representations intersect too.
+        assert_eq!(
+            count_common_cursors(g1.neighbor_cursor(NodeId(0)), c2.neighbor_cursor(NodeId(0))),
+            expected
+        );
+    }
+
+    #[test]
+    fn compact_is_smaller_on_a_dense_graph() {
+        // A graph dense enough for delta gaps to be short: circulant graph,
+        // every node connected to its 40 nearest ids.
+        let n = 2_000u32;
+        let mut edges = Vec::new();
+        for v in 0..n {
+            for d in 1..=20u32 {
+                edges.push((v, (v + d) % n));
+            }
+        }
+        let csr = CsrGraph::from_edges(n as usize, &edges);
+        let compact = csr.compact();
+        assert_same_graph(&csr, &compact);
+        assert!(
+            compact.memory_bytes() * 2 < GraphView::memory_bytes(&csr),
+            "compact {} vs csr {}",
+            compact.memory_bytes(),
+            GraphView::memory_bytes(&csr)
+        );
+        assert!(compact.bytes_per_edge() < csr.bytes_per_edge());
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn compact_roundtrips_arbitrary_builder_graphs(
+            edges in proptest::collection::vec((0u32..200, 0u32..200), 0..600),
+            directed_raw in 0u32..2,
+        ) {
+            let csr = if directed_raw == 1 {
+                let mut b = crate::GraphBuilder::directed(200);
+                for &(a, bnode) in &edges {
+                    b.add_edge(NodeId(a), NodeId(bnode));
+                }
+                b.build()
+            } else {
+                CsrGraph::from_edges(200, &edges)
+            };
+            let compact = csr.compact();
+            proptest::prop_assert_eq!(compact.node_count(), GraphView::node_count(&csr));
+            proptest::prop_assert_eq!(compact.edge_count(), GraphView::edge_count(&csr));
+            proptest::prop_assert_eq!(compact.max_degree(), GraphView::max_degree(&csr));
+            for v in GraphView::nodes_iter(&csr) {
+                proptest::prop_assert_eq!(compact.degree(v), GraphView::degree(&csr, v));
+                let decoded: Vec<NodeId> = compact.neighbors_iter(v).collect();
+                proptest::prop_assert_eq!(decoded, csr.neighbors(v).to_vec());
+            }
+            proptest::prop_assert_eq!(&compact.to_csr(), &csr);
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! Immutable compressed-sparse-row graph storage.
 
+use crate::intersect::SliceCursor;
 use crate::node::{Edge, NodeId};
+use crate::view::GraphView;
 use serde::{Deserialize, Serialize};
 
 /// An immutable graph stored in compressed sparse row (CSR) form.
@@ -40,6 +42,21 @@ impl CsrGraph {
         debug_assert_eq!(offsets.len(), node_count + 1);
         debug_assert_eq!(*offsets.last().unwrap_or(&0), targets.len());
 
+        // Fast path: when the offsets start at 0 and every neighbor range is
+        // already strictly increasing (sorted and duplicate-free), reuse the
+        // arrays as-is. The binary deserializer and several generator
+        // builders emit normalized ranges, and skipping the rebuild avoids a
+        // second full-size `targets` allocation on multi-gigabyte graphs.
+        // The `offsets[0] == 0` check matters: a nonzero first offset leaves
+        // orphan entries before the first range, which the rebuilding path
+        // drops and the reuse path would silently count.
+        let already_normalized = offsets.first().is_some_and(|&o| o == 0)
+            && (0..node_count)
+                .all(|v| targets[offsets[v]..offsets[v + 1]].windows(2).all(|w| w[0] < w[1]));
+        if already_normalized {
+            return Self::from_parts_unchecked(node_count, offsets, targets, directed);
+        }
+
         // Sort + dedup each neighbor range, then compact the target array.
         let mut new_offsets = Vec::with_capacity(node_count + 1);
         let mut new_targets = Vec::with_capacity(targets.len());
@@ -57,14 +74,24 @@ impl CsrGraph {
             }
             new_offsets.push(new_targets.len());
         }
+        Self::from_parts_unchecked(node_count, new_offsets, new_targets, directed)
+    }
 
-        let adjacency_entries = new_targets.len();
+    /// Assembles the struct from normalized arrays, computing the cached
+    /// statistics (max degree, self-loop-aware edge count).
+    fn from_parts_unchecked(
+        node_count: usize,
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        directed: bool,
+    ) -> Self {
+        let adjacency_entries = targets.len();
         let mut self_loops = 0usize;
         let mut max_degree = 0usize;
         for v in 0..node_count {
-            let deg = new_offsets[v + 1] - new_offsets[v];
+            let deg = offsets[v + 1] - offsets[v];
             max_degree = max_degree.max(deg);
-            let range = &new_targets[new_offsets[v]..new_offsets[v + 1]];
+            let range = &targets[offsets[v]..offsets[v + 1]];
             if range.binary_search(&NodeId::from_index(v)).is_ok() {
                 self_loops += 1;
             }
@@ -76,14 +103,7 @@ impl CsrGraph {
             (adjacency_entries - self_loops) / 2 + self_loops
         };
 
-        CsrGraph {
-            node_count,
-            offsets: new_offsets,
-            targets: new_targets,
-            directed,
-            edge_count,
-            max_degree,
-        }
+        CsrGraph { node_count, offsets, targets, directed, edge_count, max_degree }
     }
 
     /// Builds a graph directly from an edge list (convenience for tests and
@@ -181,9 +201,61 @@ impl CsrGraph {
         targets: Vec<NodeId>,
         directed: bool,
     ) -> Self {
-        // Re-run the normalizing constructor: it is idempotent on normalized
-        // input and recomputes the cached statistics.
+        // The normalizing constructor's fast path verifies the input really
+        // is normalized and reuses the arrays without copying.
         CsrGraph::from_raw_parts(node_count, offsets, targets, directed)
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    #[inline]
+    fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn total_degree(&self) -> usize {
+        self.targets.len()
+    }
+
+    #[inline]
+    fn neighbors_iter(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(v).iter().copied()
+    }
+
+    #[inline]
+    fn neighbor_cursor(&self, v: NodeId) -> impl crate::intersect::SortedCursor + '_ {
+        SliceCursor::new(self.neighbors(v))
+    }
+
+    #[inline]
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        CsrGraph::has_edge(self, u, v)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
     }
 }
 
@@ -249,6 +321,40 @@ mod tests {
         assert_eq!(g.nodes_with_degree_at_least(1), 5);
         assert_eq!(g.nodes_with_degree_at_least(2), 3);
         assert_eq!(g.nodes_with_degree_at_least(3), 0);
+    }
+
+    #[test]
+    fn normalized_input_is_reused_without_reallocation() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 3), (1, 2), (2, 3), (4, 5)]);
+        let (offsets, targets) = g.raw();
+        let (offsets, targets) = (offsets.to_vec(), targets.to_vec());
+        let target_ptr = targets.as_ptr();
+        let g2 = CsrGraph::from_normalized_parts(g.node_count(), offsets, targets, false);
+        assert_eq!(g2, g);
+        // The fast path must hand back the same allocation, not a copy.
+        assert_eq!(g2.raw().1.as_ptr(), target_ptr);
+    }
+
+    #[test]
+    fn unsorted_input_still_normalizes() {
+        let offsets = vec![0, 4, 4];
+        let targets = vec![NodeId(1), NodeId(1), NodeId(0), NodeId(1)];
+        let g = CsrGraph::from_raw_parts(2, offsets, targets, true);
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(0), NodeId(1)]);
+        assert_eq!(g.degree(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn nonzero_first_offset_does_not_take_the_fast_path() {
+        // targets[0] is an orphan entry before the first range; the
+        // normalizing path must drop it rather than count it.
+        let offsets = vec![1, 1, 2];
+        let targets = vec![NodeId(9), NodeId(1)];
+        let g = CsrGraph::from_raw_parts(2, offsets, targets, true);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.total_degree(), 1);
+        assert_eq!(g.degree(NodeId(0)), 0);
+        assert_eq!(g.neighbors(NodeId(1)), &[NodeId(1)]);
     }
 
     #[test]

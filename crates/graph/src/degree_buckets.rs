@@ -6,12 +6,16 @@
 //! statistics it is derived from) lets the core algorithm, the experiments
 //! and the benchmarks agree on exactly the same phase structure.
 
-use crate::csr::CsrGraph;
+use crate::view::GraphView;
 
 /// The descending sequence of bucket exponents `log D, …, min_bucket` for a
 /// pair of graphs. Returns at least one bucket (the `min_bucket` itself)
 /// even for edgeless graphs so that algorithms always run one phase.
-pub fn bucket_schedule(g1: &CsrGraph, g2: &CsrGraph, min_bucket: u32) -> Vec<u32> {
+pub fn bucket_schedule<G1: GraphView, G2: GraphView>(
+    g1: &G1,
+    g2: &G2,
+    min_bucket: u32,
+) -> Vec<u32> {
     let min_bucket = min_bucket.max(1);
     let max_degree = g1.max_degree().max(g2.max_degree()).max(1);
     let top = floor_log2(max_degree).max(min_bucket);
@@ -33,7 +37,7 @@ pub fn bucket_min_degree(bucket: u32) -> usize {
 }
 
 /// Number of nodes of `g` eligible for bucket `j`.
-pub fn eligible_nodes(g: &CsrGraph, bucket: u32) -> usize {
+pub fn eligible_nodes<G: GraphView>(g: &G, bucket: u32) -> usize {
     g.nodes_with_degree_at_least(bucket_min_degree(bucket))
 }
 

@@ -6,6 +6,14 @@
 //! when one list is much shorter than the other — the common case when a
 //! low-degree node is compared against a celebrity. [`count_common`] picks
 //! between the two automatically.
+//!
+//! Not every graph representation exposes its neighbor lists as slices: the
+//! delta-encoded [`crate::CompactCsr`] only yields them through a decoder.
+//! [`SortedCursor`] abstracts "a sorted stream that can skip forward", and
+//! [`count_common_cursors`] runs the galloping intersection against any two
+//! such cursors — a [`SliceCursor`] gallops over a slice, while
+//! `CompactCsr`'s cursor skips whole encoded blocks via its per-block
+//! first-element entries.
 
 use crate::node::NodeId;
 
@@ -127,6 +135,97 @@ pub fn union(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
     out
 }
 
+/// A forward-only cursor over a sorted, deduplicated stream of node ids.
+///
+/// The contract mirrors what galloping intersection needs:
+///
+/// * [`SortedCursor::current`] peeks at the element under the cursor;
+/// * [`SortedCursor::advance`] steps to the next element;
+/// * [`SortedCursor::seek`] jumps forward to the first element `>= target`
+///   (a no-op when the current element already qualifies). Implementations
+///   are expected to make this sublinear — galloping over a slice, skipping
+///   whole blocks in a compressed list.
+pub trait SortedCursor {
+    /// The element under the cursor, or `None` when exhausted.
+    fn current(&self) -> Option<NodeId>;
+
+    /// Steps past the current element. No-op when exhausted.
+    fn advance(&mut self);
+
+    /// Advances until `current() >= Some(target)` or the stream is
+    /// exhausted.
+    fn seek(&mut self, target: NodeId);
+}
+
+/// [`SortedCursor`] over a sorted, deduplicated slice; `seek` gallops.
+#[derive(Clone, Debug)]
+pub struct SliceCursor<'a> {
+    slice: &'a [NodeId],
+    pos: usize,
+}
+
+impl<'a> SliceCursor<'a> {
+    /// Creates a cursor positioned at the first element of `slice`.
+    pub fn new(slice: &'a [NodeId]) -> Self {
+        SliceCursor { slice, pos: 0 }
+    }
+}
+
+impl SortedCursor for SliceCursor<'_> {
+    #[inline]
+    fn current(&self) -> Option<NodeId> {
+        self.slice.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        if self.pos < self.slice.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn seek(&mut self, target: NodeId) {
+        // Exponential probe from the current position, then binary search in
+        // the bracketed window — the same scheme as `count_common_gallop`.
+        if self.pos >= self.slice.len() || self.slice[self.pos] >= target {
+            return;
+        }
+        let mut step = 1usize;
+        let mut lo = self.pos;
+        let mut hi = self.pos;
+        while hi < self.slice.len() && self.slice[hi] < target {
+            lo = hi;
+            hi += step;
+            step <<= 1;
+        }
+        let hi = (hi + 1).min(self.slice.len());
+        self.pos = lo
+            + match self.slice[lo..hi].binary_search(&target) {
+                Ok(p) | Err(p) => p,
+            };
+    }
+}
+
+/// Counts elements common to two [`SortedCursor`] streams by alternately
+/// seeking each cursor to the other's current element. With [`SliceCursor`]s
+/// this degenerates to galloping intersection; with block-compressed cursors
+/// every seek can skip whole blocks without decoding them.
+pub fn count_common_cursors<A: SortedCursor, B: SortedCursor>(mut a: A, mut b: B) -> usize {
+    let mut count = 0;
+    while let (Some(x), Some(y)) = (a.current(), b.current()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                a.advance();
+                b.advance();
+            }
+            std::cmp::Ordering::Less => a.seek(y),
+            std::cmp::Ordering::Greater => b.seek(x),
+        }
+    }
+    count
+}
+
 /// Jaccard similarity of two sorted, deduplicated slices; `0.0` when both are
 /// empty.
 pub fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
@@ -196,6 +295,33 @@ mod tests {
     }
 
     #[test]
+    fn slice_cursor_seek_lands_on_first_element_at_least_target() {
+        let a = ids(&[1, 4, 9, 16, 25, 36]);
+        let mut c = SliceCursor::new(&a);
+        c.seek(NodeId(5));
+        assert_eq!(c.current(), Some(NodeId(9)));
+        c.seek(NodeId(9)); // seek to the current element is a no-op
+        assert_eq!(c.current(), Some(NodeId(9)));
+        c.seek(NodeId(26));
+        assert_eq!(c.current(), Some(NodeId(36)));
+        c.seek(NodeId(100));
+        assert_eq!(c.current(), None);
+        c.advance(); // advancing an exhausted cursor stays exhausted
+        assert_eq!(c.current(), None);
+    }
+
+    #[test]
+    fn cursor_intersection_matches_merge() {
+        let a = ids(&[1, 3, 5, 7, 9, 100, 1000]);
+        let b = ids(&[2, 3, 4, 7, 10, 1000]);
+        assert_eq!(
+            count_common_cursors(SliceCursor::new(&a), SliceCursor::new(&b)),
+            count_common_merge(&a, &b)
+        );
+        assert_eq!(count_common_cursors(SliceCursor::new(&a), SliceCursor::new(&[])), 0);
+    }
+
+    #[test]
     fn gallop_handles_short_list_beyond_long_end() {
         let a = ids(&[100, 200, 300]);
         let b = ids(&[1, 2, 3]);
@@ -218,6 +344,10 @@ mod tests {
             proptest::prop_assert_eq!(count_common_merge(&a, &b), expected);
             let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
             proptest::prop_assert_eq!(count_common_gallop(short, long), expected);
+            proptest::prop_assert_eq!(
+                count_common_cursors(SliceCursor::new(&a), SliceCursor::new(&b)),
+                expected
+            );
         }
 
         #[test]

@@ -12,16 +12,26 @@
 //! * counting common neighbors of two nodes (one per copy),
 //! * global statistics (maximum degree drives the degree-bucketing schedule).
 //!
-//! [`CsrGraph`] is therefore the workhorse type: an immutable compressed
-//! sparse row adjacency structure with sorted, deduplicated neighbor slices.
-//! Graphs are assembled through [`GraphBuilder`], which owns all the mutable
-//! bookkeeping (deduplication, self-loop policy, undirected mirroring).
+//! That read-only surface is captured by the [`GraphView`] trait, with two
+//! interchangeable implementations:
+//!
+//! * [`CsrGraph`] — the workhorse: an immutable compressed sparse row
+//!   structure with sorted, deduplicated neighbor *slices* (fastest per
+//!   access). Graphs are assembled through [`GraphBuilder`], which owns all
+//!   the mutable bookkeeping (deduplication, self-loop policy, undirected
+//!   mirroring).
+//! * [`CompactCsr`] — the same graph in roughly half the memory: `u32`
+//!   offsets and delta-encoded varint neighbor blocks with per-block skip
+//!   entries, so degrees stay O(1) and seeks stay sublinear. Convert with
+//!   [`CsrGraph::compact`] / [`CompactCsr::to_csr`]; pick it when the
+//!   working set (two copies plus ground truth) is what stops an experiment
+//!   from fitting in memory.
 //!
 //! The crate also ships the supporting pieces a downstream user of the
 //! library needs: traversals ([`traversal`]), degree statistics ([`stats`]),
 //! induced subgraphs ([`subgraph`]), text and binary serialization ([`io`])
 //! and the sorted-slice intersection kernels ([`intersect`]) that make
-//! similarity-witness counting cheap.
+//! similarity-witness counting cheap — all generic over [`GraphView`].
 //!
 //! ## Example
 //!
@@ -48,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod compact;
 pub mod csr;
 pub mod degree_buckets;
 pub mod error;
@@ -57,9 +68,12 @@ pub mod node;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
+pub mod view;
 
 pub use builder::GraphBuilder;
+pub use compact::CompactCsr;
 pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use node::NodeId;
 pub use stats::GraphStats;
+pub use view::GraphView;

@@ -5,8 +5,8 @@
 //! reconciliation algorithm's degree-bucketing schedule is driven by the
 //! maximum degree. This module collects those read-only summaries.
 
-use crate::csr::CsrGraph;
 use crate::node::NodeId;
+use crate::view::GraphView;
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a graph.
@@ -30,8 +30,8 @@ pub struct GraphStats {
 }
 
 impl GraphStats {
-    /// Computes statistics for `g`.
-    pub fn compute(g: &CsrGraph) -> Self {
+    /// Computes statistics for any [`GraphView`].
+    pub fn compute<G: GraphView>(g: &G) -> Self {
         let n = g.node_count();
         let mut degrees: Vec<usize> = (0..n).map(|i| g.degree(NodeId::from_index(i))).collect();
         degrees.sort_unstable();
@@ -58,9 +58,9 @@ impl GraphStats {
 }
 
 /// Degree histogram: `histogram[d]` is the number of nodes with degree `d`.
-pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+pub fn degree_histogram<G: GraphView>(g: &G) -> Vec<usize> {
     let mut hist = vec![0usize; g.max_degree() + 1];
-    for v in g.nodes() {
+    for v in g.nodes_iter() {
         hist[g.degree(v)] += 1;
     }
     hist
@@ -69,7 +69,7 @@ pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
 /// Complementary cumulative degree distribution: `ccdf[d]` is the number of
 /// nodes with degree `>= d`. Length is `max_degree + 2` so that the final
 /// entry is always zero.
-pub fn degree_ccdf(g: &CsrGraph) -> Vec<usize> {
+pub fn degree_ccdf<G: GraphView>(g: &G) -> Vec<usize> {
     let hist = degree_histogram(g);
     let mut ccdf = vec![0usize; hist.len() + 1];
     for d in (0..hist.len()).rev() {
@@ -84,11 +84,11 @@ pub fn degree_ccdf(g: &CsrGraph) -> Vec<usize> {
 /// Returns `None` if fewer than 10 nodes qualify. Used by tests to check
 /// that the preferential-attachment generator produces the expected
 /// heavy-tailed distribution (exponent ≈ 3 for the Barabási–Albert process).
-pub fn power_law_exponent(g: &CsrGraph, d_min: usize) -> Option<f64> {
+pub fn power_law_exponent<G: GraphView>(g: &G, d_min: usize) -> Option<f64> {
     let d_min = d_min.max(1);
     let mut count = 0usize;
     let mut log_sum = 0.0f64;
-    for v in g.nodes() {
+    for v in g.nodes_iter() {
         let d = g.degree(v);
         if d >= d_min {
             count += 1;
@@ -106,11 +106,13 @@ pub fn power_law_exponent(g: &CsrGraph, d_min: usize) -> Option<f64> {
 ///
 /// Exact computation; intended for the modest graph sizes used in tests and
 /// the scaled-down experiments, not the full R-MAT instances.
-pub fn global_clustering_coefficient(g: &CsrGraph) -> f64 {
+pub fn global_clustering_coefficient<G: GraphView>(g: &G) -> f64 {
     let mut wedges = 0usize;
     let mut closed = 0usize; // counts each triangle 3 times (once per wedge center)
-    for v in g.nodes() {
-        let nbrs = g.neighbors(v);
+    let mut nbrs: Vec<NodeId> = Vec::new();
+    for v in g.nodes_iter() {
+        nbrs.clear();
+        nbrs.extend(g.neighbors_iter(v));
         let d = nbrs.len();
         if d < 2 {
             continue;

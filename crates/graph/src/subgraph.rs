@@ -9,6 +9,7 @@
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::node::NodeId;
+use crate::view::GraphView;
 
 /// A bijective relabelling of node ids produced by [`permute`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,7 +71,7 @@ impl Relabelling {
 
 /// Applies a node permutation to `g`, producing the isomorphic graph with
 /// relabelled ids and the relabelling used.
-pub fn permute(g: &CsrGraph, old_to_new: Vec<NodeId>) -> (CsrGraph, Relabelling) {
+pub fn permute<G: GraphView>(g: &G, old_to_new: Vec<NodeId>) -> (CsrGraph, Relabelling) {
     assert_eq!(old_to_new.len(), g.node_count(), "permutation length must equal node count");
     let relab = Relabelling::from_permutation(old_to_new);
     let mut b = if g.is_directed() {
@@ -79,7 +80,7 @@ pub fn permute(g: &CsrGraph, old_to_new: Vec<NodeId>) -> (CsrGraph, Relabelling)
         GraphBuilder::undirected(g.node_count())
     };
     b.reserve_edges(g.edge_count());
-    for e in g.edges() {
+    for e in g.edges_iter() {
         b.add_edge(relab.to_new(e.src), relab.to_new(e.dst));
     }
     (b.build(), relab)
@@ -89,7 +90,7 @@ pub fn permute(g: &CsrGraph, old_to_new: Vec<NodeId>) -> (CsrGraph, Relabelling)
 ///
 /// Returns the subgraph (with dense new ids `0..keep.len()`) and the mapping
 /// `new -> old`.
-pub fn induced_subgraph(g: &CsrGraph, keep: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+pub fn induced_subgraph<G: GraphView>(g: &G, keep: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
     let mut old_to_new = vec![u32::MAX; g.node_count()];
     let mut new_to_old = Vec::with_capacity(keep.len());
     for (new, &old) in keep.iter().enumerate() {
@@ -104,7 +105,7 @@ pub fn induced_subgraph(g: &CsrGraph, keep: &[NodeId]) -> (CsrGraph, Vec<NodeId>
     } else {
         GraphBuilder::undirected(new_to_old.len())
     };
-    for e in g.edges() {
+    for e in g.edges_iter() {
         let (s, d) = (old_to_new[e.src.index()], old_to_new[e.dst.index()]);
         if s != u32::MAX && d != u32::MAX {
             b.add_edge(NodeId(s), NodeId(d));

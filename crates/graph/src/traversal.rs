@@ -6,13 +6,13 @@
 //! notes that copies of sparse graphs like Enron lose a large connected
 //! fraction). These routines are deliberately simple and allocation-frugal.
 
-use crate::csr::CsrGraph;
 use crate::node::NodeId;
+use crate::view::GraphView;
 use std::collections::VecDeque;
 
 /// Breadth-first search from `source`; returns the distance (in hops) to each
 /// node, `u32::MAX` for unreachable nodes.
-pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+pub fn bfs_distances<G: GraphView>(g: &G, source: NodeId) -> Vec<u32> {
     let mut dist = vec![u32::MAX; g.node_count()];
     if source.index() >= g.node_count() {
         return dist;
@@ -22,7 +22,7 @@ pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()];
-        for &v in g.neighbors(u) {
+        for v in g.neighbors_iter(u) {
             if dist[v.index()] == u32::MAX {
                 dist[v.index()] = du + 1;
                 queue.push_back(v);
@@ -33,7 +33,7 @@ pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
 }
 
 /// Nodes reachable from `source` (including `source` itself), in BFS order.
-pub fn bfs_reachable(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
+pub fn bfs_reachable<G: GraphView>(g: &G, source: NodeId) -> Vec<NodeId> {
     let mut visited = vec![false; g.node_count()];
     let mut order = Vec::new();
     if source.index() >= g.node_count() {
@@ -44,7 +44,7 @@ pub fn bfs_reachable(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         order.push(u);
-        for &v in g.neighbors(u) {
+        for v in g.neighbors_iter(u) {
             if !visited[v.index()] {
                 visited[v.index()] = true;
                 queue.push_back(v);
@@ -58,7 +58,7 @@ pub fn bfs_reachable(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
 ///
 /// Returns `(labels, component_count)` where `labels[v]` is the component id
 /// of node `v` (ids are dense, assigned in discovery order).
-pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+pub fn connected_components<G: GraphView>(g: &G) -> (Vec<u32>, usize) {
     let n = g.node_count();
     let mut labels = vec![u32::MAX; n];
     let mut next_label = 0u32;
@@ -70,7 +70,7 @@ pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
         labels[start] = next_label;
         queue.push_back(NodeId::from_index(start));
         while let Some(u) = queue.pop_front() {
-            for &v in g.neighbors(u) {
+            for v in g.neighbors_iter(u) {
                 if labels[v.index()] == u32::MAX {
                     labels[v.index()] = next_label;
                     queue.push_back(v);
@@ -83,7 +83,7 @@ pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
 }
 
 /// Size of the largest connected component; `0` for the empty graph.
-pub fn largest_component_size(g: &CsrGraph) -> usize {
+pub fn largest_component_size<G: GraphView>(g: &G) -> usize {
     let (labels, count) = connected_components(g);
     if count == 0 {
         return 0;
@@ -98,6 +98,7 @@ pub fn largest_component_size(g: &CsrGraph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrGraph;
 
     fn two_triangles() -> CsrGraph {
         CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])

@@ -11,12 +11,17 @@
 
 use crate::realization::{pair_from_edge_subsets, RealizationPair};
 use rand::Rng;
-use snr_graph::{CsrGraph, GraphError, NodeId};
+use snr_graph::{GraphError, GraphView, NodeId};
 use std::collections::VecDeque;
 
 /// Runs one independent cascade on `g` starting from `seed` with adoption
 /// probability `p`; returns the adopted node set as a boolean mask.
-pub fn run_cascade<R: Rng + ?Sized>(g: &CsrGraph, seed: NodeId, p: f64, rng: &mut R) -> Vec<bool> {
+pub fn run_cascade<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
+    seed: NodeId,
+    p: f64,
+    rng: &mut R,
+) -> Vec<bool> {
     let mut adopted = vec![false; g.node_count()];
     if seed.index() >= g.node_count() {
         return adopted;
@@ -25,7 +30,7 @@ pub fn run_cascade<R: Rng + ?Sized>(g: &CsrGraph, seed: NodeId, p: f64, rng: &mu
     adopted[seed.index()] = true;
     queue.push_back(seed);
     while let Some(u) = queue.pop_front() {
-        for &v in g.neighbors(u) {
+        for v in g.neighbors_iter(u) {
             if !adopted[v.index()] && rng.gen::<f64>() < p {
                 adopted[v.index()] = true;
                 queue.push_back(v);
@@ -38,8 +43,8 @@ pub fn run_cascade<R: Rng + ?Sized>(g: &CsrGraph, seed: NodeId, p: f64, rng: &mu
 /// Produces two copies of `g`, each grown by an independent cascade with
 /// adoption probability `p` from a random seed node. Each copy keeps the
 /// underlying edges whose endpoints both adopted in that copy's cascade.
-pub fn cascade_realization<R: Rng + ?Sized>(
-    g: &CsrGraph,
+pub fn cascade_realization<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     p: f64,
     rng: &mut R,
 ) -> Result<RealizationPair, GraphError> {
@@ -56,14 +61,14 @@ pub fn cascade_realization<R: Rng + ?Sized>(
     // degenerate). Picking the max-degree node keeps the process
     // deterministic given the RNG.
     let seed =
-        g.nodes().max_by_key(|&v| g.degree(v)).expect("non-empty graph has a max-degree node");
+        g.nodes_iter().max_by_key(|&v| g.degree(v)).expect("non-empty graph has a max-degree node");
 
     let adopted1 = run_cascade(g, seed, p, rng);
     let adopted2 = run_cascade(g, seed, p, rng);
 
     let mut edges1 = Vec::new();
     let mut edges2 = Vec::new();
-    for e in g.edges() {
+    for e in g.edges_iter() {
         if adopted1[e.src.index()] && adopted1[e.dst.index()] {
             edges1.push((e.src, e.dst));
         }
@@ -80,6 +85,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use snr_generators::preferential_attachment;
+    use snr_graph::CsrGraph;
 
     #[test]
     fn rejects_invalid_probability() {

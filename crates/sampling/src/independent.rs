@@ -7,12 +7,16 @@
 
 use crate::realization::{pair_from_edge_subsets, RealizationPair};
 use rand::Rng;
-use snr_graph::{CsrGraph, GraphError, NodeId};
+use snr_graph::{GraphError, GraphView, NodeId};
 
 /// Produces two copies of `g` by independent edge deletion with survival
 /// probabilities `s1` and `s2`.
-pub fn independent_deletion<R: Rng + ?Sized>(
-    g: &CsrGraph,
+///
+/// Accepts any [`GraphView`] as the underlying graph, so a generator output
+/// can be compacted once and realized many times without keeping the
+/// uncompressed form resident.
+pub fn independent_deletion<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     s1: f64,
     s2: f64,
     rng: &mut R,
@@ -26,7 +30,7 @@ pub fn independent_deletion<R: Rng + ?Sized>(
         Vec::with_capacity((g.edge_count() as f64 * s1) as usize + 1);
     let mut edges2: Vec<(NodeId, NodeId)> =
         Vec::with_capacity((g.edge_count() as f64 * s2) as usize + 1);
-    for e in g.edges() {
+    for e in g.edges_iter() {
         if rng.gen::<f64>() < s1 {
             edges1.push((e.src, e.dst));
         }
@@ -39,8 +43,8 @@ pub fn independent_deletion<R: Rng + ?Sized>(
 
 /// Convenience wrapper for the symmetric case `s1 = s2 = s` used throughout
 /// the paper's proofs and most experiments.
-pub fn independent_deletion_symmetric<R: Rng + ?Sized>(
-    g: &CsrGraph,
+pub fn independent_deletion_symmetric<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     s: f64,
     rng: &mut R,
 ) -> Result<RealizationPair, GraphError> {
@@ -53,6 +57,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use snr_generators::preferential_attachment;
+    use snr_graph::CsrGraph;
 
     #[test]
     fn rejects_invalid_probabilities() {

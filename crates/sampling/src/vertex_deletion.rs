@@ -11,7 +11,7 @@
 
 use crate::realization::{pair_from_edge_subsets, RealizationPair};
 use rand::Rng;
-use snr_graph::{CsrGraph, GraphError, NodeId};
+use snr_graph::{GraphError, GraphView, NodeId};
 
 /// Parameters of the vertex+edge deletion realization.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,8 +56,8 @@ impl VertexDeletionConfig {
 
 /// Produces two copies of `g` where both nodes and edges are deleted
 /// independently per copy.
-pub fn vertex_and_edge_deletion<R: Rng + ?Sized>(
-    g: &CsrGraph,
+pub fn vertex_and_edge_deletion<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     config: &VertexDeletionConfig,
     rng: &mut R,
 ) -> Result<RealizationPair, GraphError> {
@@ -68,7 +68,7 @@ pub fn vertex_and_edge_deletion<R: Rng + ?Sized>(
 
     let mut edges1: Vec<(NodeId, NodeId)> = Vec::new();
     let mut edges2: Vec<(NodeId, NodeId)> = Vec::new();
-    for e in g.edges() {
+    for e in g.edges_iter() {
         if present1[e.src.index()]
             && present1[e.dst.index()]
             && rng.gen::<f64>() < config.edge_survival_1
@@ -91,6 +91,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use snr_generators::preferential_attachment;
+    use snr_graph::CsrGraph;
 
     #[test]
     fn rejects_invalid_probabilities() {

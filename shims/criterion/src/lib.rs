@@ -1,7 +1,12 @@
 //! Offline shim for the subset of the Criterion benchmarking API this
 //! workspace uses. Benchmarks compile and run with `cargo bench`, printing
-//! a mean wall-clock time per iteration; there is no statistical analysis,
-//! plotting, or baseline comparison.
+//! mean ± standard deviation and the min/max wall-clock time per iteration;
+//! there is no plotting or baseline comparison.
+//!
+//! So that perf claims are comparable *across* PRs, every benchmark run
+//! also writes one JSON record to `target/criterion-json/<label>.json`
+//! (`CARGO_TARGET_DIR` is honored; set `CRITERION_SHIM_JSON_DIR` to
+//! redirect, or set it to the empty string to disable the files).
 //!
 //! The iteration budget is intentionally small (time-boxed per benchmark)
 //! so `cargo bench` completes quickly; set `CRITERION_SHIM_SAMPLES` to
@@ -10,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -18,13 +24,28 @@ pub use std::hint::black_box;
 const TIME_BUDGET: Duration = Duration::from_secs(2);
 
 /// Top-level benchmark driver.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    json_dir: Option<PathBuf>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { json_dir: json_dir_from_env() }
+    }
+}
 
 impl Criterion {
+    /// Overrides (or, with `None`, disables) the directory the per-run JSON
+    /// records are written to. The default comes from
+    /// `CRITERION_SHIM_JSON_DIR` / the workspace `target/criterion-json`.
+    pub fn with_json_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.json_dir = dir;
+        self
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.into(), sample_size: default_samples() }
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: default_samples() }
     }
 
     /// Runs a single benchmark outside any group.
@@ -33,7 +54,7 @@ impl Criterion {
         I: Into<BenchmarkId>,
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&id.into().label, default_samples(), f);
+        run_benchmark(self.json_dir.as_deref(), &id.into().label, default_samples(), f);
         self
     }
 }
@@ -44,7 +65,7 @@ fn default_samples() -> usize {
 
 /// A named group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -68,7 +89,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_benchmark(&label, self.sample_size, f);
+        run_benchmark(self.parent.json_dir.as_deref(), &label, self.sample_size, f);
         self
     }
 
@@ -80,7 +101,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &P),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        run_benchmark(self.parent.json_dir.as_deref(), &label, self.sample_size, |b| f(b, input));
         self
     }
 
@@ -88,14 +109,124 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
-    let mut bencher = Bencher { iterations: 0, elapsed: Duration::ZERO, samples };
-    f(&mut bencher);
-    if bencher.iterations > 0 {
-        let mean = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
-        println!("{label:<60} time: {}  ({} iterations)", format_time(mean), bencher.iterations);
+/// Summary statistics of one benchmark's per-iteration times, in seconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleSummary {
+    /// Number of timed iterations.
+    pub samples: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`0.0` with fewer than two samples).
+    pub std_dev: f64,
+    /// Fastest iteration.
+    pub min: f64,
+    /// Slowest iteration.
+    pub max: f64,
+}
+
+/// Computes [`SampleSummary`] over per-iteration times in seconds. Returns
+/// `None` for an empty slice.
+pub fn summarize(times: &[f64]) -> Option<SampleSummary> {
+    if times.is_empty() {
+        return None;
+    }
+    let n = times.len() as f64;
+    let mean = times.iter().sum::<f64>() / n;
+    let std_dev = if times.len() < 2 {
+        0.0
     } else {
-        println!("{label:<60} (no iterations executed)");
+        let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (n - 1.0);
+        var.sqrt()
+    };
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some(SampleSummary { samples: times.len(), mean, std_dev, min, max })
+}
+
+/// The build's target directory. Benchmarks run with the *package* root as
+/// cwd, so a bare relative `target` would land inside the package; walk up
+/// to the workspace root (marked by `Cargo.lock`) instead.
+fn default_target_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target");
+        }
+    }
+}
+
+/// Default directory for the per-run JSON records; `None` disables them.
+fn json_dir_from_env() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("CRITERION_SHIM_JSON_DIR") {
+        return if dir.is_empty() { None } else { Some(PathBuf::from(dir)) };
+    }
+    Some(default_target_dir().join("criterion-json"))
+}
+
+/// Minimal JSON string escaping for benchmark labels.
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn write_json_record(dir: &std::path::Path, label: &str, s: &SampleSummary) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("criterion shim: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let file_stem: String =
+        label.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+    let path = dir.join(format!("{file_stem}.json"));
+    let json = format!(
+        "{{\n  \"label\": \"{}\",\n  \"samples\": {},\n  \"mean_s\": {:e},\n  \
+         \"std_dev_s\": {:e},\n  \"min_s\": {:e},\n  \"max_s\": {:e}\n}}\n",
+        escape_json(label),
+        s.samples,
+        s.mean,
+        s.std_dev,
+        s.min,
+        s.max
+    );
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    json_dir: Option<&std::path::Path>,
+    label: &str,
+    samples: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher { sample_times: Vec::new(), samples };
+    f(&mut bencher);
+    match summarize(&bencher.sample_times) {
+        Some(summary) => {
+            println!(
+                "{label:<60} time: {} ± {}  [min {}, max {}]  ({} iterations)",
+                format_time(summary.mean),
+                format_time(summary.std_dev),
+                format_time(summary.min),
+                format_time(summary.max),
+                summary.samples
+            );
+            if let Some(dir) = json_dir {
+                write_json_record(dir, label, &summary);
+            }
+        }
+        None => println!("{label:<60} (no iterations executed)"),
     }
 }
 
@@ -113,22 +244,21 @@ fn format_time(secs: f64) -> String {
 
 /// Timing handle passed to each benchmark closure.
 pub struct Bencher {
-    iterations: u64,
-    elapsed: Duration,
+    sample_times: Vec<f64>,
     samples: usize,
 }
 
 impl Bencher {
     /// Times repeated calls of `routine`: one warm-up call, then up to the
     /// configured sample count (stopping early if the time budget runs out).
+    /// Each timed call becomes one sample of the reported statistics.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         black_box(routine());
         let budget_start = Instant::now();
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(routine());
-            self.elapsed += start.elapsed();
-            self.iterations += 1;
+            self.sample_times.push(start.elapsed().as_secs_f64());
             if budget_start.elapsed() > TIME_BUDGET {
                 break;
             }
@@ -199,8 +329,53 @@ mod tests {
     use super::*;
 
     #[test]
+    fn summarize_reports_mean_std_min_max() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.samples, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // Sample std-dev of 1,2,3,4 = sqrt(5/3).
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12, "std {}", s.std_dev);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summarize_handles_degenerate_inputs() {
+        assert!(summarize(&[]).is_none());
+        let one = summarize(&[0.5]).unwrap();
+        assert_eq!(one.std_dev, 0.0);
+        assert_eq!(one.min, one.max);
+    }
+
+    #[test]
+    fn labels_are_json_escaped() {
+        assert_eq!(escape_json("plain/label-1"), "plain/label-1");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn bench_run_writes_a_json_record() {
+        // Inject the output directory instead of mutating the process
+        // environment (tests run concurrently in one process).
+        let dir = std::env::temp_dir().join("criterion-shim-test-json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Criterion::default().with_json_dir(Some(dir.clone()));
+        c.bench_function("json smoke/k=1", |b| b.iter(|| 1 + 1));
+        let record =
+            std::fs::read_to_string(dir.join("json-smoke-k-1.json")).expect("record written");
+        for key in
+            ["\"label\"", "\"samples\"", "\"mean_s\"", "\"std_dev_s\"", "\"min_s\"", "\"max_s\""]
+        {
+            assert!(record.contains(key), "missing {key} in {record}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn bench_api_shapes_compile_and_run() {
-        let mut c = Criterion::default();
+        // JSON output disabled: API-shape runs should not leave records in
+        // the real target/criterion-json next to genuine bench results.
+        let mut c = Criterion::default().with_json_dir(None);
         let mut group = c.benchmark_group("shim");
         group.sample_size(2);
         group.throughput(Throughput::Elements(10));

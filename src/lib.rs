@@ -68,7 +68,7 @@ pub mod prelude {
         gnm, gnp, preferential_attachment, rmat, AffiliationConfig, AffiliationNetwork, RmatConfig,
         TemporalGraph,
     };
-    pub use snr_graph::{CsrGraph, GraphBuilder, GraphStats, NodeId};
+    pub use snr_graph::{CompactCsr, CsrGraph, GraphBuilder, GraphStats, GraphView, NodeId};
     pub use snr_mapreduce::Engine;
     pub use snr_metrics::{degree_curve, Evaluation};
     pub use snr_sampling::attack::inject_attack;

@@ -1,10 +1,15 @@
-//! Cross-backend equivalence: the sequential, rayon, and MapReduce backends
-//! must produce bit-for-bit identical link sets on identical inputs. This is
-//! what makes the parallel and MapReduce claims of the paper meaningful —
-//! they are *the same algorithm*, only scheduled differently.
+//! Cross-backend and cross-representation equivalence: the sequential,
+//! rayon, and MapReduce backends must produce bit-for-bit identical link
+//! sets on identical inputs — and so must the two `GraphView`
+//! implementations (`CsrGraph` and the delta-encoded `CompactCsr`). This is
+//! what makes the parallel and MapReduce claims of the paper meaningful
+//! (they are *the same algorithm*, only scheduled differently) and what
+//! makes the compressed representation safe to substitute in any
+//! experiment.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use social_reconcile::core::witness::count_witnesses;
 use social_reconcile::core::{Backend, MatchingConfig, UserMatching};
 use social_reconcile::prelude::*;
 
@@ -22,32 +27,46 @@ fn workload(
     (pair, seeds)
 }
 
-fn run(pair: &RealizationPair, seeds: &[(NodeId, NodeId)], backend: Backend, t: u32) -> Linking {
+fn run_on<G1, G2>(g1: &G1, g2: &G2, seeds: &[(NodeId, NodeId)], backend: Backend, t: u32) -> Linking
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+{
     let config =
         MatchingConfig::default().with_threshold(t).with_iterations(2).with_backend(backend);
-    UserMatching::new(config).run(&pair.g1, &pair.g2, seeds).links
+    UserMatching::new(config).run(g1, g2, seeds).links
+}
+
+/// Runs every backend on every representation combination (both copies CSR,
+/// both compact, and mixed) and asserts a single identical link set.
+fn assert_all_agree(pair: &RealizationPair, seeds: &[(NodeId, NodeId)], t: u32, workers: usize) {
+    let (c1, c2) = (pair.g1.compact(), pair.g2.compact());
+    // Sequential-on-CSR is the reference itself, so it is not re-run.
+    let reference = run_on(&pair.g1, &pair.g2, seeds, Backend::Sequential, t);
+    for backend in [Backend::Sequential, Backend::Rayon, Backend::MapReduce { workers }] {
+        if !matches!(backend, Backend::Sequential) {
+            let on_csr = run_on(&pair.g1, &pair.g2, seeds, backend, t);
+            assert_eq!(on_csr, reference, "{backend:?} differs on CsrGraph at T={t}");
+        }
+        let on_compact = run_on(&c1, &c2, seeds, backend, t);
+        assert_eq!(on_compact, reference, "{backend:?} differs on CompactCsr at T={t}");
+        let mixed = run_on(&pair.g1, &c2, seeds, backend, t);
+        assert_eq!(mixed, reference, "{backend:?} differs on mixed representations at T={t}");
+    }
 }
 
 #[test]
 fn all_backends_agree_on_a_pa_workload() {
     let (pair, seeds) = workload(11, 1_500, 8, 0.6, 0.08);
     for threshold in [1, 2, 3] {
-        let seq = run(&pair, &seeds, Backend::Sequential, threshold);
-        let ray = run(&pair, &seeds, Backend::Rayon, threshold);
-        let mr = run(&pair, &seeds, Backend::MapReduce { workers: 3 }, threshold);
-        assert_eq!(seq, ray, "rayon differs at T={threshold}");
-        assert_eq!(seq, mr, "mapreduce differs at T={threshold}");
+        assert_all_agree(&pair, &seeds, threshold, 3);
     }
 }
 
 #[test]
 fn all_backends_agree_on_a_sparse_workload() {
     let (pair, seeds) = workload(12, 2_000, 4, 0.5, 0.15);
-    let seq = run(&pair, &seeds, Backend::Sequential, 2);
-    let ray = run(&pair, &seeds, Backend::Rayon, 2);
-    let mr = run(&pair, &seeds, Backend::MapReduce { workers: 2 }, 2);
-    assert_eq!(seq, ray);
-    assert_eq!(seq, mr);
+    assert_all_agree(&pair, &seeds, 2, 2);
 }
 
 #[test]
@@ -57,19 +76,38 @@ fn all_backends_agree_under_attack() {
     let clean = independent_deletion_symmetric(&g, 0.75, &mut rng).unwrap();
     let attacked = inject_attack(&clean, 0.5, &mut rng).unwrap();
     let seeds = sample_seeds(&attacked, 0.10, &mut rng).unwrap();
-    let seq = run(&attacked, &seeds, Backend::Sequential, 2);
-    let ray = run(&attacked, &seeds, Backend::Rayon, 2);
-    let mr = run(&attacked, &seeds, Backend::MapReduce { workers: 4 }, 2);
-    assert_eq!(seq, ray);
-    assert_eq!(seq, mr);
+    assert_all_agree(&attacked, &seeds, 2, 4);
 }
 
 #[test]
 fn backend_runs_are_deterministic_across_repetitions() {
     let (pair, seeds) = workload(14, 1_200, 6, 0.6, 0.10);
+    let (c1, c2) = (pair.g1.compact(), pair.g2.compact());
     for backend in [Backend::Sequential, Backend::Rayon, Backend::MapReduce { workers: 3 }] {
-        let a = run(&pair, &seeds, backend, 2);
-        let b = run(&pair, &seeds, backend, 2);
-        assert_eq!(a, b, "{backend:?} is not deterministic");
+        let a = run_on(&pair.g1, &pair.g2, &seeds, backend, 2);
+        let b = run_on(&pair.g1, &pair.g2, &seeds, backend, 2);
+        assert_eq!(a, b, "{backend:?} is not deterministic on CsrGraph");
+        let ca = run_on(&c1, &c2, &seeds, backend, 2);
+        assert_eq!(a, ca, "{backend:?} differs between representations");
+    }
+}
+
+#[test]
+fn witness_score_tables_are_identical_across_backends_and_representations() {
+    let (pair, seeds) = workload(15, 1_000, 6, 0.6, 0.10);
+    let links = Linking::with_seeds(pair.g1.node_count(), pair.g2.node_count(), &seeds);
+    let (c1, c2) = (pair.g1.compact(), pair.g2.compact());
+    for min_deg in [1, 2, 4] {
+        let reference =
+            count_witnesses(&pair.g1, &pair.g2, &links, min_deg, min_deg, Backend::Sequential);
+        for backend in [Backend::Sequential, Backend::Rayon, Backend::MapReduce { workers: 3 }] {
+            let on_csr = count_witnesses(&pair.g1, &pair.g2, &links, min_deg, min_deg, backend);
+            let on_compact = count_witnesses(&c1, &c2, &links, min_deg, min_deg, backend);
+            assert_eq!(on_csr, reference, "{backend:?} table differs on CsrGraph d={min_deg}");
+            assert_eq!(
+                on_compact, reference,
+                "{backend:?} table differs on CompactCsr d={min_deg}"
+            );
+        }
     }
 }

@@ -1,0 +1,118 @@
+//! Seed-sensitivity sweep for the statistical assertions in
+//! `tests/end_to_end.rs`.
+//!
+//! The integration thresholds (precision > 0.97, recall > 0.5, …) were
+//! written against one RNG stream; this harness reruns the
+//! independent-deletion pipeline across many seeds and reports, per
+//! assertion, the pass rate and the worst observed margin — making every
+//! threshold's slack visible instead of anecdotal. PR 1 already hit the
+//! anecdote: the shim's `StdRng` made the original seed 1 an outlier and
+//! the test had to move to seed 8.
+//!
+//! The sweep is `#[ignore]`d (≈100 matcher runs); run it with
+//!
+//! ```sh
+//! SEED_SWEEP_COUNT=100 cargo test --release --test seed_sensitivity -- --ignored --nocapture
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_reconcile::prelude::*;
+
+/// One assertion of the end-to-end test, tracked across the sweep.
+struct Criterion {
+    name: &'static str,
+    threshold: f64,
+    passes: usize,
+    /// Worst (smallest) value - threshold margin seen, with its seed.
+    worst: Option<(f64, u64)>,
+}
+
+impl Criterion {
+    fn new(name: &'static str, threshold: f64) -> Self {
+        Criterion { name, threshold, passes: 0, worst: None }
+    }
+
+    fn observe(&mut self, value: f64, seed: u64) {
+        if value > self.threshold {
+            self.passes += 1;
+        }
+        let margin = value - self.threshold;
+        if self.worst.is_none_or(|(m, _)| margin < m) {
+            self.worst = Some((margin, seed));
+        }
+    }
+
+    fn report(&self, runs: usize) {
+        let (margin, seed) = self.worst.expect("at least one run");
+        println!(
+            "  {:<28} threshold {:>6.3}  pass rate {:>5.1}% ({}/{})  worst margin {:+.4} (seed {})",
+            self.name,
+            self.threshold,
+            100.0 * self.passes as f64 / runs as f64,
+            self.passes,
+            runs,
+            margin,
+            seed
+        );
+    }
+}
+
+/// Mirrors `independent_deletion_pipeline_has_high_precision_and_recall`
+/// from `tests/end_to_end.rs` for one seed.
+fn run_pipeline(seed: u64) -> (f64, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = preferential_attachment(4_000, 16, &mut rng).unwrap();
+    let pair = independent_deletion_symmetric(&g, 0.5, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, 0.05, &mut rng).unwrap();
+    let config = MatchingConfig::default().with_threshold(2).with_iterations(2);
+    let outcome = UserMatching::new(config).run(&pair.g1, &pair.g2, &seeds);
+    let eval = Evaluation::score(&pair, &outcome.links, outcome.links.seed_count());
+    // new_good / seeds as a ratio so "discoveries at least double the seed
+    // set" becomes a > 1.0 threshold.
+    let growth = eval.new_good as f64 / seeds.len().max(1) as f64;
+    (eval.precision(), eval.recall(), growth)
+}
+
+#[test]
+#[ignore = "sweep harness: ~100 matcher runs; see module docs"]
+fn independent_deletion_assertions_across_seeds() {
+    let runs: u64 =
+        std::env::var("SEED_SWEEP_COUNT").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
+
+    let mut precision = Criterion::new("precision > 0.97", 0.97);
+    let mut recall = Criterion::new("recall > 0.5", 0.5);
+    let mut growth = Criterion::new("new_good > seeds", 1.0);
+    let mut all_pass = 0usize;
+
+    for seed in 1..=runs {
+        let (p, r, g) = run_pipeline(seed);
+        precision.observe(p, seed);
+        recall.observe(r, seed);
+        growth.observe(g, seed);
+        if p > 0.97 && r > 0.5 && g > 1.0 {
+            all_pass += 1;
+        }
+    }
+
+    println!("seed sweep: independent-deletion pipeline, seeds 1..={runs}");
+    precision.report(runs as usize);
+    recall.report(runs as usize);
+    growth.report(runs as usize);
+    println!(
+        "  {:<28} {:>23} {:>5.1}% ({}/{})",
+        "all assertions",
+        "",
+        100.0 * all_pass as f64 / runs as f64,
+        all_pass,
+        runs
+    );
+
+    // The sweep's purpose is visibility, but it still enforces a floor: the
+    // assertions must hold for the overwhelming majority of seeds, otherwise
+    // the fixed-seed test is load-bearing luck.
+    assert!(
+        all_pass * 10 >= (runs as usize) * 9,
+        "assertions hold for only {all_pass}/{runs} seeds"
+    );
+}
