@@ -6,6 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snr_bench::Workload;
+use snr_core::scoring::fused_phase;
 use snr_core::witness::{count_mapreduce, count_rayon, count_sequential};
 use snr_mapreduce::Engine;
 use std::hint::black_box;
@@ -28,6 +29,63 @@ fn bench_backends(c: &mut Criterion) {
     group.finish();
 }
 
+/// The arena fast path: witness scoring with mutual-best selection fused
+/// into row finalization (no score table) — what one matcher phase actually
+/// runs on the sequential and rayon backends.
+fn bench_fused(c: &mut Criterion) {
+    let workload = Workload::pa(4_000, 10, 0.6, 0.10, 42);
+    let links = workload.linking();
+    let (g1, g2) = (&workload.pair.g1, &workload.pair.g2);
+
+    let mut group = c.benchmark_group("witness_counting/fused");
+    group.sample_size(15);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(fused_phase(g1, g2, &links, 2, 2, 2, false)))
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| black_box(fused_phase(g1, g2, &links, 2, 2, 2, true)))
+    });
+    group.finish();
+}
+
+/// Table 2 shape at benchmark size: every backend on both graph
+/// representations at R-MAT scale 16. These are the records the
+/// before/after throughput table in CHANGES.md is built from.
+fn bench_rmat16(c: &mut Criterion) {
+    let workload = Workload::rmat(16, 0.7, 0.02, 46);
+    let links = workload.linking();
+    let (g1, g2) = (&workload.pair.g1, &workload.pair.g2);
+    let (c1, c2) = workload.compact_pair();
+
+    let mut group = c.benchmark_group("witness_counting/rmat16");
+    group.sample_size(5);
+    group.bench_function("csr/sequential", |b| {
+        b.iter(|| black_box(count_sequential(g1, g2, &links, 2, 2)))
+    });
+    group.bench_function("csr/rayon", |b| b.iter(|| black_box(count_rayon(g1, g2, &links, 2, 2))));
+    group.bench_function("csr/mapreduce", |b| {
+        let engine = Engine::new(4);
+        b.iter(|| black_box(count_mapreduce(g1, g2, &links, 2, 2, &engine)))
+    });
+    group.bench_function("compact/sequential", |b| {
+        b.iter(|| black_box(count_sequential(&c1, &c2, &links, 2, 2)))
+    });
+    group.bench_function("compact/rayon", |b| {
+        b.iter(|| black_box(count_rayon(&c1, &c2, &links, 2, 2)))
+    });
+    group.bench_function("compact/mapreduce", |b| {
+        let engine = Engine::new(4);
+        b.iter(|| black_box(count_mapreduce(&c1, &c2, &links, 2, 2, &engine)))
+    });
+    group.bench_function("csr/fused", |b| {
+        b.iter(|| black_box(fused_phase(g1, g2, &links, 2, 2, 2, true)))
+    });
+    group.bench_function("compact/fused", |b| {
+        b.iter(|| black_box(fused_phase(&c1, &c2, &links, 2, 2, 2, true)))
+    });
+    group.finish();
+}
+
 fn bench_degree_thresholds(c: &mut Criterion) {
     let workload = Workload::pa(4_000, 10, 0.6, 0.10, 43);
     let links = workload.linking();
@@ -43,5 +101,5 @@ fn bench_degree_thresholds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_backends, bench_degree_thresholds);
+criterion_group!(benches, bench_backends, bench_fused, bench_rmat16, bench_degree_thresholds);
 criterion_main!(benches);

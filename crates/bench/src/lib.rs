@@ -9,8 +9,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snr_core::Linking;
-use snr_generators::preferential_attachment;
-use snr_graph::NodeId;
+use snr_generators::{preferential_attachment, rmat, RmatConfig};
+use snr_graph::{CompactCsr, NodeId};
 use snr_sampling::independent::independent_deletion_symmetric;
 use snr_sampling::{sample_seeds, RealizationPair};
 
@@ -33,9 +33,27 @@ impl Workload {
         Workload { pair, seeds }
     }
 
+    /// Builds an R-MAT (graph500 parameters, edge factor 16) workload of
+    /// `2^scale` nodes with edge survival `s` and seed-link probability `l`.
+    /// This is the Table 2 shape at benchmark size — the workload the
+    /// arena-scorer throughput numbers are recorded on.
+    pub fn rmat(scale: u32, s: f64, l: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = rmat(&RmatConfig::graph500(scale, 16), &mut rng).expect("valid R-MAT parameters");
+        let pair = independent_deletion_symmetric(&g, s, &mut rng).expect("valid probability");
+        let seeds = sample_seeds(&pair, l, &mut rng).expect("valid probability");
+        Workload { pair, seeds }
+    }
+
     /// The seed links as a [`Linking`] over the two copies.
     pub fn linking(&self) -> Linking {
         Linking::with_seeds(self.pair.g1.node_count(), self.pair.g2.node_count(), &self.seeds)
+    }
+
+    /// Both copies re-encoded as [`CompactCsr`], for benchmarking the
+    /// block-compressed representation on the same workload.
+    pub fn compact_pair(&self) -> (CompactCsr, CompactCsr) {
+        (self.pair.g1.compact(), self.pair.g2.compact())
     }
 }
 

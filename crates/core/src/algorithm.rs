@@ -3,9 +3,10 @@
 use crate::backend::Backend;
 use crate::config::MatchingConfig;
 use crate::linking::Linking;
-use crate::matching::{mapreduce_mutual_best, mutual_best_pairs, mutual_best_pairs_rayon};
+use crate::matching::mapreduce_mutual_best;
+use crate::scoring::fused_phase;
 use crate::stats::{MatchingOutcome, PhaseStats};
-use crate::witness::{count_mapreduce, count_witnesses};
+use crate::witness::count_mapreduce;
 use snr_graph::{GraphView, NodeId};
 use snr_mapreduce::{Engine, EngineStats};
 use std::time::Instant;
@@ -156,24 +157,18 @@ impl UserMatching {
                         (scores.len(), pairs)
                     }
                     _ => {
-                        let scores =
-                            count_witnesses(g1, g2, &links, min_degree, min_degree, cfg.backend);
-                        // Selection follows the same backend as scoring, so
-                        // Backend::Rayon is parallel through the whole phase.
-                        let pairs = match cfg.backend {
-                            Backend::Rayon => mutual_best_pairs_rayon(&scores, cfg.threshold),
-                            _ => mutual_best_pairs(&scores, cfg.threshold),
-                        };
-                        (scores.len(), pairs)
+                        // Arena fast path: witness scoring and mutual-best
+                        // selection fused into one pass over per-candidate
+                        // rows — no score table is materialized. Selection
+                        // follows the same backend as scoring, so
+                        // Backend::Rayon is parallel through the whole
+                        // phase.
+                        let parallel = matches!(cfg.backend, Backend::Rayon);
+                        fused_phase(g1, g2, &links, min_degree, min_degree, cfg.threshold, parallel)
                     }
                 };
 
-                let mut new_links = 0usize;
-                for (u, v) in new_pairs {
-                    if links.insert(u, v) {
-                        new_links += 1;
-                    }
-                }
+                let new_links = links.insert_batch(&new_pairs);
 
                 phases.push(PhaseStats {
                     iteration,

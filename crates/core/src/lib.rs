@@ -29,7 +29,10 @@
 //!   the number of common neighbors" the paper compares against in §5;
 //! * [`Linking`] — the growing set of identification links;
 //! * witness-counting and mutual-best-selection primitives reusable by
-//!   downstream experiments.
+//!   downstream experiments, in two flavors: the sparse
+//!   [`witness::ScoreTable`] compatibility path and the hash-free
+//!   [`scoring`] arena engine (fused score + select) that the sequential
+//!   and rayon backends run on.
 //!
 //! ## Example
 //!
@@ -70,6 +73,7 @@ pub mod baseline;
 pub mod config;
 pub mod linking;
 pub mod matching;
+pub mod scoring;
 pub mod stats;
 pub mod theory;
 pub mod witness;

@@ -1,5 +1,6 @@
 //! The growing set of identification links.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use snr_graph::NodeId;
 
@@ -98,6 +99,71 @@ impl Linking {
         true
     }
 
+    /// Inserts a whole phase's selected pairs, returning how many links were
+    /// added.
+    ///
+    /// On multi-core hosts, large batches pre-validate in parallel: the
+    /// bounds/occupancy reads against the two endpoint arrays (random-access
+    /// misses on big graphs) are distributed across rayon workers. The
+    /// sequential commit trusts the parallel verdict for bounds but repeats
+    /// the occupancy probe, which it must: an earlier pair in the same batch
+    /// may have claimed an endpoint (the one-to-one invariant makes
+    /// acceptance order-dependent for non-matching inputs; the mutual-best
+    /// rule itself always emits a matching, so algorithm batches never hit
+    /// that probe's reject path). With a single worker thread the pre-check
+    /// could only duplicate work, so it is skipped.
+    pub fn insert_batch(&mut self, pairs: &[(NodeId, NodeId)]) -> usize {
+        /// Batch size below which the pre-check pass costs more than it
+        /// saves.
+        const PARALLEL_CUTOFF: usize = 4_096;
+        if pairs.len() >= PARALLEL_CUTOFF && rayon::current_num_threads() > 1 {
+            self.insert_batch_prevalidated(pairs)
+        } else {
+            let mut added = 0usize;
+            for &(u1, u2) in pairs {
+                if self.insert(u1, u2) {
+                    added += 1;
+                }
+            }
+            added
+        }
+    }
+
+    /// The parallel-pre-check arm of [`Linking::insert_batch`]; behaves
+    /// exactly like repeated [`Linking::insert`] calls.
+    fn insert_batch_prevalidated(&mut self, pairs: &[(NodeId, NodeId)]) -> usize {
+        let this: &Linking = self;
+        let admissible: Vec<bool> = pairs
+            .par_iter()
+            .map(|&(u1, u2)| {
+                u1.index() < this.g1_to_g2.len()
+                    && u2.index() < this.g2_to_g1.len()
+                    && !this.is_linked_g1(u1)
+                    && !this.is_linked_g2(u2)
+            })
+            .collect();
+        let mut added = 0usize;
+        for (&(u1, u2), ok) in pairs.iter().zip(admissible) {
+            if ok && self.g1_to_g2[u1.index()].is_none() && self.g2_to_g1[u2.index()].is_none() {
+                self.g1_to_g2[u1.index()] = Some(u2);
+                self.g2_to_g1[u2.index()] = Some(u1);
+                self.len += 1;
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Number of copy-1 node slots (the `n1` the linking was created with).
+    pub fn g1_capacity(&self) -> usize {
+        self.g1_to_g2.len()
+    }
+
+    /// Number of copy-2 node slots (the `n2` the linking was created with).
+    pub fn g2_capacity(&self) -> usize {
+        self.g2_to_g1.len()
+    }
+
     /// Iterator over all links as `(g1_node, g2_node)` pairs, in g1-id order.
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.g1_to_g2
@@ -164,6 +230,47 @@ mod tests {
         let l = Linking::with_seeds(4, 4, &seeds);
         assert_eq!(l.len(), 1);
         assert_eq!(l.seed_count(), 1);
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        // With in-batch conflicts and out-of-range pairs sprinkled in, both
+        // the dispatching entry point and the parallel-pre-check arm (called
+        // directly, since a 1-CPU host would otherwise never take it) must
+        // behave exactly like repeated insert() calls.
+        let n = 10_000u32;
+        let pairs: Vec<(NodeId, NodeId)> = (0..n + 10)
+            .map(|i| (NodeId(i % n), NodeId((i * 7 + 3) % n)))
+            .chain([(NodeId(n + 5), NodeId(0)), (NodeId(0), NodeId(n + 5))])
+            .collect();
+        let mut sequential = Linking::new(n as usize, n as usize);
+        let mut expected = 0;
+        for &(u1, u2) in &pairs {
+            if sequential.insert(u1, u2) {
+                expected += 1;
+            }
+        }
+        let mut batched = Linking::new(n as usize, n as usize);
+        assert_eq!(batched.insert_batch(&pairs), expected);
+        assert_eq!(batched, sequential);
+        let mut prevalidated = Linking::new(n as usize, n as usize);
+        assert_eq!(prevalidated.insert_batch_prevalidated(&pairs), expected);
+        assert_eq!(prevalidated, sequential);
+    }
+
+    #[test]
+    fn insert_batch_small_batches_take_the_sequential_path() {
+        let mut l = Linking::new(4, 4);
+        let added = l.insert_batch(&[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))]);
+        assert_eq!(added, 1, "second pair reuses the g1 endpoint");
+        assert_eq!(l.linked_in_g2(NodeId(0)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn capacities_report_construction_sizes() {
+        let l = Linking::new(3, 7);
+        assert_eq!(l.g1_capacity(), 3);
+        assert_eq!(l.g2_capacity(), 7);
     }
 
     #[test]

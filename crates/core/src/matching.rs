@@ -22,15 +22,18 @@ use std::collections::HashMap;
 
 /// The best partner found for one node: the partner id, the score, and
 /// whether that score was strictly better than every other partner's.
+///
+/// Shared with [`crate::scoring`], whose fused selection sink accumulates
+/// the same per-node state during row finalization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Best {
-    partner: u32,
-    score: u32,
-    unique: bool,
+pub(crate) struct Best {
+    pub(crate) partner: u32,
+    pub(crate) score: u32,
+    pub(crate) unique: bool,
 }
 
 impl Best {
-    fn consider(&mut self, partner: u32, score: u32) {
+    pub(crate) fn consider(&mut self, partner: u32, score: u32) {
         match score.cmp(&self.score) {
             std::cmp::Ordering::Greater => {
                 *self = Best { partner, score, unique: true };
@@ -52,7 +55,7 @@ impl Best {
     /// the two halves means two distinct partners tie, so the merged best is
     /// not unique. This makes the parallel reduction produce exactly the
     /// state `consider` would reach sequentially, in any partition order.
-    fn merge(self, other: Best) -> Best {
+    pub(crate) fn merge(self, other: Best) -> Best {
         match self.score.cmp(&other.score) {
             std::cmp::Ordering::Greater => self,
             std::cmp::Ordering::Less => other,
@@ -138,21 +141,22 @@ pub fn mutual_best_pairs(scores: &ScoreTable, threshold: u32) -> Vec<(NodeId, No
     select_mutual(&tables, threshold)
 }
 
-/// The same selection with the best-partner tables built in parallel: score
-/// entries are partitioned across rayon workers, each worker accumulates
-/// partial tables, and partials are merged with [`Best::merge`] (which
-/// preserves tie-abstention across partition boundaries). Produces exactly
-/// the same pairs as [`mutual_best_pairs`] — this is what makes
-/// [`crate::Backend::Rayon`] bit-for-bit equivalent to the sequential
-/// backend through the whole phase, not just witness counting.
+/// The same selection with the best-partner tables built in parallel: the
+/// score table is streamed directly to rayon workers (batched shard
+/// iteration — no up-front copy of the whole table into a `Vec`), each
+/// worker accumulates partial tables, and partials are merged with
+/// [`Best::merge`] (which preserves tie-abstention across partition
+/// boundaries). Produces exactly the same pairs as [`mutual_best_pairs`] —
+/// this is what makes [`crate::Backend::Rayon`] bit-for-bit equivalent to
+/// the sequential backend through the whole phase, not just witness
+/// counting.
 pub fn mutual_best_pairs_rayon(scores: &ScoreTable, threshold: u32) -> Vec<(NodeId, NodeId)> {
     let threshold = threshold.max(1);
-    let entries: Vec<((u32, u32), u32)> = scores.iter().map(|(&k, &s)| (k, s)).collect();
-    let tables = entries
+    let tables = scores
         .par_iter()
         .fold(
             || (HashMap::new(), HashMap::new()),
-            |mut tables: BestTables, &((u, v), score)| {
+            |mut tables: BestTables, (&(u, v), &score)| {
                 accumulate_entry(&mut tables, u, v, score);
                 tables
             },

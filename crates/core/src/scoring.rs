@@ -1,0 +1,582 @@
+//! The arena-based witness-scoring engine — the fast path of every phase.
+//!
+//! [`crate::witness::count_sequential`] materializes a global
+//! `HashMap<(u32, u32), u32>` and pays one hash probe per witness
+//! contribution, i.e. per element of `Σ_{(w1,w2)∈L} d1(w1)·d2(w2)`. That
+//! probe is the dominant cost of the whole algorithm at R-MAT-16 and above.
+//! This module removes it with a data-layout change:
+//!
+//! * **Candidate-centric rows.** Instead of iterating links and scattering
+//!   `(u, v)` contributions, we iterate the candidate copy-1 nodes `u`. Each
+//!   row `score(u, ·)` depends only on `u`'s own neighborhood, so rows are
+//!   independent: workers own disjoint sets of rows and the parallel path
+//!   needs no merge of overlapping tables.
+//! * **[`LinkCache`]** decodes, once per phase, the threshold-filtered
+//!   copy-2 neighbor list of every linked pair `(w1, w2)` into one flat
+//!   arena, and maps `w1` to its slice in O(1). Scoring a row is then a pure
+//!   slice scan — no per-link block decoding (this is what closes the
+//!   `CompactCsr` gap) and no hashing.
+//! * **[`ScoreArena`]** accumulates one row into a dense, generation-stamped
+//!   scratch (`scores[v]`, `stamp[v]`, `touched`). Starting a row is O(1)
+//!   (bump the epoch), and a contribution is one array increment.
+//! * **[`ScoreSink`]** receives each finished row. [`TableSink`] rebuilds
+//!   the classic sparse [`ScoreTable`] (the compatibility path used by the
+//!   equivalence tests); [`SelectSink`] fuses mutual-best selection into row
+//!   finalization — it keeps each row's argmax and a per-`v` running best,
+//!   so the full score table is never materialized on the fast path.
+//!
+//! The fused output is bit-for-bit identical to
+//! `mutual_best_pairs(&count_sequential(..), t)`: per-row bests are exact
+//! (each worker sees whole rows), and per-`v` bests merge with
+//! [`Best::merge`], which is associative, commutative, and preserves
+//! tie-abstention across worker boundaries.
+
+use crate::linking::Linking;
+use crate::matching::Best;
+use crate::witness::ScoreTable;
+use rayon::prelude::*;
+use snr_graph::{GraphView, NodeId};
+
+/// Sentinel in [`LinkCache::slot`] for copy-1 nodes that are not linked.
+const NO_LINK: u32 = u32::MAX;
+
+/// Minimum candidate-row count before the parallel driver spawns workers.
+const PARALLEL_CUTOFF: usize = 64;
+
+/// Per-phase decoded-neighbor cache: for every link `(w1, w2)`, the
+/// threshold-eligible neighbors of `w2`, decoded once and stored in one flat
+/// arena.
+///
+/// During a phase the link set and the eligibility predicate are fixed, so
+/// each linked `w2`'s list can be decoded and filtered exactly once instead
+/// of once per copy-1 node adjacent to `w1` (for `CompactCsr` that decode is
+/// a varint block walk — the per-link cost the ROADMAP flagged at R-MAT-18).
+pub struct LinkCache {
+    /// `slot[w1]` is the link index of `w1`, or [`NO_LINK`].
+    slot: Vec<u32>,
+    /// `offsets[k]..offsets[k + 1]` is link `k`'s slice of `targets`.
+    offsets: Vec<u32>,
+    /// Eligible copy-2 neighbors of every link, concatenated.
+    targets: Vec<u32>,
+}
+
+impl LinkCache {
+    /// Decodes and filters the copy-2 neighborhoods of all current links.
+    ///
+    /// Cost: `O(n1 + Σ_{(w1,w2)∈L} d2(w2))` — the same neighborhood scan one
+    /// link-centric pass already pays, amortized over the whole phase. The
+    /// slot array is sized by [`Linking::g1_capacity`], which bounds every
+    /// `w1` the linking can contain (inserts are bounds-checked).
+    pub fn build<G2: GraphView>(g2: &G2, links: &Linking, min_deg2: usize) -> LinkCache {
+        let mut slot = vec![NO_LINK; links.g1_capacity()];
+        let mut offsets = Vec::with_capacity(links.len() + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::new();
+        for (w1, w2) in links.pairs() {
+            slot[w1.index()] = (offsets.len() - 1) as u32;
+            targets.extend(
+                g2.neighbors_iter(w2)
+                    .filter(|&v| g2.degree(v) >= min_deg2 && !links.is_linked_g2(v))
+                    .map(|v| v.0),
+            );
+            offsets.push(targets.len() as u32);
+        }
+        LinkCache { slot, offsets, targets }
+    }
+
+    /// The cached eligible copy-2 neighbors of `w1`'s link partner, or
+    /// `None` if `w1` is not linked.
+    #[inline]
+    pub fn eligible_of(&self, w1: NodeId) -> Option<&[u32]> {
+        let k = *self.slot.get(w1.index())?;
+        if k == NO_LINK {
+            return None;
+        }
+        let lo = self.offsets[k as usize] as usize;
+        let hi = self.offsets[k as usize + 1] as usize;
+        Some(&self.targets[lo..hi])
+    }
+
+    /// Total number of cached eligible neighbors across all links.
+    pub fn cached_targets(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Dense, generation-stamped scratch for accumulating one candidate row.
+///
+/// `scores[v]` is valid only where `stamp[v] == epoch`; bumping the epoch
+/// invalidates the whole row in O(1), so the arena is reused across every
+/// row of a phase without clearing.
+pub struct ScoreArena {
+    scores: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    touched: Vec<u32>,
+}
+
+impl ScoreArena {
+    /// An arena over `n2` copy-2 nodes.
+    pub fn new(n2: usize) -> ScoreArena {
+        ScoreArena { scores: vec![0; n2], stamp: vec![0; n2], epoch: 0, touched: Vec::new() }
+    }
+
+    /// Starts a new row, invalidating the previous one in O(1).
+    #[inline]
+    pub fn begin_row(&mut self) {
+        self.touched.clear();
+        if self.epoch == u32::MAX {
+            // One reset every 2^32 - 1 rows keeps the stamp test exact.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Adds one witness contribution for copy-2 node `v`.
+    #[inline]
+    pub fn bump(&mut self, v: u32) {
+        let i = v as usize;
+        if self.stamp[i] == self.epoch {
+            self.scores[i] += 1;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.scores[i] = 1;
+            self.touched.push(v);
+        }
+    }
+
+    /// The copy-2 nodes with a non-zero score in the current row, in first-
+    /// touch order.
+    #[inline]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// The current row's score for `v`. Only meaningful for touched `v`.
+    #[inline]
+    pub fn get(&self, v: u32) -> u32 {
+        self.scores[v as usize]
+    }
+}
+
+/// Consumer of finished candidate rows.
+///
+/// The scoring drivers call [`ScoreSink::row`] once per candidate `u` whose
+/// row has at least one non-zero entry, then combine per-worker sinks with
+/// [`ScoreSink::merge`]. Implementations must be order-independent: rows
+/// arrive in ascending `u` order within a worker, but worker merge order is
+/// unspecified.
+pub trait ScoreSink: Sized + Send {
+    /// Consumes one finished row; read it via `arena.touched()` /
+    /// `arena.get(v)`.
+    fn row(&mut self, u: u32, arena: &ScoreArena);
+
+    /// Folds another worker's sink into this one.
+    fn merge(&mut self, other: Self);
+}
+
+/// [`ScoreSink`] that rebuilds the sparse [`ScoreTable`] — the
+/// compatibility path for the oracle/equivalence tests and any caller that
+/// needs the whole table.
+#[derive(Default)]
+pub struct TableSink {
+    table: ScoreTable,
+}
+
+impl TableSink {
+    /// The accumulated score table.
+    pub fn into_table(self) -> ScoreTable {
+        self.table
+    }
+}
+
+impl ScoreSink for TableSink {
+    fn row(&mut self, u: u32, arena: &ScoreArena) {
+        // Rows are disjoint, so these inserts never probe an occupied key;
+        // geometric growth amortizes better than per-row reserves.
+        for &v in arena.touched() {
+            self.table.insert((u, v), arena.get(v));
+        }
+    }
+
+    fn merge(&mut self, mut other: Self) {
+        // Workers own disjoint rows, so this is a plain union; iterate the
+        // smaller table into the larger, pre-reserved one.
+        if other.table.len() > self.table.len() {
+            std::mem::swap(&mut self.table, &mut other.table);
+        }
+        self.table.reserve(other.table.len());
+        self.table.extend(other.table);
+    }
+}
+
+/// [`ScoreSink`] that fuses mutual-best selection into row finalization.
+///
+/// Finishing a row computes its argmax (the row is complete, so the
+/// strict-uniqueness flag is exact) and folds every entry into a dense
+/// per-`v` running best. The full score table is never materialized.
+pub struct SelectSink {
+    threshold: u32,
+    /// Rows whose best entry met the threshold with a strictly unique
+    /// score: `(u, best)` in ascending `u` order per worker.
+    claims: Vec<(u32, Best)>,
+    /// Running best partner for every copy-2 node; `score == 0` means no
+    /// entry seen yet.
+    best_v: Vec<Best>,
+    /// Total number of non-zero `(u, v)` pairs seen (the `scored_pairs`
+    /// phase statistic, kept identical to `ScoreTable::len`).
+    scored_pairs: usize,
+}
+
+impl SelectSink {
+    /// A sink selecting pairs with at least `threshold` witnesses over `n2`
+    /// copy-2 nodes. A threshold of 0 is clamped to 1, matching
+    /// [`crate::matching::mutual_best_pairs`].
+    pub fn new(n2: usize, threshold: u32) -> SelectSink {
+        SelectSink {
+            threshold: threshold.max(1),
+            claims: Vec::new(),
+            best_v: vec![Best { partner: NO_LINK, score: 0, unique: false }; n2],
+            scored_pairs: 0,
+        }
+    }
+
+    /// Completes the selection: a claimed row `(u, v)` survives iff `u` is
+    /// also `v`'s strictly-unique best. Returns the scored-pair count and
+    /// the selected pairs in ascending `(u, v)` order — exactly
+    /// `mutual_best_pairs(&table, threshold)`.
+    pub fn finish(self) -> (usize, Vec<(NodeId, NodeId)>) {
+        let mut out = Vec::new();
+        for (u, b) in &self.claims {
+            let bv = &self.best_v[b.partner as usize];
+            // bv.partner == u implies bv.score == b.score >= threshold.
+            if bv.unique && bv.partner == *u {
+                out.push((NodeId(*u), NodeId(b.partner)));
+            }
+        }
+        out.sort_unstable();
+        (self.scored_pairs, out)
+    }
+}
+
+impl ScoreSink for SelectSink {
+    fn row(&mut self, u: u32, arena: &ScoreArena) {
+        let touched = arena.touched();
+        self.scored_pairs += touched.len();
+        let mut iter = touched.iter();
+        let &v0 = iter.next().expect("drivers only emit non-empty rows");
+        let mut best = Best { partner: v0, score: arena.get(v0), unique: true };
+        self.best_v[v0 as usize].consider(u, best.score);
+        for &v in iter {
+            let score = arena.get(v);
+            best.consider(v, score);
+            self.best_v[v as usize].consider(u, score);
+        }
+        if best.unique && best.score >= self.threshold {
+            self.claims.push((u, best));
+        }
+    }
+
+    fn merge(&mut self, mut other: Self) {
+        self.scored_pairs += other.scored_pairs;
+        self.claims.append(&mut other.claims);
+        // Workers score disjoint `u` rows but share the `v` axis; the
+        // per-`v` bests merge with the tie-abstaining, order-independent
+        // `Best::merge`.
+        for (mine, theirs) in self.best_v.iter_mut().zip(other.best_v) {
+            if theirs.score > 0 {
+                *mine = if mine.score > 0 { mine.merge(theirs) } else { theirs };
+            }
+        }
+    }
+}
+
+/// Collects the phase's candidate copy-1 nodes: degree at least `min_deg1`
+/// and not yet linked, in ascending id order.
+fn collect_candidates<G1: GraphView>(g1: &G1, links: &Linking, min_deg1: usize) -> Vec<u32> {
+    (0..g1.node_count() as u32)
+        .filter(|&u| g1.degree(NodeId(u)) >= min_deg1 && !links.is_linked_g1(NodeId(u)))
+        .collect()
+}
+
+/// Scores one candidate row into `arena` and hands it to the sink (empty
+/// rows are skipped — they would not appear in a sparse table either).
+#[inline]
+fn score_row<G1: GraphView, S: ScoreSink>(
+    g1: &G1,
+    cache: &LinkCache,
+    u: u32,
+    arena: &mut ScoreArena,
+    sink: &mut S,
+) {
+    arena.begin_row();
+    for w1 in g1.neighbors_iter(NodeId(u)) {
+        if let Some(vs) = cache.eligible_of(w1) {
+            for &v in vs {
+                arena.bump(v);
+            }
+        }
+    }
+    if !arena.touched().is_empty() {
+        sink.row(u, arena);
+    }
+}
+
+/// Runs one phase of arena scoring and returns the merged sink.
+///
+/// `parallel = false` scores every row on the calling thread; `parallel =
+/// true` partitions the candidate rows across rayon workers (each with a
+/// private arena and sink) and merges the per-worker sinks. Both paths feed
+/// identical rows to identical sinks, so any [`ScoreSink`] observes the
+/// same multiset of rows either way.
+pub fn score_phase<G1, G2, S, F>(
+    g1: &G1,
+    g2: &G2,
+    links: &Linking,
+    min_deg1: usize,
+    min_deg2: usize,
+    parallel: bool,
+    make_sink: F,
+) -> S
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+    S: ScoreSink,
+    F: Fn() -> S + Sync,
+{
+    let cache = LinkCache::build(g2, links, min_deg2);
+    let candidates = collect_candidates(g1, links, min_deg1);
+    let n2 = g2.node_count();
+
+    if !parallel || candidates.len() < PARALLEL_CUTOFF {
+        let mut arena = ScoreArena::new(n2);
+        let mut sink = make_sink();
+        for &u in &candidates {
+            score_row(g1, &cache, u, &mut arena, &mut sink);
+        }
+        sink
+    } else {
+        // One contiguous chunk of candidate rows per worker — chunked here
+        // rather than by the scheduler, so scratch memory stays
+        // O(workers · n2) (one arena + one sink each) and the number of
+        // O(n2) sink merges equals the worker count, independent of how
+        // finely the underlying pool slices work. Whole rows stay on one
+        // worker either way, and merge order is fixed left-to-right (the
+        // sinks are order-independent regardless).
+        let workers = rayon::current_num_threads().max(1);
+        let chunk_size = candidates.len().div_ceil(workers);
+        let chunks: Vec<&[u32]> = candidates.chunks(chunk_size).collect();
+        let sinks: Vec<S> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let mut arena = ScoreArena::new(n2);
+                let mut sink = make_sink();
+                for &u in *chunk {
+                    score_row(g1, &cache, u, &mut arena, &mut sink);
+                }
+                sink
+            })
+            .collect();
+        let mut iter = sinks.into_iter();
+        let mut acc = iter.next().expect("candidate set is non-empty in the parallel branch");
+        for other in iter {
+            acc.merge(other);
+        }
+        acc
+    }
+}
+
+/// One fused phase: witness scoring and mutual-best selection in a single
+/// pass, without materializing a [`ScoreTable`].
+///
+/// Returns `(scored_pairs, selected_pairs)` where `scored_pairs` equals the
+/// length of the table the compatibility path would have built and
+/// `selected_pairs` equals `mutual_best_pairs(&table, threshold)` (ascending
+/// `(u, v)` order). This is the phase kernel `UserMatching` runs on the
+/// sequential and rayon backends.
+pub fn fused_phase<G1, G2>(
+    g1: &G1,
+    g2: &G2,
+    links: &Linking,
+    min_deg1: usize,
+    min_deg2: usize,
+    threshold: u32,
+    parallel: bool,
+) -> (usize, Vec<(NodeId, NodeId)>)
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+{
+    let n2 = g2.node_count();
+    score_phase(g1, g2, links, min_deg1, min_deg2, parallel, || SelectSink::new(n2, threshold))
+        .finish()
+}
+
+/// Arena-based construction of the full sparse [`ScoreTable`] — the same
+/// table as [`crate::witness::count_sequential`], built without per-
+/// contribution hashing (each pair is hashed once, on insertion).
+pub fn arena_score_table<G1, G2>(
+    g1: &G1,
+    g2: &G2,
+    links: &Linking,
+    min_deg1: usize,
+    min_deg2: usize,
+    parallel: bool,
+) -> ScoreTable
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+{
+    score_phase(g1, g2, links, min_deg1, min_deg2, parallel, TableSink::default).into_table()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::mutual_best_pairs;
+    use crate::witness::{count_brute_force, count_sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snr_generators::preferential_attachment;
+    use snr_graph::CsrGraph;
+    use snr_sampling::independent::independent_deletion_symmetric;
+    use snr_sampling::sample_seeds;
+
+    fn tiny_case() -> (CsrGraph, CsrGraph, Linking) {
+        let g1 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let g2 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let links = Linking::with_seeds(5, 5, &[(NodeId(2), NodeId(2))]);
+        (g1, g2, links)
+    }
+
+    fn pa_workload(seed: u64, n: usize, m: usize) -> (CsrGraph, CsrGraph, Linking) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = preferential_attachment(n, m, &mut rng).unwrap();
+        let pair = independent_deletion_symmetric(&g, 0.6, &mut rng).unwrap();
+        let seeds = sample_seeds(&pair, 0.12, &mut rng).unwrap();
+        let links = Linking::with_seeds(pair.g1.node_count(), pair.g2.node_count(), &seeds);
+        (pair.g1, pair.g2, links)
+    }
+
+    #[test]
+    fn arena_rows_reset_in_constant_time() {
+        let mut arena = ScoreArena::new(4);
+        arena.begin_row();
+        arena.bump(1);
+        arena.bump(1);
+        arena.bump(3);
+        assert_eq!(arena.touched(), &[1, 3]);
+        assert_eq!(arena.get(1), 2);
+        assert_eq!(arena.get(3), 1);
+        arena.begin_row();
+        assert!(arena.touched().is_empty());
+        arena.bump(1);
+        assert_eq!(arena.get(1), 1, "stale score must not leak across rows");
+    }
+
+    #[test]
+    fn arena_epoch_wrap_clears_stamps() {
+        let mut arena = ScoreArena::new(2);
+        arena.epoch = u32::MAX - 1;
+        arena.begin_row(); // epoch == MAX
+        arena.bump(0);
+        assert_eq!(arena.get(0), 1);
+        arena.begin_row(); // wraps: stamps cleared, epoch == 1
+        assert_eq!(arena.epoch, 1);
+        arena.bump(0);
+        assert_eq!(arena.get(0), 1);
+        assert_eq!(arena.touched(), &[0]);
+    }
+
+    #[test]
+    fn link_cache_maps_linked_nodes_to_filtered_neighbors() {
+        let (_g1, g2, links) = tiny_case();
+        let cache = LinkCache::build(&g2, &links, 2);
+        // Node 2 is linked to 2; N2(2) = {1, 3}, both degree 2 and unlinked.
+        assert_eq!(cache.eligible_of(NodeId(2)), Some(&[1u32, 3][..]));
+        assert_eq!(cache.eligible_of(NodeId(0)), None, "unlinked node has no cache entry");
+        assert_eq!(cache.cached_targets(), 2);
+        // Raising the threshold filters the cached lists.
+        let cache = LinkCache::build(&g2, &links, 3);
+        assert_eq!(cache.eligible_of(NodeId(2)), Some(&[][..]));
+    }
+
+    #[test]
+    fn arena_table_matches_reference_on_tiny_case() {
+        let (g1, g2, links) = tiny_case();
+        for d in [1usize, 2, 3] {
+            let reference = count_sequential(&g1, &g2, &links, d, d);
+            assert_eq!(arena_score_table(&g1, &g2, &links, d, d, false), reference);
+            assert_eq!(arena_score_table(&g1, &g2, &links, d, d, true), reference);
+        }
+    }
+
+    #[test]
+    fn arena_table_matches_brute_force_on_random_graphs() {
+        let (g1, g2, links) = pa_workload(19, 300, 5);
+        for d in [1usize, 2, 4] {
+            let oracle = count_brute_force(&g1, &g2, &links, d, d);
+            assert_eq!(arena_score_table(&g1, &g2, &links, d, d, false), oracle);
+            assert_eq!(arena_score_table(&g1, &g2, &links, d, d, true), oracle);
+        }
+    }
+
+    #[test]
+    fn fused_phase_matches_unfused_pipeline() {
+        let (g1, g2, links) = pa_workload(23, 400, 6);
+        for d in [1usize, 2, 4] {
+            for t in [1u32, 2, 3] {
+                let table = count_sequential(&g1, &g2, &links, d, d);
+                let expected = mutual_best_pairs(&table, t);
+                for parallel in [false, true] {
+                    let (scored, pairs) = fused_phase(&g1, &g2, &links, d, d, t, parallel);
+                    assert_eq!(scored, table.len(), "scored_pairs d={d} t={t}");
+                    assert_eq!(pairs, expected, "pairs d={d} t={t} parallel={parallel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_phase_on_compact_and_mixed_representations() {
+        let (g1, g2, links) = pa_workload(29, 350, 6);
+        let (c1, c2) = (g1.compact(), g2.compact());
+        let table = count_sequential(&g1, &g2, &links, 2, 2);
+        let expected = mutual_best_pairs(&table, 2);
+        for parallel in [false, true] {
+            assert_eq!(fused_phase(&c1, &c2, &links, 2, 2, 2, parallel).1, expected);
+            assert_eq!(fused_phase(&g1, &c2, &links, 2, 2, 2, parallel).1, expected);
+            assert_eq!(fused_phase(&c1, &g2, &links, 2, 2, 2, parallel).1, expected);
+        }
+    }
+
+    #[test]
+    fn fused_phase_clamps_threshold_zero_to_one() {
+        let (g1, g2, links) = tiny_case();
+        assert_eq!(
+            fused_phase(&g1, &g2, &links, 1, 1, 0, false),
+            fused_phase(&g1, &g2, &links, 1, 1, 1, false)
+        );
+    }
+
+    #[test]
+    fn empty_links_score_nothing() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let links = Linking::new(4, 4);
+        let (scored, pairs) = fused_phase(&g, &g.clone(), &links, 1, 1, 1, false);
+        assert_eq!(scored, 0);
+        assert!(pairs.is_empty());
+        assert!(arena_score_table(&g, &g.clone(), &links, 1, 1, true).is_empty());
+    }
+
+    #[test]
+    fn empty_graphs_are_handled() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let links = Linking::new(0, 0);
+        let (scored, pairs) = fused_phase(&g, &g.clone(), &links, 1, 1, 2, true);
+        assert_eq!(scored, 0);
+        assert!(pairs.is_empty());
+    }
+}

@@ -12,10 +12,32 @@
 //! which is exactly how the paper obtains the
 //! `O((E1+E2)·min(Δ1,Δ2))`-per-bucket bound; pairs with zero witnesses are
 //! never touched.
+//!
+//! # The two scoring paths
+//!
+//! There are two interchangeable implementations of that same count:
+//!
+//! * **Arena fast path** ([`crate::scoring`]) — candidate-centric rows
+//!   scored into a dense generation-stamped scratch, with the per-link
+//!   eligible-neighbor lists decoded once per phase into a
+//!   [`crate::scoring::LinkCache`]. No hashing in the inner loop, rows are
+//!   disjoint across workers (no additive merge), and mutual-best selection
+//!   can be fused into row finalization so no score table is materialized.
+//!   This is what [`crate::UserMatching`] runs on the sequential and rayon
+//!   backends, and what [`count_rayon`] uses to build its table.
+//! * **ScoreTable compatibility path** (this module) — link-centric
+//!   accumulation into the sparse `HashMap` table. [`count_sequential`]
+//!   stays the independently-implemented reference the equivalence tests
+//!   pin everything against ([`count_brute_force`] is the slow oracle), and
+//!   [`count_mapreduce`] expresses the same count as an engine round, which
+//!   inherently needs the explicit `((u, v), count)` records.
+//!
+//! Use [`count_witnesses`] when the full table is needed; use
+//! [`crate::scoring::fused_phase`] inside phase loops where only the
+//! selected pairs matter.
 
 use crate::backend::Backend;
 use crate::linking::Linking;
-use rayon::prelude::*;
 use snr_graph::{GraphView, NodeId};
 use snr_mapreduce::Engine;
 use std::collections::HashMap;
@@ -91,10 +113,8 @@ fn eligible_g2_neighbors<G2: GraphView>(
     min_deg2: usize,
     buf: &mut Vec<NodeId>,
 ) {
-    buf.clear();
-    buf.extend(
-        g2.neighbors_iter(w2).filter(|&v| g2.degree(v) >= min_deg2 && !links.is_linked_g2(v)),
-    );
+    g2.neighbors_into(w2, buf);
+    buf.retain(|&v| g2.degree(v) >= min_deg2 && !links.is_linked_g2(v));
 }
 
 /// Sequential reference implementation.
@@ -124,8 +144,11 @@ pub fn count_sequential<G1: GraphView, G2: GraphView>(
     scores
 }
 
-/// Rayon data-parallel implementation: links are processed in parallel with
-/// per-thread partial tables folded together at the end.
+/// Rayon data-parallel implementation, built on the arena scorer: candidate
+/// rows are partitioned across workers (each with a private dense scratch),
+/// so the per-worker tables are disjoint and the reduction is a plain
+/// pre-reserved union instead of the additive HashMap merge the old
+/// link-centric fold needed.
 pub fn count_rayon<G1, G2>(
     g1: &G1,
     g2: &G2,
@@ -137,44 +160,7 @@ where
     G1: GraphView + Sync,
     G2: GraphView + Sync,
 {
-    let link_vec: Vec<(NodeId, NodeId)> = links.to_vec();
-    // The fold state carries a scratch buffer next to the partial table so
-    // each worker decodes one link's eligible copy-2 neighbors without a
-    // per-link allocation (matching the sequential path's reuse).
-    let (scores, _) = link_vec
-        .par_iter()
-        .fold(
-            || (ScoreTable::new(), Vec::new()),
-            |(mut local, mut vs), &(w1, w2)| {
-                eligible_g2_neighbors(g2, links, w2, min_deg2, &mut vs);
-                if !vs.is_empty() {
-                    for u in g1.neighbors_iter(w1) {
-                        if g1.degree(u) < min_deg1 || links.is_linked_g1(u) {
-                            continue;
-                        }
-                        for &v in &vs {
-                            *local.entry((u.0, v.0)).or_insert(0) += 1;
-                        }
-                    }
-                }
-                (local, vs)
-            },
-        )
-        .reduce(
-            || (ScoreTable::new(), Vec::new()),
-            |(a, _), (b, _)| {
-                let (big, small) = if a.len() >= b.len() { (a, b) } else { (b, a) };
-                (merge_into(big, small), Vec::new())
-            },
-        );
-    scores
-}
-
-fn merge_into(mut big: ScoreTable, small: ScoreTable) -> ScoreTable {
-    for (k, v) in small {
-        *big.entry(k).or_insert(0) += v;
-    }
-    big
+    crate::scoring::arena_score_table(g1, g2, links, min_deg1, min_deg2, true)
 }
 
 /// MapReduce implementation: one engine round whose mappers emit a

@@ -34,4 +34,4 @@ pub mod validate;
 
 pub use cli::ExperimentArgs;
 pub use runner::{run_baseline, run_user_matching, run_user_matching_on, ExperimentRun};
-pub use validate::validate_record_json;
+pub use validate::{check_bench_regressions, validate_record_json, BenchBaseline, BenchRecord};

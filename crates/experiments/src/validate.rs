@@ -1,4 +1,5 @@
-//! Schema validation for emitted experiment records.
+//! Schema validation for emitted experiment records and benchmark
+//! regression gating.
 //!
 //! CI smoke-runs the fastest experiment binaries and then checks their
 //! `--json` output with [`validate_record_json`]: the record must parse,
@@ -6,8 +7,15 @@
 //! number in it must be finite. This catches the failure mode where a
 //! binary "succeeds" while silently emitting NaNs or an empty table — a
 //! regression the exit code alone would never show.
+//!
+//! CI also smoke-runs `bench_witnesses` and diffs the criterion-shim JSON
+//! records against the checked-in `BENCH_BASELINE.json` with
+//! [`check_bench_regressions`], so a change that quietly slows the witness
+//! kernel past the tolerance fails the build instead of landing unnoticed.
 
+use serde::{Deserialize, Serialize};
 use snr_metrics::ExperimentRecord;
+use std::collections::HashMap;
 
 /// Validates one JSON experiment record; returns a short human-readable
 /// summary on success and the first problem found on failure.
@@ -48,6 +56,89 @@ pub fn validate_record_json(json: &str) -> Result<String, String> {
         values,
         record.paper_reference
     ))
+}
+
+/// The checked-in benchmark baseline: per-label mean iteration times a
+/// bench smoke run is compared against.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// Where the baseline numbers were recorded (machine / settings), for
+    /// humans reading a failure.
+    pub note: String,
+    /// Relative slowdown allowed before a label counts as a regression
+    /// (`0.25` = fail when the mean is more than 25% above the baseline).
+    pub tolerance: f64,
+    /// Baseline mean seconds per iteration, keyed by the criterion label.
+    pub benches: HashMap<String, f64>,
+}
+
+/// One benchmark record as written by the criterion shim to
+/// `target/criterion-json/<label>.json`.
+#[derive(Clone, Debug, Deserialize)]
+pub struct BenchRecord {
+    /// Full criterion label (`group/bench`).
+    pub label: String,
+    /// Number of timed iterations behind the statistics.
+    pub samples: u64,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+}
+
+/// Diffs freshly measured benchmark means against a [`BenchBaseline`].
+///
+/// Every label pinned in the baseline must be present in `current` (a
+/// silently-renamed or deleted benchmark would otherwise disable its gate)
+/// and must not be slower than `baseline mean × (1 + tolerance)`. Returns
+/// one human-readable comparison line per label on success, or the list of
+/// problems on failure. Speedups never fail — they just show up in the
+/// report (and deserve a baseline refresh).
+pub fn check_bench_regressions(
+    baseline: &BenchBaseline,
+    current: &HashMap<String, f64>,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut labels: Vec<&String> = baseline.benches.keys().collect();
+    labels.sort();
+    let mut report = Vec::new();
+    let mut problems = Vec::new();
+    for label in labels {
+        let base = baseline.benches[label];
+        if !(base.is_finite() && base > 0.0) {
+            problems.push(format!("{label}: baseline mean {base} is not a positive number"));
+            continue;
+        }
+        match current.get(label) {
+            None => problems.push(format!("{label}: pinned in the baseline but not measured")),
+            Some(&mean) if !mean.is_finite() => {
+                problems.push(format!("{label}: measured mean is not finite ({mean})"));
+            }
+            Some(&mean) => {
+                let ratio = mean / base;
+                if ratio > 1.0 + tolerance {
+                    problems.push(format!(
+                        "{label}: regressed {:.1}% (baseline {:.3e}s, measured {:.3e}s, \
+                         tolerance {:.0}%)",
+                        (ratio - 1.0) * 100.0,
+                        base,
+                        mean,
+                        tolerance * 100.0
+                    ));
+                } else {
+                    report.push(format!(
+                        "{label}: {:+.1}% vs baseline ({:.3e}s -> {:.3e}s)",
+                        (ratio - 1.0) * 100.0,
+                        base,
+                        mean
+                    ));
+                }
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(report)
+    } else {
+        Err(problems)
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +199,57 @@ mod tests {
         let mut rec = ExperimentRecord::new(" ", "Table X");
         rec.push_row(MeasuredRow::new("r").value("v", 1.0));
         assert!(validate_record_json(&rec.to_json()).is_err());
+    }
+
+    fn baseline(entries: &[(&str, f64)]) -> BenchBaseline {
+        BenchBaseline {
+            note: "test".into(),
+            tolerance: 0.25,
+            benches: entries.iter().map(|&(l, m)| (l.to_string(), m)).collect(),
+        }
+    }
+
+    #[test]
+    fn bench_record_json_round_trips_from_the_shim_format() {
+        let json = "{\n  \"label\": \"witness_counting/backends/rayon\",\n  \"samples\": 15,\n  \
+                    \"mean_s\": 3.4e-3,\n  \"std_dev_s\": 1e-4,\n  \"min_s\": 3.2e-3,\n  \
+                    \"max_s\": 3.8e-3\n}\n";
+        let rec: BenchRecord = serde_json::from_str(json).unwrap();
+        assert_eq!(rec.label, "witness_counting/backends/rayon");
+        assert_eq!(rec.samples, 15);
+        assert!((rec.mean_s - 3.4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regressions_within_tolerance_pass() {
+        let base = baseline(&[("a", 1.0), ("b", 2.0)]);
+        let current = HashMap::from([("a".to_string(), 1.2), ("b".to_string(), 0.5)]);
+        let report = check_bench_regressions(&base, &current, 0.25).unwrap();
+        assert_eq!(report.len(), 2);
+        assert!(report.iter().any(|l| l.contains("+20.0%")), "{report:?}");
+    }
+
+    #[test]
+    fn regressions_beyond_tolerance_fail() {
+        let base = baseline(&[("a", 1.0)]);
+        let current = HashMap::from([("a".to_string(), 1.3)]);
+        let problems = check_bench_regressions(&base, &current, 0.25).unwrap_err();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("regressed 30.0%"), "{problems:?}");
+    }
+
+    #[test]
+    fn missing_measurements_fail_the_gate() {
+        let base = baseline(&[("a", 1.0), ("gone", 1.0)]);
+        let current = HashMap::from([("a".to_string(), 1.0)]);
+        let problems = check_bench_regressions(&base, &current, 0.25).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("gone")), "{problems:?}");
+    }
+
+    #[test]
+    fn non_positive_baselines_are_rejected() {
+        let base = baseline(&[("a", 0.0)]);
+        let current = HashMap::from([("a".to_string(), 1.0)]);
+        assert!(check_bench_regressions(&base, &current, 0.25).is_err());
     }
 }

@@ -249,6 +249,12 @@ impl GraphView for CsrGraph {
     }
 
     #[inline]
+    fn neighbors_into(&self, v: NodeId, buf: &mut Vec<NodeId>) {
+        buf.clear();
+        buf.extend_from_slice(self.neighbors(v));
+    }
+
+    #[inline]
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         CsrGraph::has_edge(self, u, v)
     }

@@ -54,6 +54,18 @@ pub trait GraphView {
     /// intersection kernels that want to skip forward sublinearly.
     fn neighbor_cursor(&self, v: NodeId) -> impl SortedCursor + '_;
 
+    /// Decodes the neighbors of `v` into `buf`, clearing it first.
+    ///
+    /// Equivalent to collecting [`GraphView::neighbors_iter`], but lets hot
+    /// per-phase loops reuse one allocation across many nodes — the witness
+    /// kernels decode thousands of (possibly block-compressed) lists per
+    /// phase and would otherwise allocate per node. Implementations with
+    /// contiguous storage override this with a memcpy.
+    fn neighbors_into(&self, v: NodeId, buf: &mut Vec<NodeId>) {
+        buf.clear();
+        buf.extend(self.neighbors_iter(v));
+    }
+
     /// Heap bytes used by the adjacency structure (offset/skip arrays plus
     /// target storage; excludes the constant-size header).
     fn memory_bytes(&self) -> usize;

@@ -126,24 +126,28 @@ impl Engine {
             })
         };
 
-        // ---- Shuffle phase --------------------------------------------------
-        // Regroup: partition p receives the p-th bucket of every map task.
+        // ---- Shuffle + reduce phase -----------------------------------------
+        // Transpose the per-task buckets into per-partition columns (cheap:
+        // only `Vec` headers move), then group and reduce each partition on
+        // the worker pool. Grouping consumes the column's buckets directly,
+        // so the shuffle's record movement — formerly a single-threaded
+        // concatenation — happens inside the per-partition workers.
         let mut shuffled_records = 0usize;
-        let mut partitions: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+        let mut columns: Vec<Vec<Vec<(K, V)>>> =
+            (0..parts).map(|_| Vec::with_capacity(map_tasks)).collect();
         for mut worker_buckets in buckets {
             for p in (0..parts).rev() {
                 let bucket = worker_buckets.pop().expect("bucket count mismatch");
                 shuffled_records += bucket.len();
-                partitions[p].extend(bucket);
+                columns[p].push(bucket);
             }
         }
 
-        // ---- Reduce phase ---------------------------------------------------
         let reduce_fn = &reduce;
         let reduced: Vec<(usize, Vec<O>)> = if self.workers == 1 || parts <= 1 {
-            partitions.into_iter().map(|pairs| reduce_partition(pairs, reduce_fn)).collect()
+            columns.into_iter().map(|col| reduce_partition(col, reduce_fn)).collect()
         } else {
-            parallel_map(self.workers, partitions, |pairs| reduce_partition(pairs, reduce_fn))
+            parallel_map(self.workers, columns, |col| reduce_partition(col, reduce_fn))
         };
 
         let key_groups: usize = reduced.iter().map(|(groups, _)| *groups).sum();
@@ -166,17 +170,22 @@ impl Engine {
     }
 }
 
-/// Groups a partition's `(key, value)` pairs by key (in sorted key order) and
-/// applies the reducer. Returns `(number_of_key_groups, outputs)`.
-fn reduce_partition<K, V, O, R>(mut pairs: Vec<(K, V)>, reduce: &R) -> (usize, Vec<O>)
+/// Groups one partition's `(key, value)` pairs — arriving as one bucket per
+/// map task — by key (in sorted key order) and applies the reducer. Returns
+/// `(number_of_key_groups, outputs)`. Consuming the buckets here, inside
+/// the per-partition worker, is what makes the shuffle partition-parallel.
+fn reduce_partition<K, V, O, R>(buckets: Vec<Vec<(K, V)>>, reduce: &R) -> (usize, Vec<O>)
 where
     K: Hash + Eq + Ord,
     R: Fn(K, Vec<V>) -> Vec<O>,
 {
     // Group with a HashMap, then sort keys for deterministic output order.
-    let mut groups: HashMap<K, Vec<V>> = HashMap::new();
-    for (k, v) in pairs.drain(..) {
-        groups.entry(k).or_default().push(v);
+    let record_count: usize = buckets.iter().map(Vec::len).sum();
+    let mut groups: HashMap<K, Vec<V>> = HashMap::with_capacity(record_count.min(1 << 20));
+    for bucket in buckets {
+        for (k, v) in bucket {
+            groups.entry(k).or_default().push(v);
+        }
     }
     let mut keyed: Vec<(K, Vec<V>)> = groups.into_iter().collect();
     keyed.sort_by(|a, b| a.0.cmp(&b.0));

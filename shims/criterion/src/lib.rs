@@ -10,7 +10,9 @@
 //!
 //! The iteration budget is intentionally small (time-boxed per benchmark)
 //! so `cargo bench` completes quickly; set `CRITERION_SHIM_SAMPLES` to
-//! override the per-benchmark sample count.
+//! override the per-benchmark sample count, or pass `--quick` (as in
+//! `cargo bench ... -- --quick`, mirroring criterion's quick mode) to cap
+//! every benchmark at 2 samples for CI smoke runs.
 
 #![forbid(unsafe_code)]
 
@@ -61,6 +63,13 @@ impl Criterion {
 
 fn default_samples() -> usize {
     std::env::var("CRITERION_SHIM_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(10)
+}
+
+/// True when the benchmark binary was invoked with `--quick` (mirroring
+/// criterion's quick mode): sample counts are capped so a whole bench
+/// target finishes in CI-smoke time while still emitting JSON records.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
 }
 
 /// A named group of benchmarks sharing configuration.
@@ -210,6 +219,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     samples: usize,
     mut f: F,
 ) {
+    let samples = if quick_mode() { samples.min(2) } else { samples };
     let mut bencher = Bencher { sample_times: Vec::new(), samples };
     f(&mut bencher);
     match summarize(&bencher.sample_times) {

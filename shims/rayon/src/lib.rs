@@ -129,6 +129,111 @@ where
     }
 }
 
+/// A parallel iterator over a borrowed `HashMap`, mirroring rayon's
+/// `&HashMap: IntoParallelIterator` support.
+///
+/// `std`'s `HashMap` exposes no random access or shard handles, so the
+/// items are streamed: workers repeatedly pull fixed-size batches from the
+/// map's iterator behind a mutex and fold them locally. No up-front
+/// materialization of the whole table, one accumulator per worker (not per
+/// batch), and the usual shim contract — reductions must be
+/// commutative/associative — gives deterministic results.
+pub struct ParHashMap<'data, K, V> {
+    map: &'data std::collections::HashMap<K, V>,
+}
+
+impl<'data, K: Sync + 'data, V: Sync + 'data> IntoParallelRefIterator<'data>
+    for std::collections::HashMap<K, V>
+{
+    type Item = (&'data K, &'data V);
+    type Iter = ParHashMap<'data, K, V>;
+
+    fn par_iter(&'data self) -> ParHashMap<'data, K, V> {
+        ParHashMap { map: self }
+    }
+}
+
+impl<'data, K: Sync, V: Sync> ParHashMap<'data, K, V> {
+    /// Parallel fold over `(&key, &value)` items; finished by
+    /// [`ParHashMapFold::reduce`].
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParHashMapFold<'data, K, V, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, (&'data K, &'data V)) -> A + Sync,
+    {
+        ParHashMapFold { map: self.map, identity, fold_op }
+    }
+}
+
+/// Pending parallel fold over a `HashMap`; finished by
+/// [`ParHashMapFold::reduce`].
+pub struct ParHashMapFold<'data, K, V, ID, F> {
+    map: &'data std::collections::HashMap<K, V>,
+    identity: ID,
+    fold_op: F,
+}
+
+/// Items pulled from the shared map iterator per lock acquisition.
+const MAP_BATCH: usize = 1_024;
+
+impl<'data, K, V, A, ID, F> ParHashMapFold<'data, K, V, ID, F>
+where
+    K: Sync,
+    V: Sync,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, (&'data K, &'data V)) -> A + Sync,
+{
+    /// Combines the per-worker accumulators with `reduce_op`, starting from
+    /// `reduce_identity()`.
+    pub fn reduce<RID, R>(self, reduce_identity: RID, reduce_op: R) -> A
+    where
+        RID: Fn() -> A,
+        R: Fn(A, A) -> A,
+    {
+        let len = self.map.len();
+        let workers = current_num_threads().clamp(1, len.div_ceil(MAP_BATCH).max(1));
+        if len == 0 || workers == 1 {
+            let mut acc = (self.identity)();
+            for kv in self.map.iter() {
+                acc = (self.fold_op)(acc, kv);
+            }
+            return reduce_op(reduce_identity(), acc);
+        }
+        let source = std::sync::Mutex::new(self.map.iter());
+        let accumulators: Vec<A> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut acc = (self.identity)();
+                        let mut batch = Vec::with_capacity(MAP_BATCH);
+                        loop {
+                            {
+                                let mut iter = source.lock().expect("map iterator mutex poisoned");
+                                batch.extend(iter.by_ref().take(MAP_BATCH));
+                            }
+                            if batch.is_empty() {
+                                break;
+                            }
+                            for kv in batch.drain(..) {
+                                acc = (self.fold_op)(acc, kv);
+                            }
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+        });
+        let mut result = reduce_identity();
+        for acc in accumulators {
+            result = reduce_op(result, acc);
+        }
+        result
+    }
+}
+
 /// Splits `slice` into contiguous chunks (several per available core, so
 /// reductions always see multiple partial accumulators and cores stay busy
 /// when chunks finish unevenly) and runs `f` on each chunk in a scoped
@@ -203,5 +308,23 @@ mod tests {
         let items: Vec<u32> = Vec::new();
         let sum = items.par_iter().fold(|| 0u32, |a, &b| a + b).reduce(|| 0, |a, b| a + b);
         assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn hashmap_fold_reduce_matches_sequential() {
+        let map: HashMap<u32, u64> = (0..20_000u32).map(|k| (k, (k as u64) * 3)).collect();
+        let par = map
+            .par_iter()
+            .fold(|| 0u64, |acc, (&k, &v)| acc + k as u64 + v)
+            .reduce(|| 0, |a, b| a + b);
+        let seq: u64 = map.iter().map(|(&k, &v)| k as u64 + v).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_hashmap_yields_identity() {
+        let map: HashMap<u32, u32> = HashMap::new();
+        let sum = map.par_iter().fold(|| 0u32, |a, (_, &v)| a + v).reduce(|| 7, |a, b| a + b);
+        assert_eq!(sum, 7);
     }
 }
