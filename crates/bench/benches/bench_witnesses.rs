@@ -1,15 +1,31 @@
 //! Microbenchmark: similarity-witness counting.
 //!
 //! The inner kernel of every phase. Compares the sequential, rayon, and
-//! MapReduce backends on the same workload, and shows the effect of the
-//! degree threshold (higher buckets touch far fewer candidate pairs).
+//! MapReduce backends on the same workload, shows the effect of the degree
+//! threshold (higher buckets touch far fewer candidate pairs), and runs the
+//! R-MAT-16 pass on all four graph representations (CSR, compact,
+//! mmap-backed segment, sharded) with their memory footprints printed for
+//! the record.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snr_bench::Workload;
 use snr_core::scoring::fused_phase;
 use snr_core::witness::{count_mapreduce, count_rayon, count_sequential};
+use snr_graph::GraphView;
 use snr_mapreduce::Engine;
+use snr_store::{write_segment_file, MmapGraph, ShardedGraph};
 use std::hint::black_box;
+use std::path::PathBuf;
+
+/// Writes `g` as a segment under the temp dir (overwriting any previous
+/// bench run's file) and reopens it mmap-backed.
+fn mmap_of<G: GraphView>(g: &G, name: &str) -> (MmapGraph, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("snr-bench-segments-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench segment dir");
+    let path = dir.join(format!("{name}.snrs"));
+    write_segment_file(g, &path).expect("write bench segment");
+    (MmapGraph::open(&path).expect("open bench segment"), path)
+}
 
 fn bench_backends(c: &mut Criterion) {
     let workload = Workload::pa(4_000, 10, 0.6, 0.10, 42);
@@ -83,6 +99,33 @@ fn bench_rmat16(c: &mut Criterion) {
     group.bench_function("compact/fused", |b| {
         b.iter(|| black_box(fused_phase(&c1, &c2, &links, 2, 2, 2, true)))
     });
+
+    // The storage subsystem on the same workload: witness pass over
+    // mmap-backed segments and over the 4-shard partition.
+    let ((m1, p1), (m2, p2)) = (mmap_of(g1, "rmat16-g1"), mmap_of(g2, "rmat16-g2"));
+    let (s1, s2) = (ShardedGraph::partition(g1, 4), ShardedGraph::partition(g2, 4));
+    println!("witness_counting/rmat16 graph memory (copy 1):");
+    for (name, bytes, bpe) in [
+        ("csr", GraphView::memory_bytes(g1), g1.bytes_per_edge()),
+        ("compact", c1.memory_bytes(), c1.bytes_per_edge()),
+        ("mmap", m1.memory_bytes(), m1.bytes_per_edge()),
+        ("sharded", s1.memory_bytes(), s1.bytes_per_edge()),
+    ] {
+        println!("  {name:8} memory_bytes = {bytes:>12}  bytes_per_edge = {bpe:.2}");
+    }
+    group.bench_function("mmap/fused", |b| {
+        b.iter(|| black_box(fused_phase(&m1, &m2, &links, 2, 2, 2, true)))
+    });
+    group.bench_function("sharded/fused", |b| {
+        b.iter(|| black_box(fused_phase(&s1, &s2, &links, 2, 2, 2, true)))
+    });
+    drop((m1, m2));
+    let dir = p1.parent().map(std::path::Path::to_path_buf);
+    let _ = std::fs::remove_file(p1);
+    let _ = std::fs::remove_file(p2);
+    if let Some(dir) = dir {
+        let _ = std::fs::remove_dir(dir);
+    }
     group.finish();
 }
 

@@ -43,6 +43,10 @@ const NO_LINK: u32 = u32::MAX;
 /// Minimum candidate-row count before the parallel driver spawns workers.
 const PARALLEL_CUTOFF: usize = 64;
 
+/// Minimum link count before [`LinkCache::build_parallel`] spawns workers;
+/// below this the per-chunk splice costs more than the decode it saves.
+const PARALLEL_BUILD_CUTOFF: usize = 1_024;
+
 /// Per-phase decoded-neighbor cache: for every link `(w1, w2)`, the
 /// threshold-eligible neighbors of `w2`, decoded once and stored in one flat
 /// arena.
@@ -80,6 +84,64 @@ impl LinkCache {
                     .map(|v| v.0),
             );
             offsets.push(targets.len() as u32);
+        }
+        LinkCache { slot, offsets, targets }
+    }
+
+    /// Parallel sibling of [`LinkCache::build`], producing a bit-identical
+    /// cache: the link list is split into contiguous chunks, each worker
+    /// decodes and filters its chunk's copy-2 neighborhoods into a private
+    /// target arena, and the arenas are spliced back in chunk order (so
+    /// offsets, targets, and slots come out exactly as the sequential build
+    /// would emit them). At RMAT-20+ link sets the per-phase decode is
+    /// `O(Σ d2(w2))` over millions of links — the last sequential stretch
+    /// of a rayon-backend phase.
+    pub fn build_parallel<G2: GraphView + Sync>(
+        g2: &G2,
+        links: &Linking,
+        min_deg2: usize,
+    ) -> LinkCache {
+        let pairs = links.to_vec();
+        if pairs.len() < PARALLEL_BUILD_CUTOFF {
+            return LinkCache::build(g2, links, min_deg2);
+        }
+        let chunk_size = pairs.len().div_ceil(rayon::current_num_threads());
+        let chunks: Vec<&[(NodeId, NodeId)]> = pairs.chunks(chunk_size).collect();
+        // Each part: (per-link filtered lengths, concatenated targets).
+        let parts: Vec<(Vec<u32>, Vec<u32>)> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let mut lens = Vec::with_capacity(chunk.len());
+                let mut targets = Vec::new();
+                for &(_, w2) in *chunk {
+                    let before = targets.len();
+                    targets.extend(
+                        g2.neighbors_iter(w2)
+                            .filter(|&v| g2.degree(v) >= min_deg2 && !links.is_linked_g2(v))
+                            .map(|v| v.0),
+                    );
+                    lens.push((targets.len() - before) as u32);
+                }
+                (lens, targets)
+            })
+            .collect();
+
+        // Splice in chunk order: global offsets are running sums over the
+        // per-link lengths, targets concatenate, and slot indices follow
+        // the same link order as the sequential build.
+        let mut slot = vec![NO_LINK; links.g1_capacity()];
+        let mut offsets = Vec::with_capacity(pairs.len() + 1);
+        offsets.push(0u32);
+        let total: usize = parts.iter().map(|(_, t)| t.len()).sum();
+        let mut targets = Vec::with_capacity(total);
+        let mut link_idx = 0usize;
+        for (lens, part_targets) in parts {
+            for len in lens {
+                slot[pairs[link_idx].0.index()] = link_idx as u32;
+                offsets.push(*offsets.last().expect("non-empty") + len);
+                link_idx += 1;
+            }
+            targets.extend(part_targets);
         }
         LinkCache { slot, offsets, targets }
     }
@@ -301,6 +363,50 @@ fn collect_candidates<G1: GraphView>(g1: &G1, links: &Linking, min_deg1: usize) 
         .collect()
 }
 
+/// Splits the sorted candidate list into per-worker chunks, aligning chunk
+/// boundaries with `g1`'s storage partitions when it has any (a sharded
+/// view: each worker then streams candidate rows from one shard instead of
+/// faulting pages across all of them). Large shards are subdivided so the
+/// chunk count still scales with the worker count; which chunking is chosen
+/// never changes results — rows are scored independently and the sinks
+/// merge order-independently.
+fn chunk_candidates<'a, G1: GraphView>(
+    g1: &G1,
+    candidates: &'a [u32],
+    workers: usize,
+) -> Vec<&'a [u32]> {
+    let shard_slices: Vec<&[u32]> = match g1.storage_partitions() {
+        Some(ranges) if ranges.len() > 1 => {
+            // Slice at every shard boundary, keeping the pieces *between*
+            // declared ranges too: a view whose partitions don't tile the
+            // node space must still have every candidate row scored —
+            // alignment is an optimization, coverage is correctness.
+            let mut cut_ids: Vec<u32> = ranges.iter().flat_map(|r| [r.start, r.end]).collect();
+            cut_ids.sort_unstable();
+            cut_ids.dedup();
+            let mut cut_positions: Vec<usize> = vec![0];
+            cut_positions.extend(cut_ids.iter().map(|&id| candidates.partition_point(|&u| u < id)));
+            cut_positions.push(candidates.len());
+            cut_positions.dedup();
+            cut_positions
+                .windows(2)
+                .map(|w| &candidates[w[0]..w[1]])
+                .filter(|s| !s.is_empty())
+                .collect()
+        }
+        _ => vec![candidates],
+    };
+    let total: usize = shard_slices.iter().map(|s| s.len()).sum();
+    let mut chunks = Vec::with_capacity(workers + shard_slices.len());
+    for slice in shard_slices {
+        // Subdivide proportionally to the slice's share of the candidates.
+        let pieces = (slice.len() * workers).div_ceil(total.max(1)).max(1);
+        let chunk_size = slice.len().div_ceil(pieces);
+        chunks.extend(slice.chunks(chunk_size));
+    }
+    chunks
+}
+
 /// Scores one candidate row into `arena` and hands it to the sink (empty
 /// rows are skipped — they would not appear in a sparse table either).
 #[inline]
@@ -346,7 +452,11 @@ where
     S: ScoreSink,
     F: Fn() -> S + Sync,
 {
-    let cache = LinkCache::build(g2, links, min_deg2);
+    let cache = if parallel {
+        LinkCache::build_parallel(g2, links, min_deg2)
+    } else {
+        LinkCache::build(g2, links, min_deg2)
+    };
     let candidates = collect_candidates(g1, links, min_deg1);
     let n2 = g2.node_count();
 
@@ -358,16 +468,16 @@ where
         }
         sink
     } else {
-        // One contiguous chunk of candidate rows per worker — chunked here
-        // rather than by the scheduler, so scratch memory stays
-        // O(workers · n2) (one arena + one sink each) and the number of
-        // O(n2) sink merges equals the worker count, independent of how
-        // finely the underlying pool slices work. Whole rows stay on one
-        // worker either way, and merge order is fixed left-to-right (the
-        // sinks are order-independent regardless).
+        // Contiguous chunks of candidate rows, shard-aligned when `g1` is a
+        // sharded view — chunked here rather than by the scheduler, so
+        // scratch memory stays O(chunks · n2) (one arena + one sink each)
+        // and the number of O(n2) sink merges stays proportional to the
+        // worker count, independent of how finely the underlying pool
+        // slices work. Whole rows stay on one worker either way, and merge
+        // order is fixed left-to-right (the sinks are order-independent
+        // regardless).
         let workers = rayon::current_num_threads().max(1);
-        let chunk_size = candidates.len().div_ceil(workers);
-        let chunks: Vec<&[u32]> = candidates.chunks(chunk_size).collect();
+        let chunks = chunk_candidates(g1, &candidates, workers);
         let sinks: Vec<S> = chunks
             .par_iter()
             .map(|chunk| {
@@ -488,6 +598,114 @@ mod tests {
         arena.bump(0);
         assert_eq!(arena.get(0), 1);
         assert_eq!(arena.touched(), &[0]);
+    }
+
+    /// `CsrGraph` wrapper pretending its rows live in shards, for testing
+    /// the partition-aware chunking without a dependency on `snr-store`.
+    struct FakeSharded {
+        g: CsrGraph,
+        parts: Vec<std::ops::Range<u32>>,
+    }
+
+    impl GraphView for FakeSharded {
+        fn node_count(&self) -> usize {
+            GraphView::node_count(&self.g)
+        }
+        fn edge_count(&self) -> usize {
+            GraphView::edge_count(&self.g)
+        }
+        fn is_directed(&self) -> bool {
+            GraphView::is_directed(&self.g)
+        }
+        fn max_degree(&self) -> usize {
+            GraphView::max_degree(&self.g)
+        }
+        fn degree(&self, v: NodeId) -> usize {
+            GraphView::degree(&self.g, v)
+        }
+        fn total_degree(&self) -> usize {
+            GraphView::total_degree(&self.g)
+        }
+        fn neighbors_iter(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+            GraphView::neighbors_iter(&self.g, v)
+        }
+        fn neighbor_cursor(&self, v: NodeId) -> impl snr_graph::intersect::SortedCursor + '_ {
+            GraphView::neighbor_cursor(&self.g, v)
+        }
+        fn memory_bytes(&self) -> usize {
+            GraphView::memory_bytes(&self.g)
+        }
+        fn storage_partitions(&self) -> Option<Vec<std::ops::Range<u32>>> {
+            Some(self.parts.clone())
+        }
+    }
+
+    #[test]
+    fn parallel_link_cache_build_matches_sequential() {
+        let (g1, g2, _) = pa_workload(31, 4_000, 6);
+        let n = g1.node_count().min(g2.node_count()) as u32;
+        // Enough identity links to cross the parallel cutoff.
+        let seeds: Vec<(NodeId, NodeId)> =
+            (0..n / 2).map(|i| (NodeId(i * 2), NodeId(i * 2))).collect();
+        assert!(seeds.len() >= super::PARALLEL_BUILD_CUTOFF);
+        let links = Linking::with_seeds(g1.node_count(), g2.node_count(), &seeds);
+        for d in [1usize, 2, 4] {
+            let seq = LinkCache::build(&g2, &links, d);
+            let par = LinkCache::build_parallel(&g2, &links, d);
+            assert_eq!(par.slot, seq.slot, "slot at d={d}");
+            assert_eq!(par.offsets, seq.offsets, "offsets at d={d}");
+            assert_eq!(par.targets, seq.targets, "targets at d={d}");
+        }
+    }
+
+    #[test]
+    fn chunking_aligns_with_storage_partitions_and_loses_no_rows() {
+        let candidates: Vec<u32> = (0..1_000u32).filter(|u| u % 3 != 0).collect();
+        let g = FakeSharded {
+            g: CsrGraph::from_edges(1_000, &[(0, 1)]),
+            parts: vec![0..10, 10..700, 700..1_000],
+        };
+        for workers in [1usize, 2, 4, 13] {
+            let chunks = chunk_candidates(&g, &candidates, workers);
+            let flattened: Vec<u32> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(flattened, candidates, "workers={workers}");
+            // No chunk straddles a shard boundary.
+            for chunk in &chunks {
+                let (first, last) = (chunk[0], *chunk.last().unwrap());
+                assert!(
+                    g.parts.iter().any(|r| r.contains(&first) && r.contains(&last)),
+                    "chunk {first}..={last} straddles shards (workers={workers})"
+                );
+            }
+        }
+        // Monolithic views still get plain even chunks.
+        let plain = CsrGraph::from_edges(1_000, &[(0, 1)]);
+        let chunks = chunk_candidates(&plain, &candidates, 4);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), candidates.len());
+        // Partitions that do NOT tile the id space (gaps before, between,
+        // and after the ranges) must still cover every candidate.
+        let gappy = FakeSharded {
+            g: CsrGraph::from_edges(1_000, &[(0, 1)]),
+            parts: vec![100..300, 600..800],
+        };
+        let chunks = chunk_candidates(&gappy, &candidates, 4);
+        let flattened: Vec<u32> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(flattened, candidates, "gappy partitions dropped candidates");
+    }
+
+    #[test]
+    fn fused_phase_is_identical_on_a_partitioned_view() {
+        let (g1, g2, links) = pa_workload(37, 500, 6);
+        let n1 = g1.node_count() as u32;
+        let parts = vec![0..n1 / 4, n1 / 4..n1 / 2, n1 / 2..n1];
+        let sharded = FakeSharded { g: g1.clone(), parts };
+        for parallel in [false, true] {
+            assert_eq!(
+                fused_phase(&sharded, &g2, &links, 2, 2, 2, parallel),
+                fused_phase(&g1, &g2, &links, 2, 2, 2, parallel),
+                "parallel={parallel}"
+            );
+        }
     }
 
     #[test]

@@ -8,24 +8,40 @@
 //! running-time column (near-flat for the first step, super-linear once the
 //! graph stops fitting comfortably in cache/memory).
 //!
-//! The matcher runs on the delta-encoded [`snr_graph::CompactCsr`]
-//! representation of both copies — that is what makes the `--full` sweep
-//! (RMAT-18/20/22, three graphs resident at once) fit in memory — and the
-//! table reports the bytes-per-edge of both representations so the
-//! compression claim is measured, not asserted.
+//! `--store` picks the representation the matcher runs on (the algorithm
+//! and its outputs are identical on all of them — `tests/backend_equivalence.rs`
+//! pins this):
+//!
+//! * `compact` (default) — both copies as in-memory delta-encoded
+//!   [`snr_graph::CompactCsr`]; what makes `--full` (RMAT-18/20/22) fit.
+//! * `mmap` — both copies written to on-disk segments and matched through
+//!   [`snr_store::MmapGraph`]: resident graph memory is bounded by what the
+//!   kernel pages in from the mapped files, so the sweep can keep growing
+//!   past RAM.
+//! * `sharded:<N>` — each copy split into N entry-balanced in-memory shards
+//!   ([`snr_store::ShardedGraph`]); rayon workers score shard-aligned row
+//!   ranges.
+//!
+//! The table reports bytes-per-edge of the uncompressed CSR and of the
+//! active store, plus the store's total adjacency bytes (`graph MB`), so
+//! the memory claims are measured rather than asserted.
 //!
 //! `SNR_TABLE2_EXPONENTS=18,19` overrides the exponent list (useful for
-//! timing one size in isolation).
+//! timing one size in isolation); `SNR_SEGMENT_DIR` overrides where `mmap`
+//! mode writes its segments (default: a per-process directory under the
+//! system temp dir, removed when the run finishes).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use snr_core::{MatchingConfig, UserMatching};
+use snr_core::{MatchingConfig, MatchingOutcome, UserMatching};
 use snr_experiments::datasets::rmat_like;
-use snr_experiments::ExperimentArgs;
-use snr_graph::GraphView;
+use snr_experiments::{ExperimentArgs, StoreMode};
+use snr_graph::{CsrGraph, GraphView, NodeId};
 use snr_metrics::{Evaluation, ExperimentRecord, MeasuredRow, TextTable};
 use snr_sampling::independent::independent_deletion_symmetric;
 use snr_sampling::{sample_seeds, RealizationPair};
+use snr_store::{write_segment_file, MmapGraph, ShardedGraph};
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn exponents_from_env() -> Option<Vec<u32>> {
@@ -35,6 +51,80 @@ fn exponents_from_env() -> Option<Vec<u32>> {
             .map(|t| t.trim().parse().expect("SNR_TABLE2_EXPONENTS must be comma-separated u32s"))
             .collect(),
     )
+}
+
+/// Wall-clocks one matcher invocation.
+fn timed(run: impl FnOnce() -> MatchingOutcome) -> (MatchingOutcome, f64) {
+    let start = Instant::now();
+    let outcome = run();
+    (outcome, start.elapsed().as_secs_f64())
+}
+
+/// Where `--store mmap` writes its segment files.
+fn segment_dir() -> PathBuf {
+    std::env::var_os("SNR_SEGMENT_DIR").map_or_else(
+        || std::env::temp_dir().join(format!("snr-table2-segments-{}", std::process::id())),
+        PathBuf::from,
+    )
+}
+
+/// One matcher run on the representation `store` selects. Returns the
+/// outcome, the matcher's wall-clock seconds (conversion and segment I/O
+/// excluded, matching the compact path's historical timing), the store's
+/// bytes-per-edge (averaged over the two copies), and the store's total
+/// adjacency bytes. The copies are consumed: each branch converts and then
+/// *drops the uncompressed pair* before matching, so peak memory during the
+/// matcher is governed by the chosen representation.
+fn run_on_store(
+    store: StoreMode,
+    g1: CsrGraph,
+    g2: CsrGraph,
+    seeds: &[(NodeId, NodeId)],
+    config: MatchingConfig,
+    exp: u32,
+) -> (MatchingOutcome, f64, f64, usize) {
+    let matcher = UserMatching::new(config);
+    match store {
+        StoreMode::Compact => {
+            let (c1, c2) = (g1.compact(), g2.compact());
+            drop((g1, g2));
+            let bpe = (c1.bytes_per_edge() + c2.bytes_per_edge()) / 2.0;
+            let bytes = c1.memory_bytes() + c2.memory_bytes();
+            let (outcome, secs) = timed(|| matcher.run(&c1, &c2, seeds));
+            (outcome, secs, bpe, bytes)
+        }
+        StoreMode::Mmap => {
+            let dir = segment_dir();
+            std::fs::create_dir_all(&dir).expect("create segment dir");
+            let paths =
+                (dir.join(format!("rmat{exp}-g1.snrs")), dir.join(format!("rmat{exp}-g2.snrs")));
+            write_segment_file(&g1, &paths.0).expect("write segment");
+            write_segment_file(&g2, &paths.1).expect("write segment");
+            drop((g1, g2));
+            let m1 = MmapGraph::open(&paths.0).expect("open segment");
+            let m2 = MmapGraph::open(&paths.1).expect("open segment");
+            let bpe = (m1.bytes_per_edge() + m2.bytes_per_edge()) / 2.0;
+            let bytes = m1.memory_bytes() + m2.memory_bytes();
+            let (outcome, secs) = timed(|| matcher.run(&m1, &m2, seeds));
+            drop((m1, m2));
+            let _ = std::fs::remove_file(&paths.0);
+            let _ = std::fs::remove_file(&paths.1);
+            // Non-recursive, so a user-supplied SNR_SEGMENT_DIR holding
+            // other files survives; the default per-process dir is removed
+            // once its last segment is gone.
+            let _ = std::fs::remove_dir(&dir);
+            (outcome, secs, bpe, bytes)
+        }
+        StoreMode::Sharded(n) => {
+            let s1 = ShardedGraph::partition(&g1, n);
+            let s2 = ShardedGraph::partition(&g2, n);
+            drop((g1, g2));
+            let bpe = (s1.bytes_per_edge() + s2.bytes_per_edge()) / 2.0;
+            let bytes = s1.memory_bytes() + s2.memory_bytes();
+            let (outcome, secs) = timed(|| matcher.run(&s1, &s2, seeds));
+            (outcome, secs, bpe, bytes)
+        }
+    }
 }
 
 fn main() {
@@ -55,7 +145,7 @@ fn main() {
     };
 
     println!("Table 2 — relative running time on R-MAT graphs (s = 0.5, seed prob = 0.10, T = 2, k = 1)\n");
-    println!("Matcher representation: CompactCsr (delta-encoded blocks, u32 offsets)\n");
+    println!("Matcher representation: {}\n", args.store.label());
 
     let mut table = TextTable::new([
         "graph",
@@ -65,11 +155,12 @@ fn main() {
         "relative",
         "paper relative",
         "B/edge csr",
-        "B/edge compact",
+        "B/edge store",
+        "graph MB",
     ]);
     let mut record = ExperimentRecord::new("table2_scalability", "Table 2")
         .parameter("exponents", format!("{exponents:?}"))
-        .parameter("representation", "CompactCsr")
+        .parameter("representation", args.store.label())
         .parameter("seed", args.seed.to_string());
 
     let mut first_time: Option<f64> = None;
@@ -81,26 +172,19 @@ fn main() {
         drop(g); // the matcher only needs the two copies
 
         // Extract everything the evaluation needs (seed links, matchable
-        // count, ground truth), compact both copies, and *drop the
-        // uncompressed pair* before matching — peak memory during the
-        // matcher is then governed by the compact representation, which is
-        // the point of running Table 2 on it. The seed RNG derivation
+        // count, ground truth) before handing the copies to the store
+        // branch, which converts and drops them. The seed RNG derivation
         // matches `run_user_matching`, so results are identical to a run
         // through the shared helper.
         let mut seed_rng = StdRng::seed_from_u64(args.seed ^ 0x5EED_5EED);
         let seeds = sample_seeds(&pair, 0.10, &mut seed_rng).expect("valid link probability");
         let matchable = pair.matchable_nodes();
         let csr_bpe = (pair.g1.bytes_per_edge() + pair.g2.bytes_per_edge()) / 2.0;
-        let (c1, c2) = (pair.g1.compact(), pair.g2.compact());
-        let compact_bpe = (c1.bytes_per_edge() + c2.bytes_per_edge()) / 2.0;
         let RealizationPair { g1, g2, truth } = pair;
-        drop(g1);
-        drop(g2);
 
         let config = MatchingConfig::default().with_threshold(2).with_iterations(1);
-        let start = Instant::now();
-        let outcome = UserMatching::new(config).run(&c1, &c2, &seeds);
-        let secs = start.elapsed().as_secs_f64();
+        let (outcome, secs, store_bpe, store_bytes) =
+            run_on_store(args.store, g1, g2, &seeds, config, exp);
         let run = Evaluation::score_against(
             &truth,
             matchable,
@@ -126,7 +210,8 @@ fn main() {
             format!("{relative:.3}"),
             paper_relative.get(i).map_or_else(|| "-".to_string(), |r| format!("{r:.3}")),
             format!("{csr_bpe:.2}"),
-            format!("{compact_bpe:.2}"),
+            format!("{store_bpe:.2}"),
+            format!("{:.1}", store_bytes as f64 / 1e6),
         ]);
         let mut row = MeasuredRow::new(name)
             .value("nodes", nodes as f64)
@@ -134,7 +219,8 @@ fn main() {
             .value("seconds", secs)
             .value("relative", relative)
             .value("csr_bytes_per_edge", csr_bpe)
-            .value("compact_bytes_per_edge", compact_bpe)
+            .value("store_bytes_per_edge", store_bpe)
+            .value("memory_bytes", store_bytes as f64)
             .value("new_good", run.new_good as f64)
             .value("new_bad", run.new_bad as f64);
         if let Some(&r) = paper_relative.get(i) {

@@ -1,14 +1,61 @@
 //! Minimal command-line argument handling shared by the experiment binaries.
 //!
 //! We deliberately avoid a CLI-parsing dependency: the binaries accept only
-//! three flags.
+//! four flags.
 //!
 //! * `--seed <u64>` — RNG seed (default 20140707, the VLDB 2014 date).
 //! * `--full` — run at (closer to) the paper's dataset sizes instead of the
 //!   laptop-friendly demo scale.
 //! * `--json <path>` — also write the experiment record as JSON.
+//! * `--store <mode>` — graph representation the matcher runs on, for the
+//!   binaries that honor it (`table2_scalability`): `compact` (default),
+//!   `mmap`, or `sharded:<N>`.
 
 use std::path::PathBuf;
+use std::str::FromStr;
+
+/// Graph storage the scalability experiments run the matcher on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreMode {
+    /// In-memory delta-encoded [`snr_graph::CompactCsr`] (the default).
+    #[default]
+    Compact,
+    /// On-disk segments opened as [`snr_store::MmapGraph`]s: resident graph
+    /// memory is bounded by what the kernel pages in from the mapped files.
+    Mmap,
+    /// N entry-balanced in-memory shards per copy
+    /// ([`snr_store::ShardedGraph`]); workers score shard-aligned row
+    /// ranges.
+    Sharded(usize),
+}
+
+impl StoreMode {
+    /// Short label for table headers and experiment records.
+    pub fn label(&self) -> String {
+        match self {
+            StoreMode::Compact => "CompactCsr".to_string(),
+            StoreMode::Mmap => "MmapGraph".to_string(),
+            StoreMode::Sharded(n) => format!("ShardedGraph x{n}"),
+        }
+    }
+}
+
+impl FromStr for StoreMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StoreMode, String> {
+        match s {
+            "compact" => Ok(StoreMode::Compact),
+            "mmap" => Ok(StoreMode::Mmap),
+            _ => match s.strip_prefix("sharded:").map(str::parse) {
+                Some(Ok(n)) if n > 0 => Ok(StoreMode::Sharded(n)),
+                _ => Err(format!(
+                    "invalid --store value {s:?} (expected compact, mmap, or sharded:<N>)"
+                )),
+            },
+        }
+    }
+}
 
 /// Parsed command-line arguments of an experiment binary.
 #[derive(Clone, Debug, PartialEq)]
@@ -19,11 +66,13 @@ pub struct ExperimentArgs {
     pub full: bool,
     /// Optional path to write the JSON experiment record to.
     pub json: Option<PathBuf>,
+    /// Graph representation for the binaries that honor it.
+    pub store: StoreMode,
 }
 
 impl Default for ExperimentArgs {
     fn default() -> Self {
-        ExperimentArgs { seed: 20_140_707, full: false, json: None }
+        ExperimentArgs { seed: 20_140_707, full: false, json: None, store: StoreMode::Compact }
     }
 }
 
@@ -51,6 +100,13 @@ impl ExperimentArgs {
                     let v = iter.next().ok_or("--json requires a path")?;
                     out.json = Some(PathBuf::from(v.as_ref()));
                 }
+                "--store" => {
+                    let v = iter.next().ok_or("--store requires a value")?;
+                    out.store = v.as_ref().parse()?;
+                }
+                arg if arg.starts_with("--store=") => {
+                    out.store = arg["--store=".len()..].parse()?;
+                }
                 "--help" | "-h" => {
                     return Err(Self::usage().to_string());
                 }
@@ -73,7 +129,8 @@ impl ExperimentArgs {
 
     /// Usage string shown for `--help` and on parse errors.
     pub fn usage() -> &'static str {
-        "usage: <experiment> [--seed <u64>] [--full] [--json <path>]"
+        "usage: <experiment> [--seed <u64>] [--full] [--json <path>] \
+         [--store compact|mmap|sharded:<N>]"
     }
 
     /// Writes an experiment record to the `--json` path if one was given.
@@ -106,6 +163,22 @@ mod tests {
         assert_eq!(args.seed, 42);
         assert!(args.full);
         assert_eq!(args.json, Some(PathBuf::from("/tmp/out.json")));
+        assert_eq!(args.store, StoreMode::Compact);
+    }
+
+    #[test]
+    fn parses_store_modes_in_both_spellings() {
+        assert_eq!(ExperimentArgs::parse(["--store", "mmap"]).unwrap().store, StoreMode::Mmap);
+        assert_eq!(ExperimentArgs::parse(["--store=mmap"]).unwrap().store, StoreMode::Mmap);
+        assert_eq!(
+            ExperimentArgs::parse(["--store=sharded:4"]).unwrap().store,
+            StoreMode::Sharded(4)
+        );
+        assert_eq!(
+            ExperimentArgs::parse(["--store", "compact"]).unwrap().store,
+            StoreMode::Compact
+        );
+        assert_eq!(StoreMode::Sharded(4).label(), "ShardedGraph x4");
     }
 
     #[test]
@@ -114,6 +187,10 @@ mod tests {
         assert!(ExperimentArgs::parse(["--seed"]).is_err());
         assert!(ExperimentArgs::parse(["--seed", "abc"]).is_err());
         assert!(ExperimentArgs::parse(["--json"]).is_err());
+        assert!(ExperimentArgs::parse(["--store"]).is_err());
+        assert!(ExperimentArgs::parse(["--store", "floppy"]).is_err());
+        assert!(ExperimentArgs::parse(["--store=sharded:0"]).is_err());
+        assert!(ExperimentArgs::parse(["--store=sharded:x"]).is_err());
     }
 
     #[test]

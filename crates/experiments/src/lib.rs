@@ -32,6 +32,6 @@ pub mod datasets;
 pub mod runner;
 pub mod validate;
 
-pub use cli::ExperimentArgs;
+pub use cli::{ExperimentArgs, StoreMode};
 pub use runner::{run_baseline, run_user_matching, run_user_matching_on, ExperimentRun};
 pub use validate::{check_bench_regressions, validate_record_json, BenchBaseline, BenchRecord};

@@ -1,0 +1,268 @@
+//! Delta-encoded neighbor-block primitives shared by [`crate::CompactCsr`]
+//! and external block storage (the on-disk segments of `snr-store`).
+//!
+//! A sorted neighbor list is split into blocks of [`BLOCK_SIZE`] entries.
+//! The first element of every block is stored verbatim in a skip array
+//! (`skip_firsts`) together with the byte offset of the block's gap stream
+//! (`skip_bytes`); the remaining elements are LEB128 varint gaps from their
+//! predecessor. [`BlockCursor`] decodes any such layout borrowed as plain
+//! slices, which is what lets a memory-mapped segment reuse the exact
+//! decoding (and block-skipping `seek`) path the in-memory representation
+//! uses — zero copies, identical results.
+
+use crate::intersect::SortedCursor;
+use crate::node::NodeId;
+
+/// Number of adjacency entries per delta-encoded block. Each block costs one
+/// 8-byte skip entry, so larger blocks trade seek granularity for footprint;
+/// 64 keeps the skip overhead at 1/8 byte per entry while a worst-case seek
+/// decodes at most 63 gaps.
+pub const BLOCK_SIZE: usize = 64;
+
+/// Appends `v` to `out` as an LEB128 varint.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`write_varint`] emits for `v`, without emitting them.
+/// Lets a streaming writer size its gap stream in a first pass.
+#[inline]
+pub fn varint_len(v: u32) -> usize {
+    // ceil(bits/7) with a 1-byte floor for v == 0.
+    ((32 - v.leading_zeros()).max(1) as usize).div_ceil(7)
+}
+
+/// Decodes one LEB128 varint from `data` at `*pos`, advancing `*pos`.
+///
+/// # Panics
+/// Panics if the varint runs past the end of `data`; callers are expected
+/// to validate the stream (e.g. via a checksum) before decoding.
+#[inline]
+pub fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        v |= ((byte & 0x7f) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Bounds-checked variant of [`read_varint`] for validating untrusted
+/// streams: returns the decoded value and the position after it, or `None`
+/// if the varint is truncated or does not fit in a `u32`.
+#[inline]
+pub fn try_read_varint(data: &[u8], mut pos: usize) -> Option<(u32, usize)> {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(pos)?;
+        pos += 1;
+        if shift > 28 || (shift == 28 && byte & 0x70 != 0) {
+            return None; // would overflow u32
+        }
+        v |= ((byte & 0x7f) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return Some((v, pos));
+        }
+        shift += 7;
+    }
+}
+
+/// Decoding [`SortedCursor`] over one node's delta-encoded neighbor list.
+///
+/// The cursor borrows the *global* skip arrays and gap stream and is
+/// positioned on the node's block range `block_lo..block_hi`; `seek` binary-
+/// searches the block first-elements so a probe never decodes more than one
+/// block.
+pub struct BlockCursor<'a> {
+    skip_firsts: &'a [u32],
+    skip_bytes: &'a [u32],
+    data: &'a [u8],
+    /// The node's global block range.
+    block_lo: usize,
+    block_hi: usize,
+    /// Degree of the node.
+    total: usize,
+    /// Index of the current element within the list; exhausted when
+    /// `pos == total`.
+    pos: usize,
+    /// Global index of the block containing `pos`.
+    cur_block: usize,
+    /// Next byte to decode within `data`.
+    byte_pos: usize,
+    /// Decoded value at `pos` (meaningful only while `pos < total`).
+    cur: u32,
+}
+
+impl<'a> BlockCursor<'a> {
+    /// A cursor over the list of `total` entries stored in global blocks
+    /// `block_lo..block_hi` of the given skip arrays and gap stream.
+    #[inline]
+    pub fn new(
+        skip_firsts: &'a [u32],
+        skip_bytes: &'a [u32],
+        data: &'a [u8],
+        block_lo: usize,
+        block_hi: usize,
+        total: usize,
+    ) -> Self {
+        let (cur, byte_pos) = if total == 0 {
+            (0, 0)
+        } else {
+            (skip_firsts[block_lo], skip_bytes[block_lo] as usize)
+        };
+        BlockCursor {
+            skip_firsts,
+            skip_bytes,
+            data,
+            block_lo,
+            block_hi,
+            total,
+            pos: 0,
+            cur_block: block_lo,
+            byte_pos,
+            cur,
+        }
+    }
+
+    /// Entries not yet yielded (exact; drives `size_hint`).
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.total - self.pos.min(self.total)
+    }
+
+    /// Repositions the cursor at the first element of global block `b`.
+    #[inline]
+    fn jump_to_block(&mut self, b: usize) {
+        self.cur_block = b;
+        self.pos = (b - self.block_lo) * BLOCK_SIZE;
+        self.cur = self.skip_firsts[b];
+        self.byte_pos = self.skip_bytes[b] as usize;
+    }
+}
+
+impl SortedCursor for BlockCursor<'_> {
+    #[inline]
+    fn current(&self) -> Option<NodeId> {
+        (self.pos < self.total).then_some(NodeId(self.cur))
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        if self.pos >= self.total {
+            return;
+        }
+        self.pos += 1;
+        if self.pos >= self.total {
+            return;
+        }
+        if self.pos.is_multiple_of(BLOCK_SIZE) {
+            self.cur_block += 1;
+            self.cur = self.skip_firsts[self.cur_block];
+            self.byte_pos = self.skip_bytes[self.cur_block] as usize;
+        } else {
+            self.cur += read_varint(self.data, &mut self.byte_pos);
+        }
+    }
+
+    fn seek(&mut self, target: NodeId) {
+        if self.pos >= self.total || self.cur >= target.0 {
+            return;
+        }
+        // Binary-search the skip entries of the blocks after the current one
+        // for the last block whose first element is <= target; everything in
+        // earlier blocks is < that first element, so decoding can start
+        // there.
+        let later_firsts = &self.skip_firsts[self.cur_block + 1..self.block_hi];
+        let jump = later_firsts.partition_point(|&f| f <= target.0);
+        if jump > 0 {
+            self.jump_to_block(self.cur_block + jump);
+        }
+        while self.pos < self.total && self.cur < target.0 {
+            self.advance();
+        }
+    }
+}
+
+/// Iterator adapter over [`BlockCursor`].
+pub struct BlockNeighbors<'a> {
+    cursor: BlockCursor<'a>,
+}
+
+impl<'a> BlockNeighbors<'a> {
+    /// Wraps a cursor into an iterator yielding its remaining entries.
+    pub fn new(cursor: BlockCursor<'a>) -> Self {
+        BlockNeighbors { cursor }
+    }
+}
+
+impl Iterator for BlockNeighbors<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        let out = self.cursor.current();
+        self.cursor.advance();
+        out
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cursor.remaining();
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_len_matches_encoded_size() {
+        for v in [0u32, 1, 127, 128, 300, 16_383, 16_384, 1 << 21, (1 << 28) - 1, u32::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len(), "varint_len({v})");
+        }
+    }
+
+    #[test]
+    fn cursor_over_hand_built_blocks() {
+        // One list of 3 entries in a single block: [10, 17, 25].
+        let skip_firsts = [10u32];
+        let skip_bytes = [0u32];
+        let mut data = Vec::new();
+        write_varint(&mut data, 7);
+        write_varint(&mut data, 8);
+        let c = BlockCursor::new(&skip_firsts, &skip_bytes, &data, 0, 1, 3);
+        let decoded: Vec<NodeId> = BlockNeighbors::new(c).collect();
+        assert_eq!(decoded, vec![NodeId(10), NodeId(17), NodeId(25)]);
+    }
+}

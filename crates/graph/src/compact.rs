@@ -7,9 +7,10 @@
 //! * offsets are `u32` instead of `usize` (the paper's largest instance has
 //!   8.5G adjacency entries, but a single in-memory shard is bounded by
 //!   `u32` here — construction asserts it);
-//! * each sorted neighbor list is split into blocks of [`BLOCK_SIZE`]
-//!   entries; the first element of every block is stored verbatim in a skip
-//!   array and the rest as varint-encoded gaps from their predecessor.
+//! * each sorted neighbor list is split into blocks of
+//!   [`BLOCK_SIZE`](crate::blocks::BLOCK_SIZE) entries; the first element of
+//!   every block is stored verbatim in a skip array and the rest as
+//!   varint-encoded gaps from their predecessor (see [`crate::blocks`]).
 //!
 //! The skip entries keep the read API competitive with the uncompressed
 //! form: [`GraphView::degree`] is O(1) from the entry offsets, and
@@ -17,17 +18,24 @@
 //! elements before decoding at most one block — so galloping intersection
 //! ([`crate::intersect::count_common_cursors`]) and `has_edge` never decode
 //! more than `BLOCK_SIZE` gaps.
+//!
+//! The same block layout is what the `snr-store` segment format serializes;
+//! [`CompactCsr::from_raw_parts`] / [`CompactCsr::raw_parts`] expose the
+//! arrays for that serialization, and [`validate_parts`] is the shared
+//! structural check both the in-memory loader and the mmap-backed view run
+//! before trusting a deserialized layout.
 
+pub use crate::blocks::BLOCK_SIZE;
+use crate::blocks::{write_varint, BlockCursor, BlockNeighbors};
 use crate::csr::CsrGraph;
+use crate::error::GraphError;
 use crate::intersect::SortedCursor;
 use crate::node::NodeId;
 use crate::view::GraphView;
 
-/// Number of adjacency entries per delta-encoded block. Each block costs one
-/// 8-byte skip entry, so larger blocks trade seek granularity for footprint;
-/// 64 keeps the skip overhead at 1/8 byte per entry while a worst-case seek
-/// decodes at most 63 gaps.
-pub const BLOCK_SIZE: usize = 64;
+/// The borrowed delta-block arrays of a [`CompactCsr`]:
+/// `(entry_offsets, block_starts, skip_firsts, skip_bytes, data)`.
+pub type RawParts<'a> = (&'a [u32], &'a [u32], &'a [u32], &'a [u32], &'a [u8]);
 
 /// An immutable graph in delta-encoded CSR form. See the module docs.
 ///
@@ -54,32 +62,112 @@ pub struct CompactCsr {
     data: Vec<u8>,
 }
 
-#[inline]
-fn write_varint(out: &mut Vec<u8>, mut v: u32) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
+/// Validates a delta-block layout (the invariants [`CompactCsr`]'s own
+/// constructor guarantees), including a full bounds-checked walk of the gap
+/// stream. Shared by [`CompactCsr::from_raw_parts`] and the mmap-backed
+/// segment view in `snr-store`, so a corrupted, truncated, or hand-rolled
+/// layout is rejected with an error up front and later decoding can never
+/// run out of bounds or yield unsorted neighbor lists.
+///
+/// Checks: array lengths, zero-based monotone offsets, per-node block
+/// counts (`ceil(degree / BLOCK_SIZE)`), `max_degree` against the offsets,
+/// and — by decoding every block once, O(entries) — that each block's gap
+/// stream starts exactly where the previous one ended, stays in bounds,
+/// contains no zero gaps or `u32` overflows (lists stay strictly sorted),
+/// keeps skip first-elements increasing, keeps every decoded neighbor id
+/// below `id_bound` (the global node space — equal to `node_count` for a
+/// whole graph, larger for a shard holding global target ids; downstream
+/// consumers index degree arrays and score arenas by these ids, so an
+/// out-of-range target must fail here, not panic there), and consumes the
+/// data exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_parts(
+    node_count: usize,
+    id_bound: usize,
+    max_degree: usize,
+    entry_offsets: &[u32],
+    block_starts: &[u32],
+    skip_firsts: &[u32],
+    skip_bytes: &[u32],
+    data: &[u8],
+    what: &str,
+) -> Result<(), GraphError> {
+    let fail = |msg: String| Err(GraphError::InvalidBinary(format!("{what}: {msg}")));
+    if entry_offsets.len() != node_count + 1 || block_starts.len() != node_count + 1 {
+        return fail(format!(
+            "offset arrays have lengths {}/{} for {node_count} nodes",
+            entry_offsets.len(),
+            block_starts.len()
+        ));
     }
-}
-
-#[inline]
-fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
-    let mut v = 0u32;
-    let mut shift = 0u32;
-    loop {
-        let byte = data[*pos];
-        *pos += 1;
-        v |= ((byte & 0x7f) as u32) << shift;
-        if byte & 0x80 == 0 {
-            return v;
-        }
-        shift += 7;
+    if entry_offsets[0] != 0 || block_starts[0] != 0 {
+        return fail("offset arrays do not start at 0".into());
     }
+    let block_count = *block_starts.last().expect("length checked above") as usize;
+    if skip_firsts.len() != block_count || skip_bytes.len() != block_count {
+        return fail(format!(
+            "skip arrays have lengths {}/{} for {block_count} blocks",
+            skip_firsts.len(),
+            skip_bytes.len()
+        ));
+    }
+    let mut actual_max = 0usize;
+    let mut stream_pos = 0usize;
+    for v in 0..node_count {
+        if entry_offsets[v + 1] < entry_offsets[v] || block_starts[v + 1] < block_starts[v] {
+            return fail(format!("offsets decrease at node {v}"));
+        }
+        let degree = (entry_offsets[v + 1] - entry_offsets[v]) as usize;
+        actual_max = actual_max.max(degree);
+        let (block_lo, block_hi) = (block_starts[v] as usize, block_starts[v + 1] as usize);
+        if block_hi - block_lo != degree.div_ceil(BLOCK_SIZE) {
+            return fail(format!(
+                "node {v} has degree {degree} but {} blocks",
+                block_hi - block_lo
+            ));
+        }
+        // Walk the node's gap stream block by block. The stream is
+        // contiguous across blocks and nodes, so every block must start
+        // exactly at the running position.
+        let mut prev_in_list: Option<u32> = None;
+        for (bi, b) in (block_lo..block_hi).enumerate() {
+            if skip_bytes[b] as usize != stream_pos {
+                return fail(format!(
+                    "block {b} starts its gaps at byte {}, stream is at {stream_pos}",
+                    skip_bytes[b]
+                ));
+            }
+            let first = skip_firsts[b];
+            if prev_in_list.is_some_and(|p| first <= p) {
+                return fail(format!("node {v}: block first-elements are not increasing"));
+            }
+            let in_block = (degree - bi * BLOCK_SIZE).min(BLOCK_SIZE);
+            let mut cur = first;
+            for _ in 1..in_block {
+                let Some((gap, next_pos)) = crate::blocks::try_read_varint(data, stream_pos) else {
+                    return fail(format!("node {v}: gap stream is truncated"));
+                };
+                let Some(next) = (gap != 0).then(|| cur.checked_add(gap)).flatten() else {
+                    return fail(format!("node {v}: neighbor list is not strictly sorted"));
+                };
+                cur = next;
+                stream_pos = next_pos;
+            }
+            // Lists are strictly increasing, so the block's last element
+            // bounds every id in it.
+            if in_block > 0 && cur as usize >= id_bound {
+                return fail(format!("node {v}: neighbor id {cur} outside node space {id_bound}"));
+            }
+            prev_in_list = Some(cur);
+        }
+    }
+    if actual_max != max_degree {
+        return fail(format!("max degree is {actual_max}, header claims {max_degree}"));
+    }
+    if stream_pos != data.len() {
+        return fail(format!("gap stream has {} trailing bytes", data.len() - stream_pos));
+    }
+    Ok(())
 }
 
 impl CompactCsr {
@@ -143,6 +231,59 @@ impl CompactCsr {
         }
     }
 
+    /// Reassembles a `CompactCsr` from its raw delta-block arrays (the
+    /// inverse of [`CompactCsr::raw_parts`]), validating the structural
+    /// invariants with [`validate_parts`] first.
+    ///
+    /// `id_bound` is the exclusive upper bound for target ids: `node_count`
+    /// for a whole graph, the *global* node space for a shard (local rows,
+    /// global target ids). `edge_count` is likewise stored as given: a
+    /// deserialized shard carries the global logical edge count of the
+    /// graph it was cut from, which only the serializer knows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        node_count: usize,
+        id_bound: usize,
+        directed: bool,
+        edge_count: usize,
+        max_degree: usize,
+        entry_offsets: Vec<u32>,
+        block_starts: Vec<u32>,
+        skip_firsts: Vec<u32>,
+        skip_bytes: Vec<u32>,
+        data: Vec<u8>,
+    ) -> Result<Self, GraphError> {
+        validate_parts(
+            node_count,
+            id_bound,
+            max_degree,
+            &entry_offsets,
+            &block_starts,
+            &skip_firsts,
+            &skip_bytes,
+            &data,
+            "compact CSR parts",
+        )?;
+        Ok(CompactCsr {
+            node_count,
+            directed,
+            edge_count,
+            max_degree,
+            entry_offsets,
+            block_starts,
+            skip_firsts,
+            skip_bytes,
+            data,
+        })
+    }
+
+    /// Borrows the raw delta-block arrays
+    /// `(entry_offsets, block_starts, skip_firsts, skip_bytes, data)`;
+    /// exposed for the segment serializer in `snr-store`.
+    pub fn raw_parts(&self) -> RawParts<'_> {
+        (&self.entry_offsets, &self.block_starts, &self.skip_firsts, &self.skip_bytes, &self.data)
+    }
+
     /// Decodes back into the uncompressed CSR representation.
     pub fn to_csr(&self) -> CsrGraph {
         let n = self.node_count;
@@ -161,28 +302,12 @@ impl CompactCsr {
         self.skip_firsts.len()
     }
 
-    fn cursor(&self, v: NodeId) -> CompactCursor<'_> {
+    fn cursor(&self, v: NodeId) -> BlockCursor<'_> {
         let i = v.index();
         let block_lo = self.block_starts[i] as usize;
         let block_hi = self.block_starts[i + 1] as usize;
         let total = (self.entry_offsets[i + 1] - self.entry_offsets[i]) as usize;
-        let (cur, byte_pos) = if total == 0 {
-            (0, 0)
-        } else {
-            (self.skip_firsts[block_lo], self.skip_bytes[block_lo] as usize)
-        };
-        CompactCursor {
-            skip_firsts: &self.skip_firsts,
-            skip_bytes: &self.skip_bytes,
-            data: &self.data,
-            block_lo,
-            block_hi,
-            total,
-            pos: 0,
-            cur_block: block_lo,
-            byte_pos,
-            cur,
-        }
+        BlockCursor::new(&self.skip_firsts, &self.skip_bytes, &self.data, block_lo, block_hi, total)
     }
 }
 
@@ -219,7 +344,7 @@ impl GraphView for CompactCsr {
     }
 
     fn neighbors_iter(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        CompactNeighbors { cursor: self.cursor(v) }
+        BlockNeighbors::new(self.cursor(v))
     }
 
     fn neighbor_cursor(&self, v: NodeId) -> impl SortedCursor + '_ {
@@ -236,102 +361,6 @@ impl GraphView for CompactCsr {
     }
 }
 
-/// Decoding cursor over one node's delta-encoded neighbor list.
-struct CompactCursor<'a> {
-    skip_firsts: &'a [u32],
-    skip_bytes: &'a [u32],
-    data: &'a [u8],
-    /// The node's global block range.
-    block_lo: usize,
-    block_hi: usize,
-    /// Degree of the node.
-    total: usize,
-    /// Index of the current element within the list; exhausted when
-    /// `pos == total`.
-    pos: usize,
-    /// Global index of the block containing `pos`.
-    cur_block: usize,
-    /// Next byte to decode within `data`.
-    byte_pos: usize,
-    /// Decoded value at `pos` (meaningful only while `pos < total`).
-    cur: u32,
-}
-
-impl CompactCursor<'_> {
-    /// Repositions the cursor at the first element of global block `b`.
-    #[inline]
-    fn jump_to_block(&mut self, b: usize) {
-        self.cur_block = b;
-        self.pos = (b - self.block_lo) * BLOCK_SIZE;
-        self.cur = self.skip_firsts[b];
-        self.byte_pos = self.skip_bytes[b] as usize;
-    }
-}
-
-impl SortedCursor for CompactCursor<'_> {
-    #[inline]
-    fn current(&self) -> Option<NodeId> {
-        (self.pos < self.total).then_some(NodeId(self.cur))
-    }
-
-    #[inline]
-    fn advance(&mut self) {
-        if self.pos >= self.total {
-            return;
-        }
-        self.pos += 1;
-        if self.pos >= self.total {
-            return;
-        }
-        if self.pos.is_multiple_of(BLOCK_SIZE) {
-            self.cur_block += 1;
-            self.cur = self.skip_firsts[self.cur_block];
-            self.byte_pos = self.skip_bytes[self.cur_block] as usize;
-        } else {
-            self.cur += read_varint(self.data, &mut self.byte_pos);
-        }
-    }
-
-    fn seek(&mut self, target: NodeId) {
-        if self.pos >= self.total || self.cur >= target.0 {
-            return;
-        }
-        // Binary-search the skip entries of the blocks after the current one
-        // for the last block whose first element is <= target; everything in
-        // earlier blocks is < that first element, so decoding can start
-        // there.
-        let later_firsts = &self.skip_firsts[self.cur_block + 1..self.block_hi];
-        let jump = later_firsts.partition_point(|&f| f <= target.0);
-        if jump > 0 {
-            self.jump_to_block(self.cur_block + jump);
-        }
-        while self.pos < self.total && self.cur < target.0 {
-            self.advance();
-        }
-    }
-}
-
-/// Iterator adapter over [`CompactCursor`].
-struct CompactNeighbors<'a> {
-    cursor: CompactCursor<'a>,
-}
-
-impl Iterator for CompactNeighbors<'_> {
-    type Item = NodeId;
-
-    #[inline]
-    fn next(&mut self) -> Option<NodeId> {
-        let out = self.cursor.current();
-        self.cursor.advance();
-        out
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        let left = self.cursor.total - self.cursor.pos.min(self.cursor.total);
-        (left, Some(left))
-    }
-}
-
 impl CsrGraph {
     /// Converts to the delta-encoded representation; see [`CompactCsr`].
     pub fn compact(&self) -> CompactCsr {
@@ -342,6 +371,7 @@ impl CsrGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blocks::read_varint;
     use crate::intersect::{count_common, count_common_cursors};
 
     fn assert_same_graph(csr: &CsrGraph, compact: &CompactCsr) {
@@ -444,6 +474,131 @@ mod tests {
             GraphView::memory_bytes(&csr)
         );
         assert!(compact.bytes_per_edge() < csr.bytes_per_edge());
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_reconstructs_the_graph() {
+        let csr = CsrGraph::from_edges(50, &[(0, 1), (1, 2), (2, 49), (3, 7), (7, 11)]);
+        let compact = csr.compact();
+        let (eo, bs, sf, sb, data) = compact.raw_parts();
+        let rebuilt = CompactCsr::from_raw_parts(
+            compact.node_count(),
+            compact.node_count(),
+            compact.is_directed(),
+            compact.edge_count(),
+            compact.max_degree(),
+            eo.to_vec(),
+            bs.to_vec(),
+            sf.to_vec(),
+            sb.to_vec(),
+            data.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, compact);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_inconsistent_layouts() {
+        let csr = CsrGraph::from_edges(10, &[(0, 1), (1, 2), (2, 3)]);
+        let compact = csr.compact();
+        let (eo, bs, sf, sb, data) = compact.raw_parts();
+        let build = |eo: Vec<u32>, bs: Vec<u32>, sf: Vec<u32>, sb: Vec<u32>, max: usize| {
+            CompactCsr::from_raw_parts(10, 10, false, 3, max, eo, bs, sf, sb, data.to_vec())
+        };
+        // Baseline is accepted.
+        assert!(build(eo.to_vec(), bs.to_vec(), sf.to_vec(), sb.to_vec(), 2).is_ok());
+        // Wrong array length.
+        assert!(
+            build(eo[..eo.len() - 1].to_vec(), bs.to_vec(), sf.to_vec(), sb.to_vec(), 2).is_err()
+        );
+        // Inconsistent offsets (node 0's claimed degree has no blocks).
+        let mut bad = eo.to_vec();
+        bad[1] = *bad.last().unwrap() + 1;
+        assert!(build(bad, bs.to_vec(), sf.to_vec(), sb.to_vec(), 2).is_err());
+        // Claimed max degree off by one.
+        assert!(build(eo.to_vec(), bs.to_vec(), sf.to_vec(), sb.to_vec(), 3).is_err());
+        // Missing skip entry.
+        assert!(
+            build(eo.to_vec(), bs.to_vec(), sf[..sf.len() - 1].to_vec(), sb.to_vec(), 2).is_err()
+        );
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_gap_streams_that_would_decode_out_of_bounds() {
+        // One node claiming degree 2 in one block, but an empty gap stream:
+        // plausible offsets, in-bounds stream start, yet decoding the second
+        // element would read past the end. Must be an error, not a panic.
+        let r = CompactCsr::from_raw_parts(
+            1,
+            10,
+            false,
+            1,
+            2,
+            vec![0, 2],
+            vec![0, 1],
+            vec![5],
+            vec![0],
+            vec![],
+        );
+        assert!(matches!(r, Err(GraphError::InvalidBinary(_))), "{r:?}");
+        // A zero gap (duplicate neighbor) is rejected too.
+        let r = CompactCsr::from_raw_parts(
+            1,
+            10,
+            false,
+            1,
+            2,
+            vec![0, 2],
+            vec![0, 1],
+            vec![5],
+            vec![0],
+            vec![0u8],
+        );
+        assert!(r.is_err(), "zero gap accepted: {r:?}");
+        // Trailing bytes after the last block's gaps are rejected.
+        let mut data = Vec::new();
+        crate::blocks::write_varint(&mut data, 3);
+        data.push(0x01);
+        let r = CompactCsr::from_raw_parts(
+            1,
+            10,
+            false,
+            1,
+            2,
+            vec![0, 2],
+            vec![0, 1],
+            vec![5],
+            vec![0],
+            data,
+        );
+        assert!(r.is_err(), "trailing bytes accepted: {r:?}");
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_targets_outside_the_node_space() {
+        // A structurally perfect layout whose single list is [5, 8] — legal
+        // for a shard with id_bound 10, out of range for a whole graph of 6
+        // nodes. Consumers index degree arrays and score arenas by these
+        // ids, so the bound must be enforced at construction.
+        let mut data = Vec::new();
+        crate::blocks::write_varint(&mut data, 3);
+        let parts = |id_bound: usize| {
+            CompactCsr::from_raw_parts(
+                1,
+                id_bound,
+                false,
+                2,
+                2,
+                vec![0, 2],
+                vec![0, 1],
+                vec![5],
+                vec![0],
+                data.clone(),
+            )
+        };
+        assert!(parts(10).is_ok());
+        let r = parts(6);
+        assert!(matches!(r, Err(GraphError::InvalidBinary(_))), "{r:?}");
     }
 
     #[test]

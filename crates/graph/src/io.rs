@@ -28,8 +28,15 @@ pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> Result<(), GraphErro
 /// Reads a text edge list produced by [`write_edge_list`] (or any
 /// whitespace-separated `u v` file; lines starting with `#` other than the
 /// header are ignored).
+///
+/// Every malformed input is reported as a [`GraphError`], never a panic: an
+/// unparseable header value or edge line is a [`GraphError::ParseEdge`]
+/// carrying the 1-based line number, and — when the file declares its node
+/// count — an edge endpoint outside `0..nodes` is a
+/// [`GraphError::NodeOutOfBounds`] (headerless files still grow the node
+/// set from the ids they mention).
 pub fn read_edge_list<R: BufRead>(r: R) -> Result<CsrGraph, GraphError> {
-    let mut node_count = 0usize;
+    let mut declared_nodes: Option<usize> = None;
     let mut directed = false;
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
     for (idx, line) in r.lines().enumerate() {
@@ -38,15 +45,13 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<CsrGraph, GraphError> {
         if line.is_empty() {
             continue;
         }
+        let parse_err = || GraphError::ParseEdge { line: idx + 1, content: line.to_string() };
         if let Some(rest) = line.strip_prefix('#') {
             for token in rest.split_whitespace() {
                 if let Some(v) = token.strip_prefix("nodes=") {
-                    node_count = v.parse().map_err(|_| GraphError::ParseEdge {
-                        line: idx + 1,
-                        content: line.to_string(),
-                    })?;
+                    declared_nodes = Some(v.parse().map_err(|_| parse_err())?);
                 } else if let Some(v) = token.strip_prefix("directed=") {
-                    directed = v.parse().unwrap_or(false);
+                    directed = v.parse().map_err(|_| parse_err())?;
                 }
             }
             continue;
@@ -54,14 +59,24 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<CsrGraph, GraphError> {
         let mut it = line.split_whitespace();
         let (a, b) = match (it.next(), it.next()) {
             (Some(a), Some(b)) => (a, b),
-            _ => return Err(GraphError::ParseEdge { line: idx + 1, content: line.to_string() }),
+            _ => return Err(parse_err()),
         };
-        let parse = |s: &str| -> Result<u32, GraphError> {
-            s.parse()
-                .map_err(|_| GraphError::ParseEdge { line: idx + 1, content: line.to_string() })
-        };
-        edges.push((NodeId(parse(a)?), NodeId(parse(b)?)));
+        let parse = |s: &str| -> Result<u32, GraphError> { s.parse().map_err(|_| parse_err()) };
+        let (a, b) = (parse(a)?, parse(b)?);
+        edges.push((NodeId(a), NodeId(b)));
     }
+    // Bounds are enforced after the whole file is read, so a header that
+    // appears below some edges (nothing forbids that) still covers them.
+    if let Some(n) = declared_nodes {
+        for &(a, b) in &edges {
+            for id in [a, b] {
+                if id.index() >= n {
+                    return Err(GraphError::NodeOutOfBounds { node: id.0, node_count: n });
+                }
+            }
+        }
+    }
+    let node_count = declared_nodes.unwrap_or(0);
     let mut builder = if directed {
         GraphBuilder::directed(node_count)
     } else {
@@ -185,6 +200,51 @@ mod tests {
     fn edge_list_rejects_single_token_line() {
         let data = "0 1\n7\n";
         assert!(read_edge_list(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_rejects_malformed_directed_header() {
+        // The directed flag used to be silently defaulted on garbage; it
+        // must surface as a parse error on the header's line instead.
+        let data = "# nodes=3 directed=sideways\n0 1\n";
+        match read_edge_list(data.as_bytes()).unwrap_err() {
+            GraphError::ParseEdge { line, content } => {
+                assert_eq!(line, 1);
+                assert!(content.contains("directed=sideways"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_edges_outside_a_declared_node_count() {
+        let data = "# nodes=3\n0 1\n1 5\n";
+        match read_edge_list(data.as_bytes()).unwrap_err() {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                assert_eq!(node, 5);
+                assert_eq!(node_count, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_bounds_edges_that_precede_the_header() {
+        // The node-count declaration may appear anywhere; edges read before
+        // it are still checked against it.
+        let data = "0 9\n# nodes=3\n0 1\n";
+        assert!(matches!(
+            read_edge_list(data.as_bytes()),
+            Err(GraphError::NodeOutOfBounds { node: 9, node_count: 3 })
+        ));
+    }
+
+    #[test]
+    fn edge_list_rejects_malformed_nodes_header() {
+        assert!(matches!(
+            read_edge_list("# nodes=many\n0 1\n".as_bytes()),
+            Err(GraphError::ParseEdge { line: 1, .. })
+        ));
     }
 
     #[test]

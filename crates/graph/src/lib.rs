@@ -27,6 +27,11 @@
 //!   working set (two copies plus ground truth) is what stops an experiment
 //!   from fitting in memory.
 //!
+//! Further implementations live outside this crate: the `snr-store` crate
+//! serializes the same delta-block layout (see [`blocks`]) into checksummed
+//! on-disk segments and reads them back through mmap-backed and sharded
+//! views, for graphs bigger than RAM.
+//!
 //! The crate also ships the supporting pieces a downstream user of the
 //! library needs: traversals ([`traversal`]), degree statistics ([`stats`]),
 //! induced subgraphs ([`subgraph`]), text and binary serialization ([`io`])
@@ -57,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blocks;
 pub mod builder;
 pub mod compact;
 pub mod csr;

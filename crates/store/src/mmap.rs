@@ -1,0 +1,277 @@
+//! Zero-copy [`GraphView`] over a memory-mapped segment file.
+//!
+//! [`MmapGraph::open`] maps a segment written by
+//! [`crate::segment::write_segment`], validates the header, section lengths
+//! and checksum once (a single sequential scan of the file), and then serves
+//! every read straight from the mapped pages: degrees are two `u32` loads
+//! from the mapped entry-offset array, and neighbor lists decode through the
+//! same [`snr_graph::blocks::BlockCursor`] the in-memory [`CompactCsr`]
+//! uses — identical traversal order, identical intersection results, no
+//! per-open copy of the adjacency. Resident memory is whatever subset of
+//! the file the kernel keeps cached, so graphs bigger than RAM stay
+//! runnable.
+//!
+//! [`CompactCsr`]: snr_graph::CompactCsr
+
+use crate::segment::{parse_segment, Layout, SegmentMeta, FOOTER_LEN, HEADER_LEN};
+use memmap2::{Advice, Mmap};
+use snr_graph::blocks::{BlockCursor, BlockNeighbors};
+use snr_graph::compact::validate_parts;
+use snr_graph::intersect::SortedCursor;
+use snr_graph::{GraphError, GraphView, NodeId};
+use std::fs::File;
+use std::path::Path;
+
+/// Reinterprets a 4-byte-aligned little-endian byte range as `&[u32]`.
+///
+/// Alignment and length are validated at open time ([`MmapGraph::open`]
+/// rejects misaligned mappings), so the cast itself cannot observe
+/// out-of-bounds or misaligned memory; on a big-endian target open fails
+/// before any cast.
+#[allow(unsafe_code)]
+fn u32_slice(bytes: &[u8]) -> &[u32] {
+    debug_assert!(bytes.len().is_multiple_of(4));
+    debug_assert_eq!(bytes.as_ptr().align_offset(std::mem::align_of::<u32>()), 0);
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, bytes.len() / 4) }
+}
+
+/// A read-only graph served directly from a mapped segment file.
+///
+/// Implements [`GraphView`]; a whole-graph segment behaves exactly like the
+/// `CompactCsr` it was written from. Opening a *shard* segment through
+/// [`MmapGraph::open`] is rejected (its targets are global ids outside the
+/// local row range) — shards are opened together via
+/// [`crate::ShardedGraph::open`].
+#[derive(Debug)]
+pub struct MmapGraph {
+    map: Mmap,
+    meta: SegmentMeta,
+    layout: Layout,
+}
+
+impl MmapGraph {
+    /// Maps and validates the whole-graph segment at `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<MmapGraph, GraphError> {
+        let g = MmapGraph::open_any(path.as_ref())?;
+        if g.meta.is_shard() {
+            return Err(GraphError::InvalidBinary(format!(
+                "{} is a shard segment (rows {}..{} of {}); open it with ShardedGraph::open",
+                path.as_ref().display(),
+                g.meta.first_node,
+                g.meta.first_node + g.meta.node_count,
+                g.meta.total_nodes
+            )));
+        }
+        Ok(g)
+    }
+
+    /// Maps and validates any segment, shard or whole. Crate-internal:
+    /// [`crate::ShardedGraph::open`] is the public road to shard segments.
+    #[allow(unsafe_code)]
+    pub(crate) fn open_any(path: &Path) -> Result<MmapGraph, GraphError> {
+        if cfg!(target_endian = "big") {
+            return Err(GraphError::InvalidBinary(
+                "mmap-backed segments require a little-endian host".into(),
+            ));
+        }
+        let file = File::open(path)?;
+        // Safety: segments are written once and then treated as immutable;
+        // mutating one while mapped is outside the supported contract (and
+        // would be caught by the checksum on the next open).
+        let map = unsafe { Mmap::map(&file) }?;
+        if !(map.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u32>()) {
+            return Err(GraphError::InvalidBinary(
+                "mapped segment is not 4-byte aligned on this platform".into(),
+            ));
+        }
+        // Validation scans the whole file front to back (checksum + gap
+        // stream walk): let the kernel read ahead for that phase, then
+        // switch to random advice for the witness kernels, which fault
+        // pages in candidate order, not file order.
+        let _ = map.advise(Advice::Sequential);
+        let meta = parse_segment(&map)?;
+        let layout = meta.layout();
+        validate_parts(
+            meta.node_count,
+            meta.total_nodes,
+            meta.max_degree,
+            u32_slice(&map[layout.entry_offsets.clone()]),
+            u32_slice(&map[layout.block_starts.clone()]),
+            u32_slice(&map[layout.skip_firsts.clone()]),
+            u32_slice(&map[layout.skip_bytes.clone()]),
+            &map[layout.data.clone()],
+            &format!("segment {}", path.display()),
+        )?;
+        let _ = map.advise(Advice::Random);
+        Ok(MmapGraph { map, meta, layout })
+    }
+
+    /// The parsed segment header.
+    pub fn meta(&self) -> &SegmentMeta {
+        &self.meta
+    }
+
+    /// Size of the backing file in bytes.
+    pub fn file_len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn entry_offsets(&self) -> &[u32] {
+        u32_slice(&self.map[self.layout.entry_offsets.clone()])
+    }
+
+    fn block_starts(&self) -> &[u32] {
+        u32_slice(&self.map[self.layout.block_starts.clone()])
+    }
+
+    fn cursor(&self, v: NodeId) -> BlockCursor<'_> {
+        let i = v.index();
+        let entry_offsets = self.entry_offsets();
+        let block_starts = self.block_starts();
+        let block_lo = block_starts[i] as usize;
+        let block_hi = block_starts[i + 1] as usize;
+        let total = (entry_offsets[i + 1] - entry_offsets[i]) as usize;
+        BlockCursor::new(
+            u32_slice(&self.map[self.layout.skip_firsts.clone()]),
+            u32_slice(&self.map[self.layout.skip_bytes.clone()]),
+            &self.map[self.layout.data.clone()],
+            block_lo,
+            block_hi,
+            total,
+        )
+    }
+}
+
+impl GraphView for MmapGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.meta.node_count
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.meta.edge_count
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        self.meta.directed
+    }
+
+    #[inline]
+    fn max_degree(&self) -> usize {
+        self.meta.max_degree
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        let eo = self.entry_offsets();
+        (eo[v.index() + 1] - eo[v.index()]) as usize
+    }
+
+    #[inline]
+    fn total_degree(&self) -> usize {
+        self.meta.entry_count
+    }
+
+    fn neighbors_iter(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        BlockNeighbors::new(self.cursor(v))
+    }
+
+    fn neighbor_cursor(&self, v: NodeId) -> impl SortedCursor + '_ {
+        self.cursor(v)
+    }
+
+    /// Mapped bytes of the adjacency payload (index arrays + gap stream) —
+    /// the upper bound on what this view can keep resident; the kernel
+    /// pages it in and out on demand.
+    fn memory_bytes(&self) -> usize {
+        self.map.len().saturating_sub(HEADER_LEN + FOOTER_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{write_segment, write_segment_range};
+    use snr_graph::intersect::count_common_cursors;
+    use snr_graph::CsrGraph;
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    fn temp_segment(name: &str, bytes: &[u8]) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("snr-store-mmap-{}-{name}", std::process::id()));
+        std::fs::File::create(&path).unwrap().write_all(bytes).unwrap();
+        path
+    }
+
+    fn sample() -> CsrGraph {
+        let edges: Vec<(u32, u32)> =
+            (0..400u32).map(|i| (i % 97, (i * 7 + 3) % 200)).chain([(0, 199), (1, 198)]).collect();
+        CsrGraph::from_edges(200, &edges)
+    }
+
+    #[test]
+    fn mmap_view_matches_the_source_graph() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_segment(&g, &mut buf).unwrap();
+        let path = temp_segment("match", &buf);
+        let m = MmapGraph::open(&path).unwrap();
+        assert_eq!(m.node_count(), g.node_count());
+        assert_eq!(m.edge_count(), g.edge_count());
+        assert_eq!(m.max_degree(), GraphView::max_degree(&g));
+        assert_eq!(m.total_degree(), g.total_degree());
+        for v in GraphView::nodes_iter(&g) {
+            assert_eq!(m.degree(v), g.degree(v), "degree of {v:?}");
+            assert_eq!(
+                m.neighbors_iter(v).collect::<Vec<_>>(),
+                g.neighbors(v).to_vec(),
+                "neighbors of {v:?}"
+            );
+        }
+        // Cursor intersection against the uncompressed form agrees.
+        let expected =
+            snr_graph::intersect::count_common(g.neighbors(NodeId(0)), g.neighbors(NodeId(1)));
+        assert_eq!(
+            count_common_cursors(m.neighbor_cursor(NodeId(0)), m.neighbor_cursor(NodeId(1))),
+            expected
+        );
+        assert_eq!(
+            count_common_cursors(g.neighbor_cursor(NodeId(0)), m.neighbor_cursor(NodeId(1))),
+            expected
+        );
+        assert!(m.memory_bytes() <= m.file_len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_corruption_and_shards() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_segment(&g, &mut buf).unwrap();
+        // Corrupt one payload byte.
+        let mut bad = buf.clone();
+        let idx = bad.len() - 20;
+        bad[idx] ^= 0xff;
+        let path = temp_segment("corrupt", &bad);
+        assert!(MmapGraph::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+        // A shard segment is redirected to ShardedGraph::open.
+        let mut shard = Vec::new();
+        write_segment_range(&g, &mut shard, 0..100).unwrap();
+        let path = temp_segment("shard", &shard);
+        let err = MmapGraph::open(&path).unwrap_err();
+        assert!(err.to_string().contains("ShardedGraph"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_missing_and_empty_files() {
+        assert!(MmapGraph::open("/nonexistent/segment.snrs").is_err());
+        let path = temp_segment("empty", &[]);
+        assert!(MmapGraph::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline shim for the subset of `memmap2` used by this workspace.
+//!
+//! Provides read-only, whole-file memory mappings: [`Mmap::map`] /
+//! [`MmapOptions::map`] plus [`Mmap::advise`], matching the upstream API so
+//! the shim can be swapped for the real crate with one line in the root
+//! `Cargo.toml`. On Unix the mapping goes through raw `extern "C"`
+//! declarations of `mmap`/`munmap`/`madvise` (the container has no libc
+//! crate either); elsewhere the file is read into an 8-byte-aligned heap
+//! buffer so the API keeps working, just without the shared page cache.
+//!
+//! Only the read-only surface is implemented — no `MmapMut`, no partial
+//! ranges — because the graph segments in `snr-store` are immutable once
+//! written.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// Access-pattern hint forwarded to `madvise` (a no-op on the fallback
+/// implementation). Mirrors `memmap2::Advice`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Advice {
+    /// No special treatment (`MADV_NORMAL`).
+    Normal,
+    /// Expect random page references (`MADV_RANDOM`).
+    Random,
+    /// Expect sequential page references (`MADV_SEQUENTIAL`).
+    Sequential,
+    /// Expect access in the near future (`MADV_WILLNEED`).
+    WillNeed,
+}
+
+/// Builder mirroring `memmap2::MmapOptions`; only whole-file read-only
+/// mappings are supported.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MmapOptions {}
+
+impl MmapOptions {
+    /// Creates a new set of (default) options.
+    pub fn new() -> MmapOptions {
+        MmapOptions {}
+    }
+
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// # Safety
+    /// As with the real `memmap2`, the caller must ensure the underlying
+    /// file is not truncated or mutated while the map is alive; Rust cannot
+    /// see such external writes and they would invalidate the returned
+    /// slice.
+    pub unsafe fn map(&self, file: &File) -> io::Result<Mmap> {
+        Mmap::map(file)
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::Advice;
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 0x02;
+    const MADV_NORMAL: c_int = 0;
+    const MADV_RANDOM: c_int = 1;
+    const MADV_SEQUENTIAL: c_int = 2;
+    const MADV_WILLNEED: c_int = 3;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+
+    /// A read-only memory map of an entire file.
+    #[derive(Debug)]
+    pub struct Mmap {
+        /// Page-aligned base address; dangling (never dereferenced) when
+        /// `len == 0` — `mmap(2)` rejects zero-length mappings.
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is immutable shared memory: no interior mutability, so
+    // handing references across threads is as safe as sharing a `&[u8]`.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `file` read-only in its entirety.
+        ///
+        /// # Safety
+        /// The file must not be truncated or mutated while the map is alive.
+        pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+            let len = file.metadata()?.len();
+            if len > usize::MAX as u64 {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"));
+            }
+            let len = len as usize;
+            if len == 0 {
+                return Ok(Mmap { ptr: std::ptr::null_mut(), len: 0 });
+            }
+            let ptr = mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0);
+            // MAP_FAILED is (void *)-1.
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap { ptr, len })
+        }
+
+        /// Forwards an access-pattern hint to `madvise(2)`.
+        pub fn advise(&self, advice: Advice) -> io::Result<()> {
+            if self.len == 0 {
+                return Ok(());
+            }
+            let flag = match advice {
+                Advice::Normal => MADV_NORMAL,
+                Advice::Random => MADV_RANDOM,
+                Advice::Sequential => MADV_SEQUENTIAL,
+                Advice::WillNeed => MADV_WILLNEED,
+            };
+            if unsafe { madvise(self.ptr, self.len, flag) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                // Failure here is unrecoverable and leaks the mapping; like
+                // the real crate, ignore it rather than panic in drop.
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::Advice;
+    use std::fs::File;
+    use std::io::{self, Read};
+
+    /// Fallback "map": the file copied into an 8-byte-aligned heap buffer
+    /// (`Vec<u64>` backing), so consumers that reinterpret aligned regions
+    /// of the buffer keep working.
+    #[derive(Debug)]
+    pub struct Mmap {
+        buf: Vec<u64>,
+        len: usize,
+    }
+
+    impl Mmap {
+        /// "Maps" `file` by copying it into an aligned heap buffer.
+        ///
+        /// # Safety
+        /// None needed here; `unsafe` only mirrors the Unix signature.
+        pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+            let mut bytes = Vec::new();
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut bytes)?;
+            let len = bytes.len();
+            let mut buf = vec![0u64; len.div_ceil(8)];
+            // Safety-free copy: u64 buffer viewed as bytes.
+            for (i, b) in bytes.into_iter().enumerate() {
+                let word = &mut buf[i / 8];
+                *word |= (b as u64) << (8 * (i % 8));
+            }
+            Ok(Mmap { buf, len })
+        }
+
+        /// Accepted and ignored; there is no kernel mapping to advise.
+        pub fn advise(&self, _advice: Advice) -> io::Result<()> {
+            Ok(())
+        }
+
+        /// The buffered bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            let ptr = self.buf.as_ptr() as *const u8;
+            unsafe { std::slice::from_raw_parts(ptr, self.len) }
+        }
+    }
+}
+
+pub use imp::Mmap;
+
+impl Mmap {
+    /// Length of the mapped file in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True for an empty (zero-length) mapping.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memmap2-shim-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents_readonly() {
+        let path = temp_path("basic");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&map[..], &payload[..]);
+        map.advise(Advice::Random).unwrap();
+        map.advise(Advice::Sequential).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { MmapOptions::new().map(&file) }.unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], &[] as &[u8]);
+        map.advise(Advice::WillNeed).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        let payload = vec![7u8; 4096 * 3];
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        let total: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let m = &map;
+                    s.spawn(move || {
+                        m[i * 1024..(i + 1) * 1024].iter().map(|&b| b as u64).sum::<u64>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        });
+        assert_eq!(total, 7 * 4096);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

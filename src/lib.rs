@@ -15,6 +15,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`graph`] | `snr-graph` | CSR graphs, builders, traversals, statistics, I/O |
+//! | [`store`] | `snr-store` | on-disk graph segments, mmap-backed and sharded views |
 //! | [`generators`] | `snr-generators` | Erdős–Rényi, preferential attachment, affiliation, R-MAT, temporal, … |
 //! | [`sampling`] | `snr-sampling` | realization models, ground truth, seed links |
 //! | [`mapreduce`] | `snr-mapreduce` | the in-memory MapReduce engine |
@@ -58,6 +59,7 @@ pub use snr_graph as graph;
 pub use snr_mapreduce as mapreduce;
 pub use snr_metrics as metrics;
 pub use snr_sampling as sampling;
+pub use snr_store as store;
 
 /// Commonly used items, re-exported for `use social_reconcile::prelude::*`.
 pub mod prelude {
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use snr_sampling::{
         sample_seeds, sample_seeds_degree_biased, GroundTruth, RealizationPair,
     };
+    pub use snr_store::{MmapGraph, ShardedGraph};
 }
 
 #[cfg(test)]

@@ -1,17 +1,34 @@
 //! Cross-backend and cross-representation equivalence: the sequential,
 //! rayon, and MapReduce backends must produce bit-for-bit identical link
-//! sets on identical inputs — and so must the two `GraphView`
-//! implementations (`CsrGraph` and the delta-encoded `CompactCsr`). This is
-//! what makes the parallel and MapReduce claims of the paper meaningful
-//! (they are *the same algorithm*, only scheduled differently) and what
-//! makes the compressed representation safe to substitute in any
-//! experiment.
+//! sets on identical inputs — and so must every `GraphView` implementation
+//! (`CsrGraph`, the delta-encoded `CompactCsr`, the mmap-backed `MmapGraph`
+//! over an on-disk segment, and the `ShardedGraph` partition). This is what
+//! makes the parallel and MapReduce claims of the paper meaningful (they
+//! are *the same algorithm*, only scheduled differently) and what makes the
+//! compressed, on-disk, and sharded representations safe to substitute in
+//! any experiment.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use social_reconcile::core::witness::count_witnesses;
 use social_reconcile::core::{Backend, MatchingConfig, UserMatching};
 use social_reconcile::prelude::*;
+use social_reconcile::store::write_segment_file;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Writes `g` to a unique temp segment and reopens it mmap-backed. The
+/// file must outlive the returned view, so the path is handed back too.
+fn mmap_view(g: &CsrGraph, tag: &str) -> (MmapGraph, PathBuf) {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "snr-backend-eq-{}-{tag}-{}.snrs",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    write_segment_file(g, &path).expect("write segment");
+    (MmapGraph::open(&path).expect("open segment"), path)
+}
 
 fn workload(
     seed: u64,
@@ -38,9 +55,13 @@ where
 }
 
 /// Runs every backend on every representation combination (both copies CSR,
-/// both compact, and mixed) and asserts a single identical link set.
+/// both compact, both mmap-backed segments, both sharded, and mixed) and
+/// asserts a single identical link set.
 fn assert_all_agree(pair: &RealizationPair, seeds: &[(NodeId, NodeId)], t: u32, workers: usize) {
     let (c1, c2) = (pair.g1.compact(), pair.g2.compact());
+    let ((m1, p1), (m2, p2)) = (mmap_view(&pair.g1, "g1"), mmap_view(&pair.g2, "g2"));
+    let (s1, s2) =
+        (ShardedGraph::partition(&pair.g1, workers + 1), ShardedGraph::partition(&pair.g2, 3));
     // Sequential-on-CSR is the reference itself, so it is not re-run.
     let reference = run_on(&pair.g1, &pair.g2, seeds, Backend::Sequential, t);
     for backend in [Backend::Sequential, Backend::Rayon, Backend::MapReduce { workers }] {
@@ -50,9 +71,20 @@ fn assert_all_agree(pair: &RealizationPair, seeds: &[(NodeId, NodeId)], t: u32, 
         }
         let on_compact = run_on(&c1, &c2, seeds, backend, t);
         assert_eq!(on_compact, reference, "{backend:?} differs on CompactCsr at T={t}");
+        let on_mmap = run_on(&m1, &m2, seeds, backend, t);
+        assert_eq!(on_mmap, reference, "{backend:?} differs on MmapGraph at T={t}");
+        let on_sharded = run_on(&s1, &s2, seeds, backend, t);
+        assert_eq!(on_sharded, reference, "{backend:?} differs on ShardedGraph at T={t}");
         let mixed = run_on(&pair.g1, &c2, seeds, backend, t);
         assert_eq!(mixed, reference, "{backend:?} differs on mixed representations at T={t}");
+        // Sharded copy 1 drives the partition-aware row chunking while copy
+        // 2 serves from a mapped segment — the multi-store pipeline.
+        let mixed_store = run_on(&s1, &m2, seeds, backend, t);
+        assert_eq!(mixed_store, reference, "{backend:?} differs on sharded x mmap at T={t}");
     }
+    drop((m1, m2));
+    let _ = std::fs::remove_file(p1);
+    let _ = std::fs::remove_file(p2);
 }
 
 #[test]
@@ -97,17 +129,29 @@ fn witness_score_tables_are_identical_across_backends_and_representations() {
     let (pair, seeds) = workload(15, 1_000, 6, 0.6, 0.10);
     let links = Linking::with_seeds(pair.g1.node_count(), pair.g2.node_count(), &seeds);
     let (c1, c2) = (pair.g1.compact(), pair.g2.compact());
+    let ((m1, p1), (m2, p2)) = (mmap_view(&pair.g1, "t1"), mmap_view(&pair.g2, "t2"));
+    let (s1, s2) = (ShardedGraph::partition(&pair.g1, 4), ShardedGraph::partition(&pair.g2, 4));
     for min_deg in [1, 2, 4] {
         let reference =
             count_witnesses(&pair.g1, &pair.g2, &links, min_deg, min_deg, Backend::Sequential);
         for backend in [Backend::Sequential, Backend::Rayon, Backend::MapReduce { workers: 3 }] {
             let on_csr = count_witnesses(&pair.g1, &pair.g2, &links, min_deg, min_deg, backend);
             let on_compact = count_witnesses(&c1, &c2, &links, min_deg, min_deg, backend);
+            let on_mmap = count_witnesses(&m1, &m2, &links, min_deg, min_deg, backend);
+            let on_sharded = count_witnesses(&s1, &s2, &links, min_deg, min_deg, backend);
             assert_eq!(on_csr, reference, "{backend:?} table differs on CsrGraph d={min_deg}");
             assert_eq!(
                 on_compact, reference,
                 "{backend:?} table differs on CompactCsr d={min_deg}"
             );
+            assert_eq!(on_mmap, reference, "{backend:?} table differs on MmapGraph d={min_deg}");
+            assert_eq!(
+                on_sharded, reference,
+                "{backend:?} table differs on ShardedGraph d={min_deg}"
+            );
         }
     }
+    drop((m1, m2));
+    let _ = std::fs::remove_file(p1);
+    let _ = std::fs::remove_file(p2);
 }
