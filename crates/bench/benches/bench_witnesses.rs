@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snr_bench::Workload;
-use snr_core::scoring::fused_phase;
+use snr_core::scoring::{fused_phase, mapreduce_fused_phase};
 use snr_core::witness::{count_mapreduce, count_rayon, count_sequential};
 use snr_graph::GraphView;
 use snr_mapreduce::Engine;
@@ -98,6 +98,17 @@ fn bench_rmat16(c: &mut Criterion) {
     });
     group.bench_function("compact/fused", |b| {
         b.iter(|| black_box(fused_phase(&c1, &c2, &links, 2, 2, 2, true)))
+    });
+    // The MapReduce backend's fused phase (combiner mappers + packed
+    // row shuffle + select-fused reduce) — what one matcher phase actually
+    // runs on Backend::MapReduce since the arena rebuild.
+    group.bench_function("csr/mapreduce_fused", |b| {
+        let engine = Engine::new(4);
+        b.iter(|| black_box(mapreduce_fused_phase(&engine, g1, g2, &links, 2, 2, 2)))
+    });
+    group.bench_function("compact/mapreduce_fused", |b| {
+        let engine = Engine::new(4);
+        b.iter(|| black_box(mapreduce_fused_phase(&engine, &c1, &c2, &links, 2, 2, 2)))
     });
 
     // The storage subsystem on the same workload: witness pass over

@@ -3,10 +3,8 @@
 use crate::backend::Backend;
 use crate::config::MatchingConfig;
 use crate::linking::Linking;
-use crate::matching::mapreduce_mutual_best;
-use crate::scoring::fused_phase;
+use crate::scoring::{fused_phase, mapreduce_fused_phase};
 use crate::stats::{MatchingOutcome, PhaseStats};
-use crate::witness::count_mapreduce;
 use snr_graph::{GraphView, NodeId};
 use snr_mapreduce::{Engine, EngineStats};
 use std::time::Instant;
@@ -151,10 +149,20 @@ impl UserMatching {
 
                 let (scored_pairs, new_pairs) = match (cfg.backend, engine_ref) {
                     (Backend::MapReduce { .. }, Some(engine)) => {
-                        let scores =
-                            count_mapreduce(g1, g2, &links, min_degree, min_degree, engine);
-                        let pairs = mapreduce_mutual_best(engine, &scores, cfg.threshold);
-                        (scores.len(), pairs)
+                        // One engine round per phase: combiner mappers score
+                        // candidate rows on task-local arenas, the packed
+                        // shuffle is range-partitioned by row, and the
+                        // reduce folds rows into per-partition SelectSinks —
+                        // no global score table, same bits as fused_phase.
+                        mapreduce_fused_phase(
+                            engine,
+                            g1,
+                            g2,
+                            &links,
+                            min_degree,
+                            min_degree,
+                            cfg.threshold,
+                        )
                     }
                     _ => {
                         // Arena fast path: witness scoring and mutual-best
@@ -391,7 +399,10 @@ mod tests {
         let (mr, engine_stats) =
             UserMatching::new(mr_cfg).run_with_round_stats(&pair.g1, &pair.g2, &seeds);
         assert_eq!(seq.links, mr.links);
-        // 4 MapReduce rounds per phase (witness count + 3 selection rounds).
-        assert_eq!(engine_stats.rounds, 4 * mr.phases.len());
+        // One fused MapReduce round per phase: combiner mappers + packed
+        // shuffle + select-fused reduce (the paper sketches the same phase
+        // as 4 rounds; the combiner collapses it to 1).
+        assert_eq!(engine_stats.rounds, mr.phases.len());
+        assert!(engine_stats.per_round.iter().all(|r| r.label == "witness-score"));
     }
 }

@@ -1,16 +1,18 @@
 //! Execution backends.
 //!
-//! The paper stresses that User-Matching is "simple, parallelizable": each
-//! phase is four MapReduce rounds, and the whole algorithm is `O(k log D)`
-//! rounds. We provide three interchangeable backends so the claim can be
-//! tested rather than taken on faith:
+//! The paper stresses that User-Matching is "simple, parallelizable": it
+//! sketches each phase as four MapReduce rounds, making the whole algorithm
+//! `O(k log D)` rounds. We provide three interchangeable backends so the
+//! claim can be tested rather than taken on faith:
 //!
 //! * [`Backend::Sequential`] — single-threaded reference implementation;
-//! * [`Backend::Rayon`] — shared-memory data parallelism over the seed
-//!   links (the practical choice on one machine);
-//! * [`Backend::MapReduce`] — runs each phase as jobs on the
-//!   `snr-mapreduce` engine, reproducing the paper's round structure and
-//!   letting the experiments count rounds and shuffled records.
+//! * [`Backend::Rayon`] — shared-memory data parallelism over candidate
+//!   rows (the practical choice on one machine);
+//! * [`Backend::MapReduce`] — runs each phase as one fused round on the
+//!   `snr-mapreduce` engine (combiner mappers over the scoring arena, a
+//!   packed row-partitioned shuffle, mutual-best selection fused into the
+//!   reduce), letting the experiments count rounds and measure shuffle
+//!   volume in records and bytes.
 //!
 //! All three backends produce identical link sets for identical inputs (see
 //! the cross-backend equivalence tests in `tests/backend_equivalence.rs`).

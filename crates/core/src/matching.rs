@@ -165,79 +165,49 @@ pub fn mutual_best_pairs_rayon(scores: &ScoreTable, threshold: u32) -> Vec<(Node
     select_mutual(&tables, threshold)
 }
 
-/// The same mutual-best selection expressed as MapReduce rounds on the
-/// engine (rounds 2–4 of the paper's 4-round phase):
+/// The same mutual-best selection expressed on the MapReduce engine.
 ///
-/// * round 2 groups scores by the copy-1 node and keeps its best partner;
-/// * round 3 groups scores by the copy-2 node and keeps its best partner;
-/// * round 4 joins the two "best" relations on the pair key and keeps the
-///   pairs claimed by both sides.
+/// The pre-arena implementation spent three engine rounds on this (best per
+/// copy-1 node, best per copy-2 node, join on the pair key — the paper's
+/// rounds 2–4). On the arena engine it is a single
+/// [`Engine::run_combined`] round: score entries are packed into
+/// `(u, (v, score))` records ([`crate::scoring::pack_entry`]),
+/// range-partitioned by `u` so every reduce partition owns whole rows, and
+/// folded straight into a [`crate::scoring::SelectSink`] per partition; the
+/// per-partition sinks merge with the tie-abstaining [`Best::merge`],
+/// exactly as the rayon backend's per-worker sinks do.
 ///
-/// Produces exactly the same pairs as [`mutual_best_pairs`].
+/// Produces exactly the same pairs as [`mutual_best_pairs`]. (Inside
+/// [`crate::UserMatching`]'s MapReduce backend this selection no longer runs
+/// as its own round at all — [`crate::scoring::mapreduce_fused_phase`] fuses
+/// it into the witness-scoring reduce — so this entry point exists for
+/// callers that already hold a [`ScoreTable`].)
 pub fn mapreduce_mutual_best(
     engine: &Engine,
     scores: &ScoreTable,
     threshold: u32,
 ) -> Vec<(NodeId, NodeId)> {
-    let threshold = threshold.max(1);
-    let records: Vec<((u32, u32), u32)> = scores.iter().map(|(&k, &s)| (k, s)).collect();
+    use crate::scoring::{pack_entry, run_select_round};
 
-    // Round 2: best partner per copy-1 node.
-    let best_u: Vec<((u32, u32), u32)> = engine.run(
-        "best-per-g1-node",
-        records.clone(),
-        |((u, v), s)| vec![(u, (v, s))],
-        |u, partners| {
-            best_of(&partners)
-                .filter(|b| b.score >= threshold && b.unique)
-                .map(|b| vec![((u, b.partner), b.score)])
-                .unwrap_or_default()
-        },
-    );
-
-    // Round 3: best partner per copy-2 node.
-    let best_v: Vec<((u32, u32), u32)> = engine.run(
-        "best-per-g2-node",
+    let n1 = scores.keys().map(|&(u, _)| u as usize + 1).max().unwrap_or(0);
+    let n2 = scores.keys().map(|&(_, v)| v as usize + 1).max().unwrap_or(0);
+    let records: Vec<(u32, u64)> =
+        scores.iter().map(|(&(u, v), &s)| (u, pack_entry(v, s))).collect();
+    run_select_round(
+        engine,
+        "mutual-select",
         records,
-        |((u, v), s)| vec![(v, (u, s))],
-        |v, partners| {
-            best_of(&partners)
-                .filter(|b| b.score >= threshold && b.unique)
-                .map(|b| vec![((b.partner, v), b.score)])
-                .unwrap_or_default()
-        },
-    );
-
-    // Round 4: join on the pair key; a pair survives iff both sides emitted it.
-    let mut tagged: Vec<((u32, u32), u8)> = Vec::with_capacity(best_u.len() + best_v.len());
-    tagged.extend(best_u.into_iter().map(|(pair, _)| (pair, 1u8)));
-    tagged.extend(best_v.into_iter().map(|(pair, _)| (pair, 2u8)));
-    let mut joined: Vec<(u32, u32)> = engine.run(
-        "mutual-join",
-        tagged,
-        |(pair, side)| vec![(pair, side)],
-        |pair, sides| {
-            let has1 = sides.contains(&1);
-            let has2 = sides.contains(&2);
-            if has1 && has2 {
-                vec![pair]
-            } else {
-                vec![]
-            }
-        },
-    );
-    joined.sort_unstable();
-    joined.into_iter().map(|(u, v)| (NodeId(u), NodeId(v))).collect()
-}
-
-fn best_of(partners: &[(u32, u32)]) -> Option<Best> {
-    let mut iter = partners.iter();
-    let &(partner, score) = iter.next()?;
-    let mut best = Best { partner, score, unique: true };
-    for &(p, s) in iter {
-        best.consider(p, s);
-    }
-    Some(best)
+        // Mappers emit one single-entry row fragment per score entry; the
+        // engine's combiner aggregates each map task's fragments into one
+        // duplicate-free row record per `u` before the shuffle — the
+        // classic combiner win, measured by `map_output_records` vs
+        // `shuffled_records` on the round.
+        |chunk: &[(u32, u64)]| chunk.iter().map(|&(u, packed)| (u, vec![packed])).collect(),
+        n1,
+        n2,
+        threshold,
+    )
+    .1
 }
 
 #[cfg(test)]

@@ -30,12 +30,31 @@
 //! (each worker sees whole rows), and per-`v` bests merge with
 //! [`Best::merge`], which is associative, commutative, and preserves
 //! tie-abstention across worker boundaries.
+//!
+//! # The MapReduce rounds run on the same engine
+//!
+//! [`mapreduce_fused_phase`] expresses one whole phase as a single
+//! [`snr_mapreduce::Engine::run_combined`] round built from the same pieces:
+//! map tasks score contiguous chunks of candidate rows through a task-local
+//! [`LinkCache`] + [`ScoreArena`] (each linked neighbor list is decoded once
+//! per task, not once per contribution) and emit one already-aggregated
+//! record per candidate *row* — a dense `u32` key plus the row's packed
+//! `(v, count)` entries — instead of one `((u, v), 1)` record per *witness
+//! contribution* as the pre-arena rounds did. That collapses the shuffled
+//! record count by orders of magnitude (measured 938× at the RMAT-16
+//! witness pass) and the shuffled bytes from 12 per contribution to 8 per
+//! scored pair. The shuffle range-partitions by `u`, so each reduce
+//! partition owns whole rows in ascending order and folds them straight
+//! into a [`SelectSink`] — the MapReduce backend never materializes a
+//! global score table either.
 
 use crate::linking::Linking;
 use crate::matching::Best;
 use crate::witness::ScoreTable;
 use rayon::prelude::*;
 use snr_graph::{GraphView, NodeId};
+use snr_mapreduce::partition::range_partition;
+use snr_mapreduce::Engine;
 
 /// Sentinel in [`LinkCache::slot`] for copy-1 nodes that are not linked.
 const NO_LINK: u32 = u32::MAX;
@@ -321,24 +340,39 @@ impl SelectSink {
         out.sort_unstable();
         (self.scored_pairs, out)
     }
-}
 
-impl ScoreSink for SelectSink {
-    fn row(&mut self, u: u32, arena: &ScoreArena) {
-        let touched = arena.touched();
-        self.scored_pairs += touched.len();
-        let mut iter = touched.iter();
-        let &v0 = iter.next().expect("drivers only emit non-empty rows");
-        let mut best = Best { partner: v0, score: arena.get(v0), unique: true };
-        self.best_v[v0 as usize].consider(u, best.score);
-        for &v in iter {
-            let score = arena.get(v);
+    /// Consumes one complete row given as `(v, score)` entries. The caller
+    /// must pass every non-zero entry of row `u` exactly once (in any
+    /// order — the row best and per-`v` bests are order-independent) and
+    /// must not pass an empty row.
+    fn row_entries(&mut self, u: u32, mut entries: impl Iterator<Item = (u32, u32)>) {
+        let (v0, s0) = entries.next().expect("drivers only emit non-empty rows");
+        let mut best = Best { partner: v0, score: s0, unique: true };
+        self.best_v[v0 as usize].consider(u, s0);
+        self.scored_pairs += 1;
+        for (v, score) in entries {
+            self.scored_pairs += 1;
             best.consider(v, score);
             self.best_v[v as usize].consider(u, score);
         }
         if best.unique && best.score >= self.threshold {
             self.claims.push((u, best));
         }
+    }
+
+    /// Reduce-side entry point: consumes one complete row of packed
+    /// `(v, count)` entries (see [`pack_entry`]), as shuffled by the
+    /// MapReduce witness round.
+    pub(crate) fn row_packed(&mut self, u: u32, entries: &[u64]) {
+        if !entries.is_empty() {
+            self.row_entries(u, entries.iter().map(|&e| unpack_entry(e)));
+        }
+    }
+}
+
+impl ScoreSink for SelectSink {
+    fn row(&mut self, u: u32, arena: &ScoreArena) {
+        self.row_entries(u, arena.touched().iter().map(|&v| (v, arena.get(v))));
     }
 
     fn merge(&mut self, mut other: Self) {
@@ -357,7 +391,11 @@ impl ScoreSink for SelectSink {
 
 /// Collects the phase's candidate copy-1 nodes: degree at least `min_deg1`
 /// and not yet linked, in ascending id order.
-fn collect_candidates<G1: GraphView>(g1: &G1, links: &Linking, min_deg1: usize) -> Vec<u32> {
+pub(crate) fn collect_candidates<G1: GraphView>(
+    g1: &G1,
+    links: &Linking,
+    min_deg1: usize,
+) -> Vec<u32> {
     (0..g1.node_count() as u32)
         .filter(|&u| g1.degree(NodeId(u)) >= min_deg1 && !links.is_linked_g1(NodeId(u)))
         .collect()
@@ -522,6 +560,211 @@ where
     let n2 = g2.node_count();
     score_phase(g1, g2, links, min_deg1, min_deg2, parallel, || SelectSink::new(n2, threshold))
         .finish()
+}
+
+/// Packs a `(v, count)` score entry into one shuffle-friendly `u64`: the
+/// copy-2 node id in the high half, the witness count in the low half.
+/// Ordering packed entries orders them by `v` first, which is what lets the
+/// combiner merge duplicates with one sort.
+#[inline]
+pub fn pack_entry(v: u32, count: u32) -> u64 {
+    ((v as u64) << 32) | count as u64
+}
+
+/// Inverse of [`pack_entry`].
+#[inline]
+pub fn unpack_entry(packed: u64) -> (u32, u32) {
+    ((packed >> 32) as u32, packed as u32)
+}
+
+/// Merges packed entries with the same `v` by summing their counts (sorting
+/// the row by `v` as a side effect). Used by the combiner and the reduce
+/// when a row arrives in pieces.
+pub(crate) fn combine_packed_row(entries: &mut Vec<u64>) {
+    if entries.len() <= 1 {
+        return;
+    }
+    entries.sort_unstable();
+    let mut w = 0usize;
+    for i in 1..entries.len() {
+        if entries[i] >> 32 == entries[w] >> 32 {
+            entries[w] += entries[i] & 0xFFFF_FFFF;
+        } else {
+            w += 1;
+            entries.swap(w, i);
+        }
+    }
+    entries.truncate(w + 1);
+}
+
+/// Combiner for the packed-row rounds: a map task that emitted row `u` in
+/// fragments gets them collapsed into one duplicate-free record before the
+/// shuffle. Production witness mappers already aggregate per task (a
+/// candidate row is scored by exactly one map task, so there is exactly one
+/// fragment and this is the identity); table-fed rounds like
+/// `mapreduce_mutual_best` emit one single-entry fragment per score entry
+/// and rely on this to aggregate — either way, duplicate-free rows are a
+/// property the combiner *enforces*, not one the reduce has to trust.
+pub(crate) fn combine_row_fragments(fragments: &mut Vec<Vec<u64>>) {
+    if fragments.len() <= 1 {
+        return;
+    }
+    let mut merged = std::mem::take(&mut fragments[0]);
+    for fragment in fragments.drain(1..) {
+        merged.extend(fragment);
+    }
+    combine_packed_row(&mut merged);
+    fragments[0] = merged;
+}
+
+/// Flattens a key group's post-combine fragments (one per map task) back
+/// into a single duplicate-free row for the reduce.
+pub(crate) fn merge_row_fragments(mut fragments: Vec<Vec<u64>>) -> Vec<u64> {
+    if fragments.len() == 1 {
+        return fragments.pop().expect("length checked");
+    }
+    let mut merged: Vec<u64> = fragments.into_iter().flatten().collect();
+    combine_packed_row(&mut merged);
+    merged
+}
+
+/// Shuffle payload size of one packed-row record: a dense `u32` key plus
+/// 8 bytes per scored pair.
+pub(crate) fn packed_row_bytes(row: &[u64]) -> usize {
+    4 + 8 * row.len()
+}
+
+/// Combiner-mapper kernel of the MapReduce witness rounds: scores a
+/// contiguous chunk of candidate copy-1 rows through a *task-local*
+/// [`LinkCache`] + [`ScoreArena`] (each linked neighbor list is decoded
+/// once per task instead of once per contribution — in a real cluster this
+/// is the map-side join against the broadcast link set) and emits one
+/// already-aggregated `(u, packed (v, count) row)` record per non-empty
+/// candidate row.
+pub(crate) fn score_chunk_to_rows<G1, G2>(
+    g1: &G1,
+    g2: &G2,
+    links: &Linking,
+    min_deg2: usize,
+    chunk: &[u32],
+) -> Vec<(u32, Vec<u64>)>
+where
+    G1: GraphView,
+    G2: GraphView,
+{
+    let cache = LinkCache::build(g2, links, min_deg2);
+    let mut arena = ScoreArena::new(g2.node_count());
+    let mut out = Vec::new();
+    for &u in chunk {
+        arena.begin_row();
+        for w1 in g1.neighbors_iter(NodeId(u)) {
+            if let Some(vs) = cache.eligible_of(w1) {
+                for &v in vs {
+                    arena.bump(v);
+                }
+            }
+        }
+        let touched = arena.touched();
+        if !touched.is_empty() {
+            let row: Vec<u64> = touched.iter().map(|&v| pack_entry(v, arena.get(v))).collect();
+            out.push((u, row));
+        }
+    }
+    out
+}
+
+/// One phase of User-Matching as a single MapReduce round on the arena
+/// engine: combiner mappers, packed shuffle, fused select reduce.
+///
+/// * **Map** — each task scores a contiguous chunk of candidate copy-1 rows
+///   via [`score_chunk_to_rows`], emitting one pre-aggregated record per
+///   candidate row: a dense `u32` key and the row's packed `(v, count)`
+///   entries. The pre-arena round shuffled one `((u, v), 1)` record per
+///   witness *contribution*; this one shuffles one record per *row*.
+/// * **Shuffle** — records are range-partitioned by `u`
+///   ([`range_partition`]), so a reduce partition owns a contiguous row
+///   range in ascending order; the engine's combiner hook
+///   (`combine_row_fragments`) keeps rows whole and duplicate-free however
+///   a mapper emitted them.
+/// * **Reduce** — each partition folds its rows straight into a
+///   [`SelectSink`]; the per-partition sinks merge exactly like the rayon
+///   backend's per-worker sinks ([`Best::merge`] is associative and
+///   tie-abstention-preserving), so no global [`ScoreTable`] is ever built.
+///
+/// Returns `(scored_pairs, selected_pairs)`, bit-for-bit identical to
+/// [`fused_phase`] and therefore to
+/// `mutual_best_pairs(&count_sequential(..), threshold)`. Where the paper
+/// sketches this phase as 4 MapReduce rounds (score, best-per-`u`,
+/// best-per-`v`, join), the combiner + range partitioning collapse it into
+/// one round per phase — `O(k log D)` rounds total.
+pub fn mapreduce_fused_phase<G1, G2>(
+    engine: &Engine,
+    g1: &G1,
+    g2: &G2,
+    links: &Linking,
+    min_deg1: usize,
+    min_deg2: usize,
+    threshold: u32,
+) -> (usize, Vec<(NodeId, NodeId)>)
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+{
+    let candidates = collect_candidates(g1, links, min_deg1);
+    run_select_round(
+        engine,
+        "witness-score",
+        candidates,
+        |chunk: &[u32]| score_chunk_to_rows(g1, g2, links, min_deg2, chunk),
+        g1.node_count(),
+        g2.node_count(),
+        threshold,
+    )
+}
+
+/// The shared select-fused engine round behind [`mapreduce_fused_phase`]
+/// and [`crate::matching::mapreduce_mutual_best`]: `map` turns each input
+/// chunk into packed-row records, the shuffle range-partitions their dense
+/// `u32` keys over `0..n1` with the row combiner engaged, each partition
+/// folds its rows into a [`SelectSink`] over `n2` copy-2 nodes, and the
+/// per-partition sinks merge into one `finish()`ed selection. This is the
+/// single definition of the packed-row round protocol — entry layout,
+/// partitioning, sizing — so callers only differ in how they produce rows.
+pub(crate) fn run_select_round<I, M>(
+    engine: &Engine,
+    label: &str,
+    input: Vec<I>,
+    map: M,
+    n1: usize,
+    n2: usize,
+    threshold: u32,
+) -> (usize, Vec<(NodeId, NodeId)>)
+where
+    I: Send,
+    M: Fn(&[I]) -> Vec<(u32, Vec<u64>)> + Sync,
+{
+    let parts = engine.reduce_partitions();
+    let sinks: Vec<SelectSink> = engine.run_combined(
+        label,
+        input,
+        map,
+        |_, fragments: &mut Vec<Vec<u64>>| combine_row_fragments(fragments),
+        move |&u: &u32| range_partition(u, n1, parts),
+        |_, row: &Vec<u64>| packed_row_bytes(row),
+        |_, groups: Vec<(u32, Vec<Vec<u64>>)>| {
+            let mut sink = SelectSink::new(n2, threshold);
+            for (u, fragments) in groups {
+                sink.row_packed(u, &merge_row_fragments(fragments));
+            }
+            sink
+        },
+    );
+    let mut iter = sinks.into_iter();
+    let mut acc = iter.next().unwrap_or_else(|| SelectSink::new(n2, threshold));
+    for sink in iter {
+        acc.merge(sink);
+    }
+    acc.finish()
 }
 
 /// Arena-based construction of the full sparse [`ScoreTable`] — the same
@@ -796,5 +1039,66 @@ mod tests {
         let (scored, pairs) = fused_phase(&g, &g.clone(), &links, 1, 1, 2, true);
         assert_eq!(scored, 0);
         assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn packed_entries_roundtrip_and_sort_by_target() {
+        assert_eq!(unpack_entry(pack_entry(7, 3)), (7, 3));
+        assert_eq!(unpack_entry(pack_entry(u32::MAX, u32::MAX)), (u32::MAX, u32::MAX));
+        let mut packed = [pack_entry(9, 1), pack_entry(2, 40), pack_entry(9, 2)];
+        packed.sort_unstable();
+        assert_eq!(packed.iter().map(|&e| unpack_entry(e).0).collect::<Vec<_>>(), [2, 9, 9]);
+    }
+
+    #[test]
+    fn combine_packed_row_merges_duplicate_targets() {
+        let mut row = vec![pack_entry(5, 2), pack_entry(1, 1), pack_entry(5, 3), pack_entry(2, 4)];
+        combine_packed_row(&mut row);
+        let entries: Vec<(u32, u32)> = row.iter().map(|&e| unpack_entry(e)).collect();
+        assert_eq!(entries, vec![(1, 1), (2, 4), (5, 5)]);
+        let mut single = vec![pack_entry(3, 9)];
+        combine_packed_row(&mut single);
+        assert_eq!(single, vec![pack_entry(3, 9)]);
+    }
+
+    #[test]
+    fn mapreduce_fused_phase_matches_sequential_fused_phase() {
+        let (g1, g2, links) = pa_workload(41, 450, 6);
+        for workers in [1usize, 3] {
+            let engine = snr_mapreduce::Engine::new(workers).with_chunk_size(16);
+            for d in [1usize, 2, 4] {
+                for t in [1u32, 2, 3] {
+                    let expected = fused_phase(&g1, &g2, &links, d, d, t, false);
+                    let got = mapreduce_fused_phase(&engine, &g1, &g2, &links, d, d, t);
+                    assert_eq!(got, expected, "workers={workers} d={d} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mapreduce_fused_phase_on_compact_and_mixed_representations() {
+        let (g1, g2, links) = pa_workload(43, 400, 6);
+        let (c1, c2) = (g1.compact(), g2.compact());
+        let engine = snr_mapreduce::Engine::new(2).with_chunk_size(32);
+        let expected = fused_phase(&g1, &g2, &links, 2, 2, 2, false);
+        assert_eq!(mapreduce_fused_phase(&engine, &c1, &c2, &links, 2, 2, 2), expected);
+        assert_eq!(mapreduce_fused_phase(&engine, &g1, &c2, &links, 2, 2, 2), expected);
+        assert_eq!(mapreduce_fused_phase(&engine, &c1, &g2, &links, 2, 2, 2), expected);
+    }
+
+    #[test]
+    fn mapreduce_fused_phase_handles_empty_inputs() {
+        let engine = snr_mapreduce::Engine::new(2);
+        let g = CsrGraph::from_edges(0, &[]);
+        let links = Linking::new(0, 0);
+        assert_eq!(mapreduce_fused_phase(&engine, &g, &g.clone(), &links, 1, 1, 2), (0, vec![]));
+        let (g1, g2, _) = tiny_case();
+        let no_links = Linking::new(5, 5);
+        assert_eq!(
+            mapreduce_fused_phase(&engine, &g1, &g2, &no_links, 1, 1, 1),
+            (0, vec![]),
+            "no links, no witnesses"
+        );
     }
 }

@@ -25,20 +25,31 @@
 //!   can be fused into row finalization so no score table is materialized.
 //!   This is what [`crate::UserMatching`] runs on the sequential and rayon
 //!   backends, and what [`count_rayon`] uses to build its table.
-//! * **ScoreTable compatibility path** (this module) — link-centric
-//!   accumulation into the sparse `HashMap` table. [`count_sequential`]
-//!   stays the independently-implemented reference the equivalence tests
-//!   pin everything against ([`count_brute_force`] is the slow oracle), and
-//!   [`count_mapreduce`] expresses the same count as an engine round, which
-//!   inherently needs the explicit `((u, v), count)` records.
+//! * **ScoreTable compatibility path** (this module) — the sparse `HashMap`
+//!   table. [`count_sequential`] stays the independently-implemented
+//!   link-centric reference the equivalence tests pin everything against
+//!   ([`count_brute_force`] is the slow oracle), while [`count_rayon`] and
+//!   [`count_mapreduce`] build the same table on the arena engine.
+//!   `count_mapreduce`'s round runs combiner mappers: each map task scores
+//!   a chunk of candidate rows through a task-local
+//!   [`crate::scoring::LinkCache`] + [`crate::scoring::ScoreArena`] and
+//!   shuffles one packed `(u, (v, count))` record per *scored pair* — not
+//!   one `((u, v), 1)` record per *witness contribution* as the pre-arena
+//!   round did.
 //!
 //! Use [`count_witnesses`] when the full table is needed; use
-//! [`crate::scoring::fused_phase`] inside phase loops where only the
-//! selected pairs matter.
+//! [`crate::scoring::fused_phase`] (or
+//! [`crate::scoring::mapreduce_fused_phase`] on the engine) inside phase
+//! loops where only the selected pairs matter.
 
 use crate::backend::Backend;
 use crate::linking::Linking;
+use crate::scoring::{
+    collect_candidates, combine_row_fragments, merge_row_fragments, packed_row_bytes,
+    score_chunk_to_rows, unpack_entry,
+};
 use snr_graph::{GraphView, NodeId};
+use snr_mapreduce::partition::range_partition;
 use snr_mapreduce::Engine;
 use std::collections::HashMap;
 
@@ -163,10 +174,21 @@ where
     crate::scoring::arena_score_table(g1, g2, links, min_deg1, min_deg2, true)
 }
 
-/// MapReduce implementation: one engine round whose mappers emit a
-/// `((u, v), 1)` record per witness and whose reducers sum the counts. This
-/// is round 1 of the paper's 4-round phase; see
-/// [`crate::matching::mapreduce_mutual_best`] for rounds 2–4.
+/// MapReduce implementation on the arena engine: one
+/// [`Engine::run_combined`] round whose map tasks score contiguous chunks of
+/// candidate copy-1 rows through a task-local cache + arena
+/// ([`score_chunk_to_rows`]) and shuffle one packed-row record per
+/// candidate row — a dense `u32` key plus the row's `(v, count)` entries at
+/// 8 bytes each — range-partitioned by `u`. The reduce side only unpacks
+/// its (already aggregated, duplicate-free) rows into explicit
+/// `((u, v), count)` entries for the table.
+///
+/// Compared with the pre-arena round — one `((u, v), 1)` record per witness
+/// contribution, hash-partitioned on tuple keys — the shuffle drops from
+/// one record per contribution to one per row, and from 12 bytes per
+/// contribution to 8 per scored pair; see
+/// `RoundStats::{shuffled_records, shuffled_bytes}` on the engine for the
+/// measured numbers (the `mr_shuffle_smoke` binary asserts them in CI).
 pub fn count_mapreduce<G1, G2>(
     g1: &G1,
     g2: &G2,
@@ -179,30 +201,32 @@ where
     G1: GraphView + Sync,
     G2: GraphView + Sync,
 {
-    let link_vec: Vec<(NodeId, NodeId)> = links.to_vec();
-    let results: Vec<((u32, u32), u32)> = engine.run(
+    let n1 = g1.node_count();
+    let parts = engine.reduce_partitions();
+    let candidates = collect_candidates(g1, links, min_deg1);
+    let per_partition: Vec<Vec<((u32, u32), u32)>> = engine.run_combined(
         "witness-count",
-        link_vec,
-        |(w1, w2)| {
+        candidates,
+        |chunk: &[u32]| score_chunk_to_rows(g1, g2, links, min_deg2, chunk),
+        |_, fragments: &mut Vec<Vec<u64>>| combine_row_fragments(fragments),
+        move |&u: &u32| range_partition(u, n1, parts),
+        |_, row: &Vec<u64>| packed_row_bytes(row),
+        |_, groups: Vec<(u32, Vec<Vec<u64>>)>| {
             let mut out = Vec::new();
-            let mut vs: Vec<NodeId> = Vec::new();
-            eligible_g2_neighbors(g2, links, w2, min_deg2, &mut vs);
-            if vs.is_empty() {
-                return out;
-            }
-            for u in g1.neighbors_iter(w1) {
-                if g1.degree(u) < min_deg1 || links.is_linked_g1(u) {
-                    continue;
-                }
-                for &v in &vs {
-                    out.push(((u.0, v.0), 1u32));
-                }
+            for (u, fragments) in groups {
+                out.extend(merge_row_fragments(fragments).into_iter().map(|packed| {
+                    let (v, count) = unpack_entry(packed);
+                    ((u, v), count)
+                }));
             }
             out
         },
-        |pair, ones| vec![(pair, ones.iter().sum::<u32>())],
     );
-    results.into_iter().collect()
+    let mut table = ScoreTable::with_capacity(per_partition.iter().map(Vec::len).sum());
+    for part in per_partition {
+        table.extend(part);
+    }
+    table
 }
 
 /// Brute-force witness counting over all candidate pairs; `O(n1 · n2 · d)`.

@@ -1,0 +1,220 @@
+//! Property tests for the combiner-aggregated MapReduce scoring path: on
+//! random PA/ER graph pairs, across thresholds and graph representations
+//! (CSR, compact, and mmap-backed segments), the engine round built from
+//! combiner mappers + packed shuffle must reproduce the brute-force oracle
+//! bit-for-bit — `count_mapreduce` equals `count_brute_force`'s table, and
+//! the select-fused round `mapreduce_fused_phase` equals
+//! `count_brute_force` → `mutual_best_pairs` — while the engine's shuffle
+//! statistics confirm the round really did move one record per scored pair.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snr_core::matching::{mapreduce_mutual_best, mutual_best_pairs};
+use snr_core::scoring::mapreduce_fused_phase;
+use snr_core::witness::{count_brute_force, count_mapreduce};
+use snr_core::Linking;
+use snr_generators::{gnp, preferential_attachment};
+use snr_graph::{CsrGraph, GraphView};
+use snr_mapreduce::Engine;
+use snr_sampling::independent::independent_deletion_symmetric;
+use snr_sampling::sample_seeds;
+use snr_store::{write_segment_file, MmapGraph};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One random reconciliation workload: two partial copies and seed links.
+fn workload(use_pa: bool, n: usize, density: u32, seed: u64) -> (CsrGraph, CsrGraph, Linking) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = if use_pa {
+        preferential_attachment(n.max(10), 2 + density as usize, &mut rng).unwrap()
+    } else {
+        let p = (2.0 + density as f64) * 2.0 / n as f64;
+        gnp(n, p.min(0.9), &mut rng).unwrap()
+    };
+    let pair = independent_deletion_symmetric(&g, 0.6, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, 0.15, &mut rng).unwrap();
+    let links = Linking::with_seeds(pair.g1.node_count(), pair.g2.node_count(), &seeds);
+    (pair.g1, pair.g2, links)
+}
+
+/// Writes `g` to a unique temp segment and reopens it mmap-backed.
+fn mmap_view(g: &CsrGraph, tag: &str) -> (MmapGraph, PathBuf) {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "snr-mr-combiner-{}-{tag}-{}.snrs",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    write_segment_file(g, &path).expect("write segment");
+    (MmapGraph::open(&path).expect("open segment"), path)
+}
+
+/// Asserts the MapReduce rounds agree with the brute-force oracle on one
+/// (G1, G2) representation combination.
+fn assert_matches_oracle<G1, G2>(
+    engine: &Engine,
+    g1: &G1,
+    g2: &G2,
+    links: &Linking,
+    min_deg: usize,
+    threshold: u32,
+    label: &str,
+) where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+{
+    let oracle = count_brute_force(g1, g2, links, min_deg, min_deg);
+    let expected_pairs = mutual_best_pairs(&oracle, threshold);
+    let table = count_mapreduce(g1, g2, links, min_deg, min_deg, engine);
+    assert_eq!(table, oracle, "count_mapreduce table ({label})");
+    let (scored, pairs) = mapreduce_fused_phase(engine, g1, g2, links, min_deg, min_deg, threshold);
+    assert_eq!(scored, oracle.len(), "fused scored_pairs vs oracle table size ({label})");
+    assert_eq!(pairs, expected_pairs, "fused MR selection ({label})");
+    assert_eq!(
+        mapreduce_mutual_best(engine, &oracle, threshold),
+        expected_pairs,
+        "mapreduce_mutual_best on the oracle table ({label})"
+    );
+}
+
+#[test]
+fn mapreduce_rounds_match_oracle_across_workloads_thresholds_and_representations() {
+    let mut case = 0u64;
+    for use_pa in [true, false] {
+        for (n, density) in [(60usize, 1u32), (140, 2), (260, 3)] {
+            case += 1;
+            let (g1, g2, links) = workload(use_pa, n, density, 0xC0_FFEE ^ (case * 7919));
+            let (c1, c2) = (g1.compact(), g2.compact());
+            let ((m1, p1), (m2, p2)) = (mmap_view(&g1, "g1"), mmap_view(&g2, "g2"));
+            let engine = Engine::new(1 + (case as usize % 4)).with_chunk_size(16);
+            for min_deg in [1usize, 2, 3] {
+                for threshold in [1u32, 2] {
+                    let label = format!("pa={use_pa} n={n} d={min_deg} t={threshold}");
+                    assert_matches_oracle(
+                        &engine,
+                        &g1,
+                        &g2,
+                        &links,
+                        min_deg,
+                        threshold,
+                        &format!("csr {label}"),
+                    );
+                    assert_matches_oracle(
+                        &engine,
+                        &c1,
+                        &c2,
+                        &links,
+                        min_deg,
+                        threshold,
+                        &format!("compact {label}"),
+                    );
+                    assert_matches_oracle(
+                        &engine,
+                        &m1,
+                        &m2,
+                        &links,
+                        min_deg,
+                        threshold,
+                        &format!("mmap {label}"),
+                    );
+                    assert_matches_oracle(
+                        &engine,
+                        &g1,
+                        &c2,
+                        &links,
+                        min_deg,
+                        threshold,
+                        &format!("mixed csr x compact {label}"),
+                    );
+                    assert_matches_oracle(
+                        &engine,
+                        &c1,
+                        &m2,
+                        &links,
+                        min_deg,
+                        threshold,
+                        &format!("mixed compact x mmap {label}"),
+                    );
+                }
+            }
+            drop((m1, m2));
+            let _ = std::fs::remove_file(p1);
+            let _ = std::fs::remove_file(p2);
+        }
+    }
+}
+
+#[test]
+fn witness_round_shuffles_one_packed_record_per_candidate_row() {
+    let (g1, g2, links) = workload(true, 300, 3, 42);
+    let engine = Engine::new(3).with_chunk_size(32);
+    let table = count_mapreduce(&g1, &g2, &links, 1, 1, &engine);
+    let round = engine.stats().per_round[0].clone();
+    assert_eq!(round.label, "witness-count");
+    let rows: std::collections::HashSet<u32> = table.keys().map(|&(u, _)| u).collect();
+    assert_eq!(
+        round.shuffled_records,
+        rows.len(),
+        "the packed shuffle must carry exactly one record per non-empty candidate row"
+    );
+    assert_eq!(
+        round.map_output_records, round.shuffled_records,
+        "arena mappers emit whole rows, so the engine combiner has nothing left to merge"
+    );
+    assert_eq!(
+        round.shuffled_bytes,
+        4 * rows.len() + 8 * table.len(),
+        "u32 key per row + 8 packed bytes per scored pair"
+    );
+    // The pre-arena round shuffled one 12-byte ((u, v), 1) record per
+    // witness contribution; that volume is the witness-weighted table sum.
+    let contributions: usize = table.values().map(|&c| c as usize).sum();
+    assert!(
+        round.shuffled_records * 5 < contributions,
+        "row-aggregated shuffle {} must be far below the per-contribution formula {}",
+        round.shuffled_records,
+        contributions
+    );
+    assert!(round.shuffled_bytes < contributions * 12, "bytes must shrink too");
+
+    // The table-fed selection round exercises the combiner for real: every
+    // map task emits single-entry fragments that collapse to one record per
+    // (task, row) before the shuffle.
+    // Chunks larger than the distinct-row count guarantee the first (full)
+    // map task sees repeated `u`s, so the combiner provably merges.
+    let chunk = rows.len() + 1;
+    assert!(table.len() > chunk, "workload too small to pin combiner aggregation");
+    let engine = Engine::new(3).with_chunk_size(chunk);
+    let _ = mapreduce_mutual_best(&engine, &table, 2);
+    let select_round = engine.stats().per_round[0].clone();
+    assert_eq!(select_round.label, "mutual-select");
+    assert_eq!(select_round.map_output_records, table.len());
+    assert!(
+        select_round.shuffled_records < select_round.map_output_records,
+        "combiner must aggregate row fragments: {} vs {}",
+        select_round.shuffled_records,
+        select_round.map_output_records
+    );
+}
+
+#[test]
+fn chunking_and_worker_count_never_change_results() {
+    let (g1, g2, links) = workload(false, 200, 2, 7);
+    let reference = count_mapreduce(&g1, &g2, &links, 2, 2, &Engine::sequential());
+    let ref_pairs = mapreduce_fused_phase(&Engine::sequential(), &g1, &g2, &links, 2, 2, 2);
+    for workers in [1usize, 2, 5] {
+        for chunk in [1usize, 3, 64, 10_000] {
+            let engine = Engine::new(workers).with_chunk_size(chunk);
+            assert_eq!(
+                count_mapreduce(&g1, &g2, &links, 2, 2, &engine),
+                reference,
+                "table workers={workers} chunk={chunk}"
+            );
+            assert_eq!(
+                mapreduce_fused_phase(&engine, &g1, &g2, &links, 2, 2, 2),
+                ref_pairs,
+                "fused workers={workers} chunk={chunk}"
+            );
+        }
+    }
+}

@@ -145,7 +145,8 @@ fn main() {
     };
 
     println!("Table 2 — relative running time on R-MAT graphs (s = 0.5, seed prob = 0.10, T = 2, k = 1)\n");
-    println!("Matcher representation: {}\n", args.store.label());
+    println!("Matcher representation: {}", args.store.label());
+    println!("Matcher backend: {}\n", args.backend_label());
 
     let mut table = TextTable::new([
         "graph",
@@ -161,6 +162,7 @@ fn main() {
     let mut record = ExperimentRecord::new("table2_scalability", "Table 2")
         .parameter("exponents", format!("{exponents:?}"))
         .parameter("representation", args.store.label())
+        .parameter("backend", args.backend_label())
         .parameter("seed", args.seed.to_string());
 
     let mut first_time: Option<f64> = None;
@@ -182,7 +184,10 @@ fn main() {
         let csr_bpe = (pair.g1.bytes_per_edge() + pair.g2.bytes_per_edge()) / 2.0;
         let RealizationPair { g1, g2, truth } = pair;
 
-        let config = MatchingConfig::default().with_threshold(2).with_iterations(1);
+        let config = MatchingConfig::default()
+            .with_threshold(2)
+            .with_iterations(1)
+            .with_backend(args.backend);
         let (outcome, secs, store_bpe, store_bytes) =
             run_on_store(args.store, g1, g2, &seeds, config, exp);
         let run = Evaluation::score_against(

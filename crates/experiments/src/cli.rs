@@ -1,7 +1,7 @@
 //! Minimal command-line argument handling shared by the experiment binaries.
 //!
 //! We deliberately avoid a CLI-parsing dependency: the binaries accept only
-//! four flags.
+//! five flags.
 //!
 //! * `--seed <u64>` — RNG seed (default 20140707, the VLDB 2014 date).
 //! * `--full` — run at (closer to) the paper's dataset sizes instead of the
@@ -10,9 +10,29 @@
 //! * `--store <mode>` — graph representation the matcher runs on, for the
 //!   binaries that honor it (`table2_scalability`): `compact` (default),
 //!   `mmap`, or `sharded:<N>`.
+//! * `--backend <mode>` — execution backend for the binaries that honor it
+//!   (`table2_scalability`): `sequential` (default), `rayon`, or
+//!   `mapreduce[:workers]` (worker count defaults to the CPU count).
 
+use snr_core::Backend;
 use std::path::PathBuf;
 use std::str::FromStr;
+
+/// Parses a `--backend` value: `sequential`, `rayon`, or
+/// `mapreduce[:workers]`.
+fn parse_backend(s: &str) -> Result<Backend, String> {
+    match s {
+        "sequential" => Ok(Backend::Sequential),
+        "rayon" => Ok(Backend::Rayon),
+        "mapreduce" => Ok(Backend::mapreduce_default()),
+        _ => match s.strip_prefix("mapreduce:").map(str::parse) {
+            Some(Ok(workers)) if workers > 0 => Ok(Backend::MapReduce { workers }),
+            _ => Err(format!(
+                "invalid --backend value {s:?} (expected sequential, rayon, or mapreduce[:N])"
+            )),
+        },
+    }
+}
 
 /// Graph storage the scalability experiments run the matcher on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -68,11 +88,19 @@ pub struct ExperimentArgs {
     pub json: Option<PathBuf>,
     /// Graph representation for the binaries that honor it.
     pub store: StoreMode,
+    /// Execution backend for the binaries that honor it.
+    pub backend: Backend,
 }
 
 impl Default for ExperimentArgs {
     fn default() -> Self {
-        ExperimentArgs { seed: 20_140_707, full: false, json: None, store: StoreMode::Compact }
+        ExperimentArgs {
+            seed: 20_140_707,
+            full: false,
+            json: None,
+            store: StoreMode::Compact,
+            backend: Backend::Sequential,
+        }
     }
 }
 
@@ -107,6 +135,13 @@ impl ExperimentArgs {
                 arg if arg.starts_with("--store=") => {
                     out.store = arg["--store=".len()..].parse()?;
                 }
+                "--backend" => {
+                    let v = iter.next().ok_or("--backend requires a value")?;
+                    out.backend = parse_backend(v.as_ref())?;
+                }
+                arg if arg.starts_with("--backend=") => {
+                    out.backend = parse_backend(&arg["--backend=".len()..])?;
+                }
                 "--help" | "-h" => {
                     return Err(Self::usage().to_string());
                 }
@@ -130,7 +165,16 @@ impl ExperimentArgs {
     /// Usage string shown for `--help` and on parse errors.
     pub fn usage() -> &'static str {
         "usage: <experiment> [--seed <u64>] [--full] [--json <path>] \
-         [--store compact|mmap|sharded:<N>]"
+         [--store compact|mmap|sharded:<N>] [--backend sequential|rayon|mapreduce[:N]]"
+    }
+
+    /// Short label of the configured backend for table headers and records.
+    pub fn backend_label(&self) -> String {
+        match self.backend {
+            Backend::Sequential => "sequential".to_string(),
+            Backend::Rayon => "rayon".to_string(),
+            Backend::MapReduce { workers } => format!("mapreduce x{workers}"),
+        }
     }
 
     /// Writes an experiment record to the `--json` path if one was given.
@@ -191,6 +235,30 @@ mod tests {
         assert!(ExperimentArgs::parse(["--store", "floppy"]).is_err());
         assert!(ExperimentArgs::parse(["--store=sharded:0"]).is_err());
         assert!(ExperimentArgs::parse(["--store=sharded:x"]).is_err());
+        assert!(ExperimentArgs::parse(["--backend"]).is_err());
+        assert!(ExperimentArgs::parse(["--backend", "quantum"]).is_err());
+        assert!(ExperimentArgs::parse(["--backend=mapreduce:0"]).is_err());
+        assert!(ExperimentArgs::parse(["--backend=mapreduce:x"]).is_err());
+    }
+
+    #[test]
+    fn parses_backend_modes_in_both_spellings() {
+        assert_eq!(ExperimentArgs::parse(["--backend", "rayon"]).unwrap().backend, Backend::Rayon);
+        assert_eq!(
+            ExperimentArgs::parse(["--backend=sequential"]).unwrap().backend,
+            Backend::Sequential
+        );
+        assert_eq!(
+            ExperimentArgs::parse(["--backend=mapreduce:3"]).unwrap().backend,
+            Backend::MapReduce { workers: 3 }
+        );
+        match ExperimentArgs::parse(["--backend", "mapreduce"]).unwrap().backend {
+            Backend::MapReduce { workers } => assert!(workers >= 1),
+            other => panic!("unexpected backend {other:?}"),
+        }
+        let args = ExperimentArgs::parse(["--backend=mapreduce:3"]).unwrap();
+        assert_eq!(args.backend_label(), "mapreduce x3");
+        assert_eq!(ExperimentArgs::default().backend_label(), "sequential");
     }
 
     #[test]

@@ -92,6 +92,41 @@ pub fn validate_parts(
     data: &[u8],
     what: &str,
 ) -> Result<(), GraphError> {
+    validate_parts_with(
+        node_count,
+        id_bound,
+        max_degree,
+        entry_offsets,
+        block_starts,
+        skip_firsts,
+        skip_bytes,
+        data,
+        what,
+        |_| {},
+    )
+}
+
+/// [`validate_parts`] with a data-stream visitor: `visit_data` is called
+/// with each contiguous, just-validated chunk of `data` (one call per node,
+/// in stream order), and on success the calls cover `data` exactly once
+/// front to back. This lets a caller that also needs a whole-file scan of
+/// the same bytes — the mmap-backed segment open folds its FNV checksum
+/// over them — fuse both walks into one pass instead of reading the file
+/// twice. If validation fails, the visitor may have seen only a prefix;
+/// callers must treat any error as fatal before trusting their fold.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_parts_with(
+    node_count: usize,
+    id_bound: usize,
+    max_degree: usize,
+    entry_offsets: &[u32],
+    block_starts: &[u32],
+    skip_firsts: &[u32],
+    skip_bytes: &[u32],
+    data: &[u8],
+    what: &str,
+    mut visit_data: impl FnMut(&[u8]),
+) -> Result<(), GraphError> {
     let fail = |msg: String| Err(GraphError::InvalidBinary(format!("{what}: {msg}")));
     if entry_offsets.len() != node_count + 1 || block_starts.len() != node_count + 1 {
         return fail(format!(
@@ -114,6 +149,7 @@ pub fn validate_parts(
     let mut actual_max = 0usize;
     let mut stream_pos = 0usize;
     for v in 0..node_count {
+        let node_stream_start = stream_pos;
         if entry_offsets[v + 1] < entry_offsets[v] || block_starts[v + 1] < block_starts[v] {
             return fail(format!("offsets decrease at node {v}"));
         }
@@ -160,6 +196,7 @@ pub fn validate_parts(
             }
             prev_in_list = Some(cur);
         }
+        visit_data(&data[node_stream_start..stream_pos]);
     }
     if actual_max != max_degree {
         return fail(format!("max degree is {actual_max}, header claims {max_degree}"));

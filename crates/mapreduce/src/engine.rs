@@ -3,24 +3,39 @@
 use crate::partition::partition_for;
 use crate::stats::{EngineStats, RoundStats};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::hash::Hash;
 use std::time::Instant;
 
 /// Default number of input records per map task.
 const DEFAULT_CHUNK: usize = 8_192;
 
+/// Upper bound on map tasks per worker for [`Engine::run_combined`] rounds.
+///
+/// Chunked-map jobs typically pay a per-task setup cost (the witness rounds
+/// build a task-local `LinkCache`), so their chunks are sized to keep the
+/// task count at a small multiple of the worker count instead of letting a
+/// tiny configured chunk size explode into thousands of setup-heavy tasks.
+const COMBINED_TASKS_PER_WORKER: usize = 4;
+
 /// An in-memory MapReduce engine.
 ///
 /// One engine instance corresponds to one "cluster": it owns a worker count,
 /// a partition count for the shuffle, and cumulative [`EngineStats`] across
-/// every job (round) it runs. Jobs are expressed as plain closures; see
-/// [`Engine::run`].
+/// every job (round) it runs. Jobs are expressed as plain closures in two
+/// shapes: the classic record-at-a-time [`Engine::run`], and the
+/// aggregation-friendly [`Engine::run_combined`] (chunked mappers, a
+/// combiner hook, a caller-chosen partitioner, and a per-partition reduce
+/// fold).
 #[derive(Debug)]
 pub struct Engine {
     workers: usize,
     reduce_partitions: usize,
     chunk_size: usize,
+    /// True once [`Engine::with_chunk_size`] has been called: an explicitly
+    /// configured chunk size is honored exactly, even by the chunked-map
+    /// rounds that would otherwise floor it (tests rely on tiny chunks to
+    /// exercise fragmentation and combiner merging).
+    chunk_size_overridden: bool,
     stats: Mutex<EngineStats>,
 }
 
@@ -33,6 +48,7 @@ impl Engine {
             workers,
             reduce_partitions: workers.max(1),
             chunk_size: DEFAULT_CHUNK,
+            chunk_size_overridden: false,
             stats: Mutex::new(EngineStats::default()),
         }
     }
@@ -48,15 +64,24 @@ impl Engine {
         self
     }
 
-    /// Overrides the number of input records per map task.
+    /// Overrides the number of input records per map task. The given size
+    /// is honored exactly by every round shape; without this call,
+    /// [`Engine::run_combined`] sizes chunks itself to amortize per-task
+    /// setup.
     pub fn with_chunk_size(mut self, chunk: usize) -> Self {
         self.chunk_size = chunk.max(1);
+        self.chunk_size_overridden = true;
         self
     }
 
     /// Number of worker threads used for map and reduce tasks.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Number of shuffle partitions (reduce tasks) per round.
+    pub fn reduce_partitions(&self) -> usize {
+        self.reduce_partitions
     }
 
     /// A snapshot of the cumulative statistics.
@@ -69,7 +94,7 @@ impl Engine {
         self.stats.lock().clear();
     }
 
-    /// Runs one MapReduce round.
+    /// Runs one classic MapReduce round.
     ///
     /// * `map` is applied to every input record and emits intermediate
     ///   `(key, value)` pairs.
@@ -89,112 +114,288 @@ impl Engine {
         R: Fn(K, Vec<V>) -> Vec<O> + Sync,
     {
         let start = Instant::now();
+        let parts = self.reduce_partitions;
+        let (per_part, round) = self.run_inner(
+            input,
+            self.chunk_size,
+            &|chunk: Vec<I>| chunk.into_iter().flat_map(&map).collect::<Vec<(K, V)>>(),
+            None::<&fn(&K, &mut Vec<V>)>,
+            &|k: &K| partition_for(k, parts),
+            &|_: &K, _: &V| std::mem::size_of::<K>() + std::mem::size_of::<V>(),
+            &|_, groups: Vec<(K, Vec<V>)>| {
+                let mut out = Vec::new();
+                for (k, vs) in groups {
+                    out.extend(reduce(k, vs));
+                }
+                out
+            },
+        );
+        let mut output = Vec::new();
+        for mut part_out in per_part {
+            output.append(&mut part_out);
+        }
+        self.record_round(label, round, output.len(), start);
+        output
+    }
+
+    /// Runs one aggregation-oriented MapReduce round: chunked mappers, a
+    /// combiner, a caller-chosen partitioner, and a per-partition reduce
+    /// fold.
+    ///
+    /// * `map` sees a whole *chunk* of input records at a time, so it can
+    ///   amortize per-task setup (decode caches, scratch arenas) and emit
+    ///   already-aggregated pairs instead of one record per contribution.
+    /// * `combine` runs on every map task's per-partition bucket before the
+    ///   shuffle, once per distinct key with that bucket's values; it may
+    ///   shrink (or rewrite) the value list in place. Only the post-combine
+    ///   records are shuffled, and [`RoundStats::shuffled_records`] /
+    ///   [`RoundStats::shuffled_bytes`] report exactly those — the
+    ///   pre-combine volume is kept in [`RoundStats::map_output_records`].
+    /// * `part_of` routes a key to a reduce partition (`0..reduce_partitions`),
+    ///   replacing the default hash partitioner: range-partitioning dense
+    ///   keys keeps each partition a contiguous, sorted key interval.
+    /// * `bytes_of` reports the payload size of one post-combine record, so
+    ///   [`RoundStats::shuffled_bytes`] stays honest for variable-length
+    ///   values (a packed score *row* is `4 + 8·entries` bytes, which
+    ///   `size_of` cannot see through a `Vec` header).
+    /// * `reduce` is called once per partition with *all* of that
+    ///   partition's key groups in ascending key order and folds them into a
+    ///   single output value, so per-partition state (a selection sink, an
+    ///   accumulator) lives across keys without a global materialization.
+    ///
+    /// Returns one output per partition, in partition order (deterministic).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_combined<I, K, V, O, M, C, P, B, R>(
+        &self,
+        label: &str,
+        input: Vec<I>,
+        map: M,
+        combine: C,
+        part_of: P,
+        bytes_of: B,
+        reduce: R,
+    ) -> Vec<O>
+    where
+        I: Send,
+        K: Ord + Send,
+        V: Send,
+        O: Send,
+        M: Fn(&[I]) -> Vec<(K, V)> + Sync,
+        C: Fn(&K, &mut Vec<V>) + Sync,
+        P: Fn(&K) -> usize + Sync,
+        B: Fn(&K, &V) -> usize + Sync,
+        R: Fn(usize, Vec<(K, Vec<V>)>) -> O + Sync,
+    {
+        let start = Instant::now();
+        // Setup-heavy chunked mappers: unless the caller configured a chunk
+        // size explicitly, cap the task count at a small multiple of the
+        // worker count (see COMBINED_TASKS_PER_WORKER).
+        let chunk_size = if self.chunk_size_overridden {
+            self.chunk_size
+        } else {
+            let min_chunk = input.len().div_ceil(self.workers * COMBINED_TASKS_PER_WORKER).max(1);
+            self.chunk_size.max(min_chunk)
+        };
+        let (output, round) = self.run_inner(
+            input,
+            chunk_size,
+            &|chunk: Vec<I>| map(&chunk),
+            Some(&combine),
+            &part_of,
+            &bytes_of,
+            &reduce,
+        );
+        let outputs = output.len();
+        self.record_round(label, round, outputs, start);
+        output
+    }
+
+    /// Shared round executor: chunked map → per-bucket group (+ optional
+    /// combine) → shuffle → per-partition sorted group → partition fold.
+    /// Returns one fold output per partition plus the round's counters
+    /// (map tasks, pre/post-combine record counts, key groups).
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    fn run_inner<I, K, V, O, MF, CF, PF, BF, RF>(
+        &self,
+        input: Vec<I>,
+        chunk_size: usize,
+        map: &MF,
+        combine: Option<&CF>,
+        part_of: &PF,
+        bytes_of: &BF,
+        reduce_fold: &RF,
+    ) -> (Vec<O>, RoundCounters)
+    where
+        I: Send,
+        K: Ord + Send,
+        V: Send,
+        O: Send,
+        MF: Fn(Vec<I>) -> Vec<(K, V)> + Sync,
+        CF: Fn(&K, &mut Vec<V>) + Sync,
+        PF: Fn(&K) -> usize + Sync,
+        BF: Fn(&K, &V) -> usize + Sync,
+        RF: Fn(usize, Vec<(K, Vec<V>)>) -> O + Sync,
+    {
         let input_records = input.len();
         let parts = self.reduce_partitions;
 
         // ---- Map phase -----------------------------------------------------
         // Split the input into chunks and map them on the worker pool. Each
-        // worker produces `parts` buckets of (key, value) pairs so the shuffle
-        // is just a concatenation of per-worker buckets.
-        let chunk_size = self.chunk_size;
+        // worker emits `parts` buckets of key groups, already sorted by key
+        // and combined, so the shuffle only moves grouped records and the
+        // reduce-side sort sees nearly-sorted runs.
         let chunks: Vec<Vec<I>> = split_into_chunks(input, chunk_size);
         let map_tasks = chunks.len();
-        let buckets: Vec<Vec<Vec<(K, V)>>> = if self.workers == 1 || map_tasks <= 1 {
-            chunks
-                .into_iter()
-                .map(|chunk| {
-                    let mut local: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
-                    for record in chunk {
-                        for (k, v) in map(record) {
-                            let p = partition_for(&k, parts);
-                            local[p].push((k, v));
-                        }
+        // Each map task tallies its own post-combine shuffle volume
+        // (records and bytes) while the data is still hot in its worker, so
+        // the single-threaded transpose below only sums per-task scalars.
+        let map_task = |chunk: Vec<I>| -> (TaskTally, Vec<Vec<(K, Vec<V>)>>) {
+            let pairs = map(chunk);
+            let mut tally =
+                TaskTally { emitted: pairs.len(), shuffled_records: 0, shuffled_bytes: 0 };
+            let mut flat: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+            for (k, v) in pairs {
+                let p = part_of(&k);
+                assert!(p < parts, "partitioner returned {p} for {parts} partitions");
+                flat[p].push((k, v));
+            }
+            let mut buckets = Vec::with_capacity(parts);
+            for bucket in flat {
+                let mut groups = group_sorted(bucket);
+                for (k, vs) in &mut groups {
+                    if let Some(combine) = combine {
+                        combine(k, vs);
                     }
-                    local
-                })
-                .collect()
-        } else {
-            parallel_map(self.workers, chunks, |chunk| {
-                let mut local: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
-                for record in chunk {
-                    for (k, v) in map(record) {
-                        let p = partition_for(&k, parts);
-                        local[p].push((k, v));
-                    }
+                    tally.shuffled_records += vs.len();
+                    tally.shuffled_bytes += vs.iter().map(|v| bytes_of(k, v)).sum::<usize>();
                 }
-                local
-            })
+                buckets.push(groups);
+            }
+            (tally, buckets)
+        };
+        let mapped: Vec<(TaskTally, Vec<Vec<(K, Vec<V>)>>)> = if self.workers == 1 || map_tasks <= 1
+        {
+            chunks.into_iter().map(map_task).collect()
+        } else {
+            parallel_map(self.workers, chunks, map_task)
         };
 
-        // ---- Shuffle + reduce phase -----------------------------------------
+        // ---- Shuffle -------------------------------------------------------
         // Transpose the per-task buckets into per-partition columns (cheap:
-        // only `Vec` headers move), then group and reduce each partition on
-        // the worker pool. Grouping consumes the column's buckets directly,
-        // so the shuffle's record movement — formerly a single-threaded
-        // concatenation — happens inside the per-partition workers.
+        // only `Vec` headers move, plus a scalar sum per task). Record
+        // movement happens inside the per-partition reduce workers.
+        let mut map_output_records = 0usize;
         let mut shuffled_records = 0usize;
-        let mut columns: Vec<Vec<Vec<(K, V)>>> =
+        let mut shuffled_bytes = 0usize;
+        let mut columns: Vec<Vec<Vec<(K, Vec<V>)>>> =
             (0..parts).map(|_| Vec::with_capacity(map_tasks)).collect();
-        for mut worker_buckets in buckets {
+        for (tally, mut worker_buckets) in mapped {
+            map_output_records += tally.emitted;
+            shuffled_records += tally.shuffled_records;
+            shuffled_bytes += tally.shuffled_bytes;
             for p in (0..parts).rev() {
                 let bucket = worker_buckets.pop().expect("bucket count mismatch");
-                shuffled_records += bucket.len();
                 columns[p].push(bucket);
             }
         }
 
-        let reduce_fn = &reduce;
-        let reduced: Vec<(usize, Vec<O>)> = if self.workers == 1 || parts <= 1 {
-            columns.into_iter().map(|col| reduce_partition(col, reduce_fn)).collect()
-        } else {
-            parallel_map(self.workers, columns, |col| reduce_partition(col, reduce_fn))
+        // ---- Reduce --------------------------------------------------------
+        let tasks: Vec<(usize, Vec<Vec<(K, Vec<V>)>>)> = columns.into_iter().enumerate().collect();
+        let reduce_task = |(p, col): (usize, Vec<Vec<(K, Vec<V>)>>)| -> (usize, O) {
+            let groups = merge_sorted_buckets(col);
+            (groups.len(), reduce_fold(p, groups))
         };
-
+        let reduced: Vec<(usize, O)> = if self.workers == 1 || parts <= 1 {
+            tasks.into_iter().map(reduce_task).collect()
+        } else {
+            parallel_map(self.workers, tasks, reduce_task)
+        };
         let key_groups: usize = reduced.iter().map(|(groups, _)| *groups).sum();
-        let mut output = Vec::new();
-        for (_, mut part_out) in reduced {
-            output.append(&mut part_out);
-        }
+        let output: Vec<O> = reduced.into_iter().map(|(_, o)| o).collect();
 
-        self.stats.lock().record(RoundStats {
-            label: label.to_string(),
+        let counters = RoundCounters {
             input_records,
+            map_output_records,
             shuffled_records,
+            shuffled_bytes,
             key_groups,
-            output_records: output.len(),
             map_tasks,
             reduce_tasks: parts,
+        };
+        (output, counters)
+    }
+
+    fn record_round(&self, label: &str, c: RoundCounters, output_records: usize, start: Instant) {
+        self.stats.lock().record(RoundStats {
+            label: label.to_string(),
+            input_records: c.input_records,
+            map_output_records: c.map_output_records,
+            shuffled_records: c.shuffled_records,
+            shuffled_bytes: c.shuffled_bytes,
+            key_groups: c.key_groups,
+            output_records,
+            map_tasks: c.map_tasks,
+            reduce_tasks: c.reduce_tasks,
             duration: start.elapsed(),
         });
-        output
     }
 }
 
-/// Groups one partition's `(key, value)` pairs — arriving as one bucket per
-/// map task — by key (in sorted key order) and applies the reducer. Returns
-/// `(number_of_key_groups, outputs)`. Consuming the buckets here, inside
-/// the per-partition worker, is what makes the shuffle partition-parallel.
-fn reduce_partition<K, V, O, R>(buckets: Vec<Vec<(K, V)>>, reduce: &R) -> (usize, Vec<O>)
-where
-    K: Hash + Eq + Ord,
-    R: Fn(K, Vec<V>) -> Vec<O>,
-{
-    // Group with a HashMap, then sort keys for deterministic output order.
-    let record_count: usize = buckets.iter().map(Vec::len).sum();
-    let mut groups: HashMap<K, Vec<V>> = HashMap::with_capacity(record_count.min(1 << 20));
-    for bucket in buckets {
-        for (k, v) in bucket {
-            groups.entry(k).or_default().push(v);
+/// Per-map-task shuffle tally, computed inside the task's worker.
+struct TaskTally {
+    emitted: usize,
+    shuffled_records: usize,
+    shuffled_bytes: usize,
+}
+
+/// Per-round counters accumulated by [`Engine::run_inner`]; the public entry
+/// points fill in the label, output count, and duration.
+struct RoundCounters {
+    input_records: usize,
+    map_output_records: usize,
+    shuffled_records: usize,
+    shuffled_bytes: usize,
+    key_groups: usize,
+    map_tasks: usize,
+    reduce_tasks: usize,
+}
+
+/// Groups one bucket of `(key, value)` pairs into `(key, values)` runs in
+/// ascending key order. The sort is stable, so values keep their emission
+/// order within each key.
+fn group_sorted<K: Ord, V>(mut bucket: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    bucket.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut groups: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in bucket {
+        match groups.last_mut() {
+            Some((lk, lvs)) if *lk == k => lvs.push(v),
+            _ => groups.push((k, vec![v])),
         }
     }
-    let mut keyed: Vec<(K, Vec<V>)> = groups.into_iter().collect();
-    keyed.sort_by(|a, b| a.0.cmp(&b.0));
-    let group_count = keyed.len();
-    let mut out = Vec::new();
-    for (k, vs) in keyed {
-        out.extend(reduce(k, vs));
+    groups
+}
+
+/// Merges one partition's grouped buckets — one sorted bucket per map task —
+/// into a single ascending key-group list. Buckets arrive in task order and
+/// the merge sort is stable, so a key's values concatenate in task order,
+/// exactly as the old record-at-a-time grouping produced them.
+fn merge_sorted_buckets<K: Ord, V>(buckets: Vec<Vec<(K, Vec<V>)>>) -> Vec<(K, Vec<V>)> {
+    let total: usize = buckets.iter().map(Vec::len).sum();
+    let mut entries: Vec<(K, Vec<V>)> = Vec::with_capacity(total);
+    for bucket in buckets {
+        entries.extend(bucket);
     }
-    (group_count, out)
+    // Nearly-sorted input (each bucket is sorted): the stable merge sort
+    // detects the runs, so this is close to a single merge pass.
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut groups: Vec<(K, Vec<V>)> = Vec::with_capacity(entries.len());
+    for (k, mut vs) in entries {
+        match groups.last_mut() {
+            Some((lk, lvs)) if *lk == k => lvs.append(&mut vs),
+            _ => groups.push((k, vs)),
+        }
+    }
+    groups
 }
 
 /// Splits `input` into chunks of at most `chunk_size` records.
@@ -264,6 +465,34 @@ mod tests {
         out
     }
 
+    /// The same word count as a chunked round with a summing combiner.
+    fn word_count_combined(engine: &Engine, docs: Vec<String>) -> Vec<(String, usize)> {
+        let parts = engine.reduce_partitions();
+        let per_part: Vec<Vec<(String, usize)>> = engine.run_combined(
+            "wc-combined",
+            docs,
+            |chunk: &[String]| {
+                chunk
+                    .iter()
+                    .flat_map(|doc| doc.split_whitespace().map(|w| (w.to_string(), 1usize)))
+                    .collect()
+            },
+            |_w, counts: &mut Vec<usize>| {
+                let total: usize = counts.iter().sum();
+                counts.clear();
+                counts.push(total);
+            },
+            |w: &String| partition_for(w, parts),
+            |w: &String, _: &usize| w.len() + 8,
+            |_, groups| {
+                groups.into_iter().map(|(w, counts)| (w, counts.iter().sum())).collect::<Vec<_>>()
+            },
+        );
+        let mut out: Vec<(String, usize)> = per_part.into_iter().flatten().collect();
+        out.sort();
+        out
+    }
+
     #[test]
     fn word_count_single_threaded() {
         let engine = Engine::sequential();
@@ -280,6 +509,99 @@ mod tests {
     }
 
     #[test]
+    fn chunked_map_with_combiner_round_equals_record_at_a_time_round() {
+        let docs: Vec<String> =
+            (0..60).map(|i| format!("w{} w{} shared again", i % 9, i % 4)).collect();
+        for workers in [1usize, 3] {
+            let classic = Engine::new(workers).with_chunk_size(7);
+            let combined = Engine::new(workers).with_chunk_size(7);
+            assert_eq!(
+                word_count(&classic, docs.clone()),
+                word_count_combined(&combined, docs.clone()),
+                "workers={workers}"
+            );
+            // The combiner collapsed each (task, word) repeat before the
+            // shuffle; the classic round shuffled every single `1`.
+            let classic_round = &classic.stats().per_round[0];
+            let combined_round = &combined.stats().per_round[0];
+            assert_eq!(
+                classic_round.shuffled_records, classic_round.map_output_records,
+                "no combiner: shuffle == map output"
+            );
+            assert_eq!(combined_round.map_output_records, classic_round.map_output_records);
+            assert!(
+                combined_round.shuffled_records < combined_round.map_output_records,
+                "combiner must shrink the shuffle: {} vs {}",
+                combined_round.shuffled_records,
+                combined_round.map_output_records
+            );
+        }
+    }
+
+    #[test]
+    fn combiner_accounting_is_pinned_on_a_known_workload() {
+        // 12 records, 3 distinct keys, chunks of 4 → 3 map tasks of exactly
+        // 4 records each. Keys are `i % 3`, so every chunk holds keys
+        // {0, 1, 2} with 4 records collapsing to 3 per chunk.
+        let engine = Engine::sequential().with_chunk_size(4).with_reduce_partitions(2);
+        let input: Vec<u32> = (0..12).collect();
+        let out: Vec<(u32, u32)> = engine
+            .run_combined(
+                "pinned",
+                input,
+                |chunk: &[u32]| chunk.iter().map(|&x| (x % 3, 1u32)).collect(),
+                |_k, ones: &mut Vec<u32>| {
+                    let total: u32 = ones.iter().sum();
+                    ones.clear();
+                    ones.push(total);
+                },
+                |k: &u32| (*k as usize) % 2,
+                |_: &u32, _: &u32| 8,
+                |_, groups| {
+                    groups
+                        .into_iter()
+                        .map(|(k, counts)| (k, counts.iter().sum::<u32>()))
+                        .collect::<Vec<_>>()
+                },
+            )
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(out, vec![(0, 4), (2, 4), (1, 4)], "partition order, then key order");
+        let stats = engine.stats();
+        let round = &stats.per_round[0];
+        assert_eq!(round.input_records, 12);
+        assert_eq!(round.map_output_records, 12, "mappers emitted one pair per record");
+        assert_eq!(round.shuffled_records, 9, "3 tasks x 3 combined keys");
+        assert_eq!(round.shuffled_bytes, 9 * 8, "u32 key + u32 value");
+        assert_eq!(round.key_groups, 3);
+        assert_eq!(stats.total_shuffled_records, 9);
+        assert_eq!(stats.total_shuffled_bytes, 72);
+        let summary = stats.stats_summary();
+        assert!(summary.contains("1 round"), "{summary}");
+        assert!(summary.contains("9 shuffled"), "{summary}");
+    }
+
+    #[test]
+    fn range_partitioned_combined_output_is_globally_key_sorted() {
+        use crate::partition::range_partition;
+        let engine = Engine::new(3).with_reduce_partitions(4).with_chunk_size(5);
+        let input: Vec<u32> = (0..100).rev().collect();
+        let per_part: Vec<Vec<u32>> = engine.run_combined(
+            "range",
+            input,
+            |chunk: &[u32]| chunk.iter().map(|&x| (x, ())).collect(),
+            |_, _: &mut Vec<()>| {},
+            |k: &u32| range_partition(*k, 100, 4),
+            |_: &u32, _: &()| 4,
+            |_, groups| groups.into_iter().map(|(k, _)| k).collect::<Vec<u32>>(),
+        );
+        assert_eq!(per_part.len(), 4);
+        let flat: Vec<u32> = per_part.into_iter().flatten().collect();
+        assert_eq!(flat, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
     fn empty_input_produces_empty_output_and_counts_a_round() {
         let engine = Engine::new(2);
         let out: Vec<(u32, u32)> =
@@ -289,6 +611,24 @@ mod tests {
         assert_eq!(stats.rounds, 1);
         assert_eq!(stats.total_input_records, 0);
         assert_eq!(stats.total_shuffled_records, 0);
+    }
+
+    #[test]
+    fn empty_combined_round_still_folds_every_partition() {
+        let engine = Engine::new(2).with_reduce_partitions(3);
+        let out: Vec<usize> = engine.run_combined(
+            "empty-combined",
+            Vec::<u32>::new(),
+            |chunk: &[u32]| chunk.iter().map(|&x| (x, x)).collect(),
+            |_, _: &mut Vec<u32>| {},
+            |_: &u32| 0,
+            |_: &u32, _: &u32| 8,
+            |p, groups| {
+                assert!(groups.is_empty());
+                p
+            },
+        );
+        assert_eq!(out, vec![0, 1, 2], "one fold output per partition, in order");
     }
 
     #[test]
@@ -309,6 +649,8 @@ mod tests {
         assert_eq!(stats.total_shuffled_records, 20);
         assert_eq!(stats.total_output_records, 5);
         assert_eq!(stats.per_round[0].key_groups, 5);
+        assert_eq!(stats.per_round[0].map_output_records, 20);
+        assert_eq!(stats.per_round[0].shuffled_bytes, 20 * 8);
         // Every group got both pairs from each of its 2 source records.
         for (_, count) in out {
             assert_eq!(count, 4);
@@ -371,6 +713,17 @@ mod tests {
     }
 
     #[test]
+    fn reduce_values_preserve_task_order_within_a_key() {
+        // Values for one key must arrive in map-task order with each task's
+        // emission order preserved — the contract the stable sort-based
+        // shuffle keeps from the old HashMap grouping.
+        let engine = Engine::new(3).with_chunk_size(2);
+        let input: Vec<u32> = (0..20).collect();
+        let out: Vec<Vec<u32>> = engine.run("order", input, |x| vec![((), x)], |_, vs| vec![vs]);
+        assert_eq!(out, vec![(0..20).collect::<Vec<u32>>()]);
+    }
+
+    #[test]
     fn split_into_chunks_covers_all_records() {
         let chunks = split_into_chunks((0..10).collect::<Vec<_>>(), 3);
         assert_eq!(chunks.len(), 4);
@@ -394,6 +747,48 @@ mod tests {
             );
             let total: u64 = out.into_iter().sum();
             proptest::prop_assert_eq!(total, expected);
+        }
+
+        #[test]
+        fn combined_and_classic_rounds_agree_on_random_sums(
+            values in proptest::collection::vec((0u32..12, 0u64..1000), 0..200),
+            workers in 1usize..5,
+            chunk in 1usize..16,
+            parts in 1usize..5,
+        ) {
+            let classic = Engine::new(workers).with_chunk_size(chunk).with_reduce_partitions(parts);
+            let mut expected: Vec<(u32, u64)> = classic.run(
+                "csum",
+                values.clone(),
+                |(k, v)| vec![(k, v)],
+                |k, vs| vec![(k, vs.into_iter().sum::<u64>())],
+            );
+            expected.sort_unstable();
+            let combined = Engine::new(workers).with_chunk_size(chunk).with_reduce_partitions(parts);
+            let mut got: Vec<(u32, u64)> = combined
+                .run_combined(
+                    "csum-combined",
+                    values,
+                    |chunk: &[(u32, u64)]| chunk.to_vec(),
+                    |_, vs: &mut Vec<u64>| {
+                        let total = vs.iter().sum();
+                        vs.clear();
+                        vs.push(total);
+                    },
+                    |k: &u32| partition_for(k, parts),
+                    |_: &u32, _: &u64| 12,
+                    |_, groups| {
+                        groups
+                            .into_iter()
+                            .map(|(k, vs)| (k, vs.iter().sum::<u64>()))
+                            .collect::<Vec<_>>()
+                    },
+                )
+                .into_iter()
+                .flatten()
+                .collect();
+            got.sort_unstable();
+            proptest::prop_assert_eq!(got, expected);
         }
     }
 }

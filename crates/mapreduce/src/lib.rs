@@ -1,19 +1,36 @@
 //! # snr-mapreduce
 //!
 //! A small, in-memory MapReduce engine used to express the User-Matching
-//! algorithm of Korula & Lattanzi in exactly the shape the paper claims for
-//! it: *"the internal for loop can be implemented efficiently with 4
+//! algorithm of Korula & Lattanzi in the shape the paper claims for it:
+//! *"the internal for loop can be implemented efficiently with 4
 //! consecutive rounds of MapReduce, so the total running time would consist
-//! of `O(k log D)` MapReductions."*
+//! of `O(k log D)` MapReductions."* (With the combiner support below,
+//! `snr-core` actually does each internal loop in **one** round — same
+//! `O(k log D)` bound, 4× fewer rounds than the paper's sketch.)
 //!
 //! The engine is deliberately faithful to the programming model rather than
 //! to any particular distributed runtime: a job is a `map` function applied
-//! to every input record, a hash-partitioned shuffle, and a `reduce` function
-//! applied to every key group. Jobs run on a pool of OS threads (crossbeam
-//! scoped threads); the [`Engine`] records per-round statistics (records
-//! mapped, key groups reduced, shuffled record counts) so that the
-//! round-complexity claims can be checked empirically — see the
-//! round-counting integration tests and the `bench_mapreduce` benchmark.
+//! to the input, a partitioned shuffle, and a `reduce` function applied to
+//! every key group. Two job shapes are supported:
+//!
+//! * [`Engine::run`] — the classic record-at-a-time round with a
+//!   hash-partitioned shuffle (the word-count shape);
+//! * [`Engine::run_combined`] — the aggregation shape production MapReduce
+//!   jobs actually use: mappers see a whole input *chunk* (so they can
+//!   amortize setup and pre-aggregate), a **combiner** collapses each map
+//!   task's buckets before the shuffle, a caller-supplied partitioner (e.g.
+//!   [`partition::range_partition`]) routes keys, and the reduce side folds
+//!   each partition's sorted key groups into one output value — per-partition
+//!   state without a global materialization. This is what lets the witness
+//!   rounds of `snr-core` shuffle one packed record per *scored pair*
+//!   instead of one per *witness contribution*.
+//!
+//! Jobs run on a pool of OS threads (crossbeam scoped threads); the
+//! [`Engine`] records per-round statistics (records mapped, key groups
+//! reduced, pre- and post-combiner shuffle volume in records and bytes) so
+//! that the round-complexity *and* data-movement claims can be checked
+//! empirically — see the round-counting integration tests and the
+//! `bench_mapreduce` benchmark.
 //!
 //! ## Example
 //!

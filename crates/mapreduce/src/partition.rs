@@ -45,6 +45,23 @@ pub fn partition_for<K: Hash>(key: &K, partitions: usize) -> usize {
     (h.finish() % partitions as u64) as usize
 }
 
+/// Range partitioner for dense `u32` keys: maps `key` in `0..bound` to one
+/// of `partitions` contiguous, equally-wide key intervals.
+///
+/// Unlike [`partition_for`], consecutive keys land in the same partition, so
+/// a reduce partition owns a sorted key *range* — this is what lets
+/// [`crate::Engine::run_combined`] callers fold whole candidate rows into a
+/// per-partition sink and still concatenate per-partition outputs into
+/// globally key-ordered results. Keys at or above `bound` (and everything
+/// when `bound` is 0) clamp into the last partition rather than panicking.
+pub fn range_partition(key: u32, bound: usize, partitions: usize) -> usize {
+    debug_assert!(partitions > 0, "partition count must be positive");
+    if bound == 0 {
+        return partitions - 1;
+    }
+    (((key as u64).min(bound as u64 - 1) * partitions as u64) / bound as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +111,27 @@ mod tests {
     fn string_and_tuple_keys_partition_consistently() {
         let a = ("node".to_string(), 42u32);
         assert_eq!(partition_for(&a, 13), partition_for(&a.clone(), 13));
+    }
+
+    #[test]
+    fn range_partition_is_monotone_in_range_and_covers_all_partitions() {
+        let (bound, parts) = (1_000usize, 7);
+        let mut seen = vec![false; parts];
+        let mut prev = 0usize;
+        for k in 0..bound as u32 {
+            let p = range_partition(k, bound, parts);
+            assert!(p < parts, "key {k} out of range: {p}");
+            assert!(p >= prev, "partition must not decrease with the key");
+            seen[p] = true;
+            prev = p;
+        }
+        assert!(seen.iter().all(|&s| s), "every partition owns some keys: {seen:?}");
+    }
+
+    #[test]
+    fn range_partition_clamps_out_of_bound_keys() {
+        assert_eq!(range_partition(999, 100, 4), 3);
+        assert_eq!(range_partition(5, 0, 4), 3);
+        assert_eq!(range_partition(0, 1, 1), 0);
     }
 }

@@ -13,10 +13,13 @@
 //!
 //! [`CompactCsr`]: snr_graph::CompactCsr
 
-use crate::segment::{parse_segment, Layout, SegmentMeta, FOOTER_LEN, HEADER_LEN};
+use crate::segment::{
+    fnv1a, fnv1a_checksum, parse_segment_structure, verify_checksum, Layout, SegmentMeta,
+    FOOTER_LEN, HEADER_LEN,
+};
 use memmap2::{Advice, Mmap};
 use snr_graph::blocks::{BlockCursor, BlockNeighbors};
-use snr_graph::compact::validate_parts;
+use snr_graph::compact::validate_parts_with;
 use snr_graph::intersect::SortedCursor;
 use snr_graph::{GraphError, GraphView, NodeId};
 use std::fs::File;
@@ -84,14 +87,22 @@ impl MmapGraph {
                 "mapped segment is not 4-byte aligned on this platform".into(),
             ));
         }
-        // Validation scans the whole file front to back (checksum + gap
-        // stream walk): let the kernel read ahead for that phase, then
-        // switch to random advice for the witness kernels, which fault
-        // pages in candidate order, not file order.
+        // Validation scans the file front to back exactly once: the header
+        // and index arrays are hashed as they are checked, and the gap
+        // stream walk folds the same FNV checksum over each chunk it
+        // validates (`validate_parts_with`'s data visitor) — one sequential
+        // pass instead of the former checksum-then-walk double scan, which
+        // halves cold-cache open I/O. Let the kernel read ahead for that
+        // phase, then switch to random advice for the witness kernels,
+        // which fault pages in candidate order, not file order. Corruption
+        // still always surfaces as an error, never a panic: the walk is
+        // fully bounds-checked on its own, and a flip that survives it
+        // structurally is caught by the checksum compare right after.
         let _ = map.advise(Advice::Sequential);
-        let meta = parse_segment(&map)?;
+        let meta = parse_segment_structure(&map)?;
         let layout = meta.layout();
-        validate_parts(
+        let mut hash = fnv1a_checksum(&map[..layout.data.start]);
+        validate_parts_with(
             meta.node_count,
             meta.total_nodes,
             meta.max_degree,
@@ -101,7 +112,9 @@ impl MmapGraph {
             u32_slice(&map[layout.skip_bytes.clone()]),
             &map[layout.data.clone()],
             &format!("segment {}", path.display()),
+            |chunk| hash = fnv1a(hash, chunk),
         )?;
+        verify_checksum(&map, hash)?;
         let _ = map.advise(Advice::Random);
         Ok(MmapGraph { map, meta, layout })
     }

@@ -353,9 +353,12 @@ pub fn write_segment_range<G: GraphView, W: Write>(
     Ok(meta)
 }
 
-/// Validates a complete in-memory segment image (header, section lengths,
-/// checksum) and returns its parsed header.
-pub(crate) fn parse_segment(bytes: &[u8]) -> Result<SegmentMeta, GraphError> {
+/// Validates a segment image's header and section lengths — everything
+/// *except* the checksum scan — and returns the parsed header. Callers that
+/// read the whole payload anyway (the mmap-backed open's fused
+/// validate-and-checksum pass) use this plus [`verify_checksum`] so the file
+/// is scanned once, not twice.
+pub(crate) fn parse_segment_structure(bytes: &[u8]) -> Result<SegmentMeta, GraphError> {
     let meta = SegmentMeta::from_header_bytes(bytes)?;
     // Widened arithmetic: corrupted headers can claim counts whose implied
     // file size overflows usize, and that corruption must surface as an
@@ -381,14 +384,28 @@ pub(crate) fn parse_segment(bytes: &[u8]) -> Result<SegmentMeta, GraphError> {
             meta.entry_count
         )));
     }
-    let body = &bytes[..bytes.len() - FOOTER_LEN];
+    Ok(meta)
+}
+
+/// Compares a fully-folded body hash against the segment's stored footer.
+/// `actual` must be the FNV-1a 64 of every byte before the footer
+/// (`bytes[..len - FOOTER_LEN]`), however the caller produced it — in one
+/// [`fnv1a_checksum`] call or incrementally during another scan.
+pub(crate) fn verify_checksum(bytes: &[u8], actual: u64) -> Result<(), GraphError> {
     let stored = u64::from_le_bytes(bytes[bytes.len() - FOOTER_LEN..].try_into().expect("8 bytes"));
-    let actual = fnv1a_checksum(body);
     if stored != actual {
         return Err(GraphError::InvalidBinary(format!(
             "segment checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
         )));
     }
+    Ok(())
+}
+
+/// Validates a complete in-memory segment image (header, section lengths,
+/// checksum) and returns its parsed header.
+pub(crate) fn parse_segment(bytes: &[u8]) -> Result<SegmentMeta, GraphError> {
+    let meta = parse_segment_structure(bytes)?;
+    verify_checksum(bytes, fnv1a_checksum(&bytes[..bytes.len() - FOOTER_LEN]))?;
     Ok(meta)
 }
 
