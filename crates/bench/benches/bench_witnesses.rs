@@ -11,6 +11,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snr_bench::Workload;
 use snr_core::scoring::{fused_phase, mapreduce_fused_phase};
 use snr_core::witness::{count_mapreduce, count_rayon, count_sequential};
+use snr_core::MatchingConfig;
+use snr_driver::{DriverConfig, DriverStore, ShardDriver};
 use snr_graph::GraphView;
 use snr_mapreduce::Engine;
 use snr_store::{write_segment_file, MmapGraph, ShardedGraph};
@@ -130,6 +132,29 @@ fn bench_rmat16(c: &mut Criterion) {
     group.bench_function("sharded/fused", |b| {
         b.iter(|| black_box(fused_phase(&s1, &s2, &links, 2, 2, 2, true)))
     });
+
+    // The same phase as one distributed round of the multi-process shard
+    // driver (snr-driver): 2 worker subprocesses over mmap segments,
+    // min_degree 2, threshold 2. Segment writing stays outside the timer;
+    // each iteration pays the honest distributed cost — spawn + init
+    // handshake, phase broadcast, range scoring in the workers, and the
+    // claims merge. The worker binary must be in target/<profile>
+    // (`cargo build --release -p snr-driver`; CI's workspace build covers
+    // it).
+    let seeds: Vec<_> = links.pairs().collect();
+    let mut driver_config = DriverConfig::new(2);
+    driver_config.matching = MatchingConfig::default()
+        .with_threshold(2)
+        .with_iterations(1)
+        .with_degree_bucketing(false)
+        .with_min_bucket(1);
+    driver_config.store = DriverStore::Mmap;
+    driver_config.fault = None;
+    let driver = ShardDriver::new(g1, g2, driver_config).expect("snapshot graphs for driver bench");
+    group.bench_function("driver/fused", |b| {
+        b.iter(|| black_box(driver.run(&seeds).expect("distributed round")))
+    });
+    drop(driver);
     drop((m1, m2));
     let dir = p1.parent().map(std::path::Path::to_path_buf);
     let _ = std::fs::remove_file(p1);

@@ -52,7 +52,7 @@ use crate::linking::Linking;
 use crate::matching::Best;
 use crate::witness::ScoreTable;
 use rayon::prelude::*;
-use snr_graph::{GraphView, NodeId};
+use snr_graph::{GraphError, GraphView, NodeId};
 use snr_mapreduce::partition::range_partition;
 use snr_mapreduce::Engine;
 
@@ -368,6 +368,214 @@ impl SelectSink {
             self.row_entries(u, entries.iter().map(|&e| unpack_entry(e)));
         }
     }
+
+    /// Extracts this sink's accumulated state as a serializable
+    /// [`SinkClaims`] — what a distributed worker ships back to the
+    /// coordinator instead of the sink itself.
+    pub fn into_claims(self) -> SinkClaims {
+        SinkClaims {
+            scored_pairs: self.scored_pairs as u64,
+            claims: self.claims.iter().map(|&(u, b)| (u, b.partner, b.score)).collect(),
+            bests: self
+                .best_v
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.score > 0)
+                .map(|(v, b)| (v as u32, b.partner, b.score, b.unique))
+                .collect(),
+        }
+    }
+
+    /// Folds a worker's serialized claims into this sink — the wire-format
+    /// counterpart of [`ScoreSink::merge`]. Absorbing the [`SinkClaims`] of
+    /// per-row-range sinks that together tile the candidate rows leaves this
+    /// sink bit-identical to one that scored every row locally: claim order
+    /// is irrelevant ([`SelectSink::finish`] sorts), `scored_pairs` is a
+    /// plain sum, and the per-`v` bests merge with the associative,
+    /// commutative, tie-abstaining [`Best::merge`].
+    ///
+    /// Claims are validated before any state changes: a copy-2 id at or
+    /// beyond this sink's `n2`, a zero score, or a claim below this sink's
+    /// threshold is rejected (the sink is left untouched), so a corrupt or
+    /// mismatched payload can never poison the selection.
+    pub fn absorb_claims(&mut self, claims: &SinkClaims) -> Result<(), GraphError> {
+        let n2 = self.best_v.len() as u32;
+        for &(_, partner, score) in &claims.claims {
+            if partner >= n2 {
+                return Err(GraphError::InvalidParameter(format!(
+                    "sink claim partner {partner} out of range (n2 = {n2})"
+                )));
+            }
+            if score < self.threshold {
+                return Err(GraphError::InvalidParameter(format!(
+                    "sink claim score {score} below threshold {}",
+                    self.threshold
+                )));
+            }
+        }
+        for &(v, partner, score, _) in &claims.bests {
+            if v >= n2 || partner >= n2 {
+                return Err(GraphError::InvalidParameter(format!(
+                    "per-v best ({v}, {partner}) out of range (n2 = {n2})"
+                )));
+            }
+            if score == 0 {
+                return Err(GraphError::InvalidParameter(format!(
+                    "per-v best for {v} has zero score"
+                )));
+            }
+        }
+        self.scored_pairs += claims.scored_pairs as usize;
+        // Claims are only ever pushed for strictly-unique row bests, so the
+        // flag is not part of the wire format.
+        self.claims.extend(
+            claims
+                .claims
+                .iter()
+                .map(|&(u, partner, score)| (u, Best { partner, score, unique: true })),
+        );
+        for &(v, partner, score, unique) in &claims.bests {
+            let mine = &mut self.best_v[v as usize];
+            let theirs = Best { partner, score, unique };
+            *mine = if mine.score > 0 { mine.merge(theirs) } else { theirs };
+        }
+        Ok(())
+    }
+}
+
+/// Serialized image of a [`SelectSink`]'s accumulated state — the unit a
+/// distributed worker ships back to the coordinator after scoring its
+/// assigned row-range.
+///
+/// The wire format is a fixed-width little-endian layout:
+///
+/// ```text
+/// scored_pairs: u64
+/// claim_count:  u32, then per claim  (u, partner, score): 3 x u32
+/// best_count:   u32, then per best   (v, partner, score): 3 x u32, unique: u8
+/// ```
+///
+/// [`SinkClaims::decode`] rejects truncated, oversized, or malformed bytes
+/// with [`GraphError::InvalidBinary`]; it never panics and never allocates
+/// more than the input length implies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SinkClaims {
+    scored_pairs: u64,
+    /// Rows claimed by the worker: `(u, partner, score)`, unique by
+    /// construction.
+    claims: Vec<(u32, u32, u32)>,
+    /// Non-empty per-`v` running bests: `(v, partner, score, unique)`.
+    bests: Vec<(u32, u32, u32, bool)>,
+}
+
+/// Byte width of one encoded claim entry.
+const CLAIM_WIDTH: usize = 12;
+/// Byte width of one encoded per-`v` best entry.
+const BEST_WIDTH: usize = 13;
+
+fn claims_take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], GraphError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| GraphError::InvalidBinary("sink claims truncated".into()))?;
+    let slice = &bytes[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn claims_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, GraphError> {
+    let b = claims_take(bytes, pos, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+impl SinkClaims {
+    /// Total `(u, v)` pairs the producing sink scored.
+    pub fn scored_pairs(&self) -> u64 {
+        self.scored_pairs
+    }
+
+    /// Number of claimed rows carried by this payload.
+    pub fn claim_count(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Serializes the claims into the fixed-width wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            16 + CLAIM_WIDTH * self.claims.len() + BEST_WIDTH * self.bests.len(),
+        );
+        out.extend_from_slice(&self.scored_pairs.to_le_bytes());
+        out.extend_from_slice(&(self.claims.len() as u32).to_le_bytes());
+        for &(u, partner, score) in &self.claims {
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&partner.to_le_bytes());
+            out.extend_from_slice(&score.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.bests.len() as u32).to_le_bytes());
+        for &(v, partner, score, unique) in &self.bests {
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&partner.to_le_bytes());
+            out.extend_from_slice(&score.to_le_bytes());
+            out.push(unique as u8);
+        }
+        out
+    }
+
+    /// Parses the wire format back into claims. Any structural defect —
+    /// truncation, counts that overrun the payload, a malformed uniqueness
+    /// byte, trailing garbage — is an error, never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<SinkClaims, GraphError> {
+        let mut pos = 0usize;
+        let sp = claims_take(bytes, &mut pos, 8)?;
+        let scored_pairs = u64::from_le_bytes(sp.try_into().expect("8-byte slice"));
+
+        let claim_count = claims_u32(bytes, &mut pos)? as usize;
+        if claim_count.saturating_mul(CLAIM_WIDTH) > bytes.len() - pos {
+            return Err(GraphError::InvalidBinary(format!(
+                "sink claims: claim count {claim_count} overruns {} payload bytes",
+                bytes.len() - pos
+            )));
+        }
+        let mut claims = Vec::with_capacity(claim_count);
+        for _ in 0..claim_count {
+            let u = claims_u32(bytes, &mut pos)?;
+            let partner = claims_u32(bytes, &mut pos)?;
+            let score = claims_u32(bytes, &mut pos)?;
+            claims.push((u, partner, score));
+        }
+
+        let best_count = claims_u32(bytes, &mut pos)? as usize;
+        if best_count.saturating_mul(BEST_WIDTH) > bytes.len() - pos {
+            return Err(GraphError::InvalidBinary(format!(
+                "sink claims: best count {best_count} overruns {} payload bytes",
+                bytes.len() - pos
+            )));
+        }
+        let mut bests = Vec::with_capacity(best_count);
+        for _ in 0..best_count {
+            let v = claims_u32(bytes, &mut pos)?;
+            let partner = claims_u32(bytes, &mut pos)?;
+            let score = claims_u32(bytes, &mut pos)?;
+            let unique = match claims_take(bytes, &mut pos, 1)?[0] {
+                0 => false,
+                1 => true,
+                b => {
+                    return Err(GraphError::InvalidBinary(format!(
+                        "sink claims: uniqueness byte {b:#04x} is not 0 or 1"
+                    )))
+                }
+            };
+            bests.push((v, partner, score, unique));
+        }
+
+        if pos != bytes.len() {
+            return Err(GraphError::InvalidBinary(format!(
+                "sink claims: {} trailing bytes",
+                bytes.len() - pos
+            )));
+        }
+        Ok(SinkClaims { scored_pairs, claims, bests })
+    }
 }
 
 impl ScoreSink for SelectSink {
@@ -465,6 +673,52 @@ fn score_row<G1: GraphView, S: ScoreSink>(
     }
     if !arena.touched().is_empty() {
         sink.row(u, arena);
+    }
+}
+
+/// Scores a contiguous range of rows through a prebuilt per-phase
+/// [`LinkCache`] into `sink` — the worker-side kernel of the distributed
+/// shard driver.
+///
+/// `g1_rows` is a view of copy-1 rows indexed by *local* id; `base` maps
+/// local row `r` to global candidate id `base + r` (a view holding the whole
+/// graph passes `base = 0`). Neighbor ids inside `g1_rows` are always
+/// global, which is what segment row-range extraction preserves. Candidate
+/// filtering matches [`collect_candidates`] exactly: a row is scored iff its
+/// degree reaches `min_deg1` and its global id is unlinked; empty rows are
+/// skipped. Running disjoint ranges that tile `0..n1` through fresh
+/// [`SelectSink`]s and absorbing their claims reproduces [`fused_phase`]
+/// bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub fn score_assigned_rows<G1, S>(
+    g1_rows: &G1,
+    base: u32,
+    local_rows: std::ops::Range<u32>,
+    cache: &LinkCache,
+    links: &Linking,
+    min_deg1: usize,
+    arena: &mut ScoreArena,
+    sink: &mut S,
+) where
+    G1: GraphView,
+    S: ScoreSink,
+{
+    for local in local_rows {
+        let global = base + local;
+        if g1_rows.degree(NodeId(local)) < min_deg1 || links.is_linked_g1(NodeId(global)) {
+            continue;
+        }
+        arena.begin_row();
+        for w1 in g1_rows.neighbors_iter(NodeId(local)) {
+            if let Some(vs) = cache.eligible_of(w1) {
+                for &v in vs {
+                    arena.bump(v);
+                }
+            }
+        }
+        if !arena.touched().is_empty() {
+            sink.row(global, arena);
+        }
     }
 }
 
@@ -1100,5 +1354,162 @@ mod tests {
             (0, vec![]),
             "no links, no witnesses"
         );
+    }
+
+    /// Read-only window over a contiguous row range of a `CsrGraph`: rows
+    /// are addressed by local id, neighbor ids stay global — the shape a
+    /// worker sees after range-addressed segment extraction.
+    struct RowWindow<'a> {
+        g: &'a CsrGraph,
+        rows: std::ops::Range<u32>,
+    }
+
+    impl GraphView for RowWindow<'_> {
+        fn node_count(&self) -> usize {
+            self.rows.len()
+        }
+        fn edge_count(&self) -> usize {
+            GraphView::edge_count(self.g)
+        }
+        fn is_directed(&self) -> bool {
+            GraphView::is_directed(self.g)
+        }
+        fn max_degree(&self) -> usize {
+            GraphView::max_degree(self.g)
+        }
+        fn degree(&self, v: NodeId) -> usize {
+            GraphView::degree(self.g, NodeId(self.rows.start + v.0))
+        }
+        fn total_degree(&self) -> usize {
+            GraphView::total_degree(self.g)
+        }
+        fn neighbors_iter(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+            GraphView::neighbors_iter(self.g, NodeId(self.rows.start + v.0))
+        }
+        fn neighbor_cursor(&self, v: NodeId) -> impl snr_graph::intersect::SortedCursor + '_ {
+            GraphView::neighbor_cursor(self.g, NodeId(self.rows.start + v.0))
+        }
+        fn memory_bytes(&self) -> usize {
+            GraphView::memory_bytes(self.g)
+        }
+    }
+
+    #[test]
+    fn range_scored_claims_reassemble_the_fused_selection() {
+        let (g1, g2, links) = pa_workload(53, 400, 6);
+        let n1 = g1.node_count() as u32;
+        let n2 = g2.node_count();
+        for (d, t) in [(1usize, 1u32), (2, 2), (4, 3)] {
+            let expected = fused_phase(&g1, &g2, &links, d, d, t, false);
+            let cache = LinkCache::build(&g2, &links, d);
+            let mut acc = SelectSink::new(n2, t);
+            // Uneven tiling of the row space, each range scored by a fresh
+            // sink whose claims make a wire round-trip before absorption.
+            for start in (0..n1).step_by(97) {
+                let end = (start + 97).min(n1);
+                let window = RowWindow { g: &g1, rows: start..end };
+                let mut arena = ScoreArena::new(n2);
+                let mut sink = SelectSink::new(n2, t);
+                score_assigned_rows(
+                    &window,
+                    start,
+                    0..(end - start),
+                    &cache,
+                    &links,
+                    d,
+                    &mut arena,
+                    &mut sink,
+                );
+                let decoded = SinkClaims::decode(&sink.into_claims().encode()).unwrap();
+                acc.absorb_claims(&decoded).unwrap();
+            }
+            assert_eq!(acc.finish(), expected, "d={d} t={t}");
+        }
+    }
+
+    #[test]
+    fn whole_graph_assigned_rows_match_fused_phase() {
+        let (g1, g2, links) = pa_workload(59, 300, 5);
+        let n1 = g1.node_count() as u32;
+        let n2 = g2.node_count();
+        let expected = fused_phase(&g1, &g2, &links, 2, 2, 2, false);
+        let cache = LinkCache::build(&g2, &links, 2);
+        let mut arena = ScoreArena::new(n2);
+        let mut sink = SelectSink::new(n2, 2);
+        score_assigned_rows(&g1, 0, 0..n1, &cache, &links, 2, &mut arena, &mut sink);
+        assert_eq!(sink.finish(), expected);
+    }
+
+    #[test]
+    fn sink_claims_decode_rejects_corruption() {
+        let (g1, g2, links) = pa_workload(61, 250, 5);
+        let cache = LinkCache::build(&g2, &links, 2);
+        let n2 = g2.node_count();
+        let mut arena = ScoreArena::new(n2);
+        let mut sink = SelectSink::new(n2, 2);
+        score_assigned_rows(
+            &g1,
+            0,
+            0..g1.node_count() as u32,
+            &cache,
+            &links,
+            2,
+            &mut arena,
+            &mut sink,
+        );
+        let claims = sink.into_claims();
+        assert!(claims.claim_count() > 0, "workload must produce claims");
+        let bytes = claims.encode();
+        assert_eq!(SinkClaims::decode(&bytes).unwrap(), claims);
+
+        // Every truncation point fails cleanly.
+        for cut in 0..bytes.len() {
+            assert!(SinkClaims::decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // Trailing garbage fails.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(SinkClaims::decode(&extended).is_err());
+        // A count field inflated past the payload fails without allocating.
+        let mut inflated = bytes.clone();
+        inflated[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(SinkClaims::decode(&inflated).is_err());
+        // A non-boolean uniqueness byte fails.
+        let mut bad_unique = bytes.clone();
+        let last = bad_unique.len() - 1;
+        bad_unique[last] = 7;
+        assert!(SinkClaims::decode(&bad_unique).is_err());
+    }
+
+    #[test]
+    fn absorb_claims_rejects_out_of_range_payloads() {
+        let (g1, g2, links) = pa_workload(67, 250, 5);
+        let n2 = g2.node_count();
+        let cache = LinkCache::build(&g2, &links, 2);
+        let mut arena = ScoreArena::new(n2);
+        let mut sink = SelectSink::new(n2, 2);
+        score_assigned_rows(
+            &g1,
+            0,
+            0..g1.node_count() as u32,
+            &cache,
+            &links,
+            2,
+            &mut arena,
+            &mut sink,
+        );
+        let claims = sink.into_claims();
+        assert!(claims.claim_count() > 0);
+
+        // A smaller sink rejects ids beyond its v-axis.
+        let mut small = SelectSink::new(1, 2);
+        assert!(small.absorb_claims(&claims).is_err());
+        // A stricter sink rejects claims below its threshold.
+        let mut strict = SelectSink::new(n2, u32::MAX);
+        assert!(strict.absorb_claims(&claims).is_err());
+        // The matching sink accepts them.
+        let mut ok = SelectSink::new(n2, 2);
+        ok.absorb_claims(&claims).unwrap();
+        assert_eq!(ok.finish(), fused_phase(&g1, &g2, &links, 2, 2, 2, false));
     }
 }

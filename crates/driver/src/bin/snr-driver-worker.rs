@@ -1,0 +1,214 @@
+//! The worker subprocess of the shard driver.
+//!
+//! Speaks the length-prefixed frame protocol of `snr_driver::protocol` over
+//! stdin/stdout: opens the segment stores named by `Init`, folds each
+//! `Phase`'s link delta into a resident `Linking` and rebuilds the
+//! `LinkCache`, and answers every `Task` with the serialized `SelectSink`
+//! claims of one contiguous row-range. Fatal failures go out as one
+//! `WorkerError` frame followed by a nonzero exit; `Shutdown` or EOF on
+//! stdin is a clean exit.
+//!
+//! Fault injection (tests only): `SNR_DRIVER_FAULT=kill_worker:<round>`
+//! makes the worker die mid-round with `exit(17)` the first time it
+//! receives a task of that 1-based phase; `stall_worker:<ms>` makes it
+//! sleep that long before answering each task.
+
+use snr_core::scoring::{score_assigned_rows, LinkCache, ScoreArena, SelectSink};
+use snr_core::Linking;
+use snr_driver::protocol::{read_frame, write_frame, G1Spec, G2Spec, Message};
+use snr_driver::DriverError;
+use snr_graph::{CompactCsr, NodeId};
+use snr_store::{read_segment, read_segment_rows_file, MmapGraph, ShardedGraph};
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn main() {
+    if let Err(e) = run() {
+        let mut out = std::io::stdout().lock();
+        let _ = write_frame(&mut out, &Message::WorkerError { message: e.to_string() });
+        let _ = out.flush();
+        std::process::exit(1);
+    }
+}
+
+/// The copy-1 view: whole (indexed by global row id) or a segment path the
+/// worker range-loads per task.
+enum G1View {
+    Range(PathBuf),
+    Whole(MmapGraph),
+    Sharded(ShardedGraph<MmapGraph>),
+}
+
+/// The copy-2 view (always whole: eligibility spans the full `v` axis).
+enum G2View {
+    Mem(CompactCsr),
+    Map(MmapGraph),
+}
+
+/// Per-phase parameters retained between `Phase` and its `Task`s.
+struct PhaseParams {
+    phase: u32,
+    min_deg1: usize,
+    threshold: u32,
+    cache: LinkCache,
+}
+
+struct WorkerState {
+    n2: usize,
+    g1: G1View,
+    g2: G2View,
+    links: Linking,
+    arena: ScoreArena,
+    params: Option<PhaseParams>,
+}
+
+#[derive(Default)]
+struct Fault {
+    kill_phase: Option<u32>,
+    stall: Option<Duration>,
+}
+
+fn parse_fault() -> Fault {
+    let Ok(spec) = std::env::var("SNR_DRIVER_FAULT") else { return Fault::default() };
+    let mut fault = Fault::default();
+    match spec.split_once(':') {
+        Some(("kill_worker", round)) => fault.kill_phase = round.parse().ok(),
+        Some(("stall_worker", ms)) => fault.stall = ms.parse().map(Duration::from_millis).ok(),
+        _ => {}
+    }
+    if !spec.is_empty() && fault.kill_phase.is_none() && fault.stall.is_none() {
+        eprintln!("snr-driver-worker: ignoring unparseable SNR_DRIVER_FAULT={spec:?}");
+    }
+    fault
+}
+
+fn open_g1(spec: &G1Spec) -> Result<G1View, DriverError> {
+    Ok(match spec {
+        G1Spec::RangeLoad { path } => G1View::Range(PathBuf::from(path)),
+        G1Spec::MmapWhole { path } => G1View::Whole(MmapGraph::open(path)?),
+        G1Spec::Shards { paths } => G1View::Sharded(ShardedGraph::open(paths)?),
+    })
+}
+
+fn open_g2(spec: &G2Spec) -> Result<G2View, DriverError> {
+    Ok(match spec {
+        G2Spec::Load { path } => {
+            let (_, g) = read_segment(BufReader::new(File::open(path)?))?;
+            G2View::Mem(g)
+        }
+        G2Spec::Mmap { path } => G2View::Map(MmapGraph::open(path)?),
+    })
+}
+
+fn run() -> Result<(), DriverError> {
+    let fault = parse_fault();
+    let mut stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    let mut state: Option<WorkerState> = None;
+
+    loop {
+        let Some(msg) = read_frame(&mut stdin)? else { return Ok(()) };
+        match msg {
+            Message::Shutdown => return Ok(()),
+            Message::Init { worker_id, n1, n2, g1, g2 } => {
+                let n1 = n1 as usize;
+                let n2 = n2 as usize;
+                state = Some(WorkerState {
+                    n2,
+                    g1: open_g1(&g1)?,
+                    g2: open_g2(&g2)?,
+                    links: Linking::new(n1, n2),
+                    arena: ScoreArena::new(n2),
+                    params: None,
+                });
+                write_frame(&mut stdout, &Message::InitOk { worker_id })?;
+            }
+            Message::Phase { phase, min_deg1, min_deg2, threshold, links_delta } => {
+                let st = state
+                    .as_mut()
+                    .ok_or_else(|| DriverError::Protocol("Phase before Init".into()))?;
+                let pairs: Vec<(NodeId, NodeId)> =
+                    links_delta.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
+                st.links.insert_batch(&pairs);
+                let cache = match &st.g2 {
+                    G2View::Mem(g) => LinkCache::build(g, &st.links, min_deg2 as usize),
+                    G2View::Map(g) => LinkCache::build(g, &st.links, min_deg2 as usize),
+                };
+                st.params =
+                    Some(PhaseParams { phase, min_deg1: min_deg1 as usize, threshold, cache });
+            }
+            Message::Task { phase, first_node, node_count } => {
+                let st = state
+                    .as_mut()
+                    .ok_or_else(|| DriverError::Protocol("Task before Init".into()))?;
+                let params = st
+                    .params
+                    .as_ref()
+                    .ok_or_else(|| DriverError::Protocol("Task before Phase".into()))?;
+                if params.phase != phase {
+                    return Err(DriverError::Protocol(format!(
+                        "Task for phase {phase} while phase {} is current",
+                        params.phase
+                    )));
+                }
+                if fault.kill_phase == Some(phase) {
+                    // Injected fault: die mid-round without a goodbye, the
+                    // way a real worker crash looks to the coordinator.
+                    std::process::exit(17);
+                }
+                if let Some(d) = fault.stall {
+                    std::thread::sleep(d);
+                }
+                let mut sink = SelectSink::new(st.n2, params.threshold);
+                match &st.g1 {
+                    G1View::Range(path) => {
+                        let (_, rows) =
+                            read_segment_rows_file(path, first_node..first_node + node_count)?;
+                        score_assigned_rows(
+                            &rows,
+                            first_node,
+                            0..node_count,
+                            &params.cache,
+                            &st.links,
+                            params.min_deg1,
+                            &mut st.arena,
+                            &mut sink,
+                        );
+                    }
+                    G1View::Whole(g) => score_assigned_rows(
+                        g,
+                        0,
+                        first_node..first_node + node_count,
+                        &params.cache,
+                        &st.links,
+                        params.min_deg1,
+                        &mut st.arena,
+                        &mut sink,
+                    ),
+                    G1View::Sharded(g) => score_assigned_rows(
+                        g,
+                        0,
+                        first_node..first_node + node_count,
+                        &params.cache,
+                        &st.links,
+                        params.min_deg1,
+                        &mut st.arena,
+                        &mut sink,
+                    ),
+                }
+                let claims = sink.into_claims().encode();
+                write_frame(
+                    &mut stdout,
+                    &Message::TaskDone { phase, first_node, node_count, claims },
+                )?;
+            }
+            other => {
+                return Err(DriverError::Protocol(format!(
+                    "coordinator sent a worker-only frame: {other:?}"
+                )));
+            }
+        }
+    }
+}

@@ -1,0 +1,687 @@
+//! The coordinator: spawns worker subprocesses, assigns contiguous shard
+//! row-ranges, and merges serialized `SelectSink` claims into the exact
+//! per-phase selection the sequential arena path would have produced.
+//!
+//! # Bit-identity argument
+//!
+//! The distributed run is bit-identical to [`snr_core::UserMatching`] with
+//! the fused arena backend because every source of nondeterminism is
+//! squeezed out structurally rather than by scheduling discipline:
+//!
+//! - Tasks tile `0..n1` with disjoint contiguous row-ranges, so each
+//!   candidate row is scored by exactly one *accepted* task result (a
+//!   per-task `done` set absorbs the first completion and drops
+//!   speculative duplicates).
+//! - `scored_pairs` is a sum and per-`v` bests merge through
+//!   `Best::merge`, which is associative, commutative, and tie-abstaining
+//!   — so the order in which task claims arrive cannot change the merged
+//!   survivor set.
+//! - [`snr_core::scoring::SelectSink::finish`] sorts its output, so the
+//!   selected pairs come out in the same order as the sequential sink.
+//! - Workers reconstruct the coordinator's `Linking` state from per-phase
+//!   deltas; `Linking::insert_batch` is defined to equal repeated
+//!   `insert`, which is how the coordinator (and the sequential driver)
+//!   applies the same pairs.
+//!
+//! # Fault tolerance
+//!
+//! A worker that dies (pipe EOF, nonzero exit) or misses its round
+//! deadline has its row-range re-queued for the surviving workers;
+//! stragglers get one speculative grace period and are then killed. The
+//! failure modes that cannot be recovered — every worker dead, or one
+//! row-range burning through the retry budget — surface as
+//! [`DriverError`], never a hang.
+
+use crate::error::DriverError;
+use crate::protocol::{read_frame, write_frame, G1Spec, G2Spec, Message};
+use snr_core::scoring::{SelectSink, SinkClaims};
+use snr_core::{Linking, MatchingConfig, MatchingOutcome, PhaseStats};
+use snr_graph::{GraphView, NodeId};
+use snr_store::{write_segment_file, write_shard_segments};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// How the driver materializes graphs for its workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverStore {
+    /// Workers read each assigned row-range into an in-memory `CompactCsr`
+    /// (and load g2 whole); no worker ever holds all of g1.
+    Compact,
+    /// Workers memory-map one whole-graph segment per side.
+    Mmap,
+    /// g1 is split into this many shard segments; workers map them through
+    /// a `ShardedGraph` view, and each shard is one task.
+    Sharded(usize),
+}
+
+/// Configuration of a [`ShardDriver`] run.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Number of worker subprocesses (min 1).
+    pub workers: usize,
+    /// The matching schedule to distribute (threshold, iterations,
+    /// bucketing) — same meaning as in the sequential driver.
+    pub matching: MatchingConfig,
+    /// How workers open the graphs.
+    pub store: DriverStore,
+    /// Per-task round deadline: a worker that holds a task past this long
+    /// has the task speculatively re-queued, and is killed if it also
+    /// sleeps through the grace period.
+    pub task_timeout: Duration,
+    /// Row-range granularity: the node space is cut into
+    /// `workers * tasks_per_worker` entry-balanced tasks (ignored for
+    /// [`DriverStore::Sharded`], where each shard is one task).
+    pub tasks_per_worker: usize,
+    /// Fault-injection spec forwarded to worker 0 as `SNR_DRIVER_FAULT`
+    /// (`kill_worker:<round>` or `stall_worker:<ms>`); inherited from the
+    /// coordinator's own environment by [`DriverConfig::new`].
+    pub fault: Option<String>,
+    /// Explicit worker binary path; when unset the driver checks
+    /// `SNR_DRIVER_WORKER` and then looks next to the current executable.
+    pub worker_bin: Option<PathBuf>,
+}
+
+impl DriverConfig {
+    /// A config with `workers` subprocesses and defaults for the rest:
+    /// mmap stores, 60 s round deadline, three tasks per worker, fault
+    /// spec taken from the `SNR_DRIVER_FAULT` environment variable.
+    pub fn new(workers: usize) -> Self {
+        DriverConfig {
+            workers: workers.max(1),
+            matching: MatchingConfig::default(),
+            store: DriverStore::Mmap,
+            task_timeout: Duration::from_secs(60),
+            tasks_per_worker: 3,
+            fault: std::env::var("SNR_DRIVER_FAULT").ok().filter(|s| !s.is_empty()),
+            worker_bin: None,
+        }
+    }
+}
+
+/// Monotonic suffix so concurrent drivers in one process get distinct
+/// scratch directories.
+static SCRATCH_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Single-coordinator, multi-worker shard driver.
+///
+/// `new` snapshots both graphs into segment files under a scratch
+/// directory (removed on drop); [`ShardDriver::run`] then executes the
+/// configured matching schedule across worker subprocesses, one
+/// distributed round per phase.
+pub struct ShardDriver {
+    config: DriverConfig,
+    scratch: PathBuf,
+    n1: usize,
+    n2: usize,
+    max_degree: usize,
+    g1_spec: G1Spec,
+    g2_spec: G2Spec,
+    /// Disjoint `(first_node, node_count)` ranges tiling `0..n1`, ascending.
+    tasks: Vec<(u32, u32)>,
+    segment_bytes: u64,
+}
+
+impl ShardDriver {
+    /// Snapshots `g1`/`g2` into scratch segment files and plans the task
+    /// ranges. No worker is spawned yet; that happens in [`ShardDriver::run`].
+    pub fn new<G1, G2>(g1: &G1, g2: &G2, config: DriverConfig) -> Result<Self, DriverError>
+    where
+        G1: GraphView,
+        G2: GraphView,
+    {
+        let scratch = std::env::temp_dir().join(format!(
+            "snr-driver-{}-{}",
+            std::process::id(),
+            SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&scratch)?;
+        let g2_path = scratch.join("g2.snrs");
+        write_segment_file(g2, &g2_path)?;
+        let g2_spec = match config.store {
+            DriverStore::Compact => G2Spec::Load { path: path_str(&g2_path)? },
+            DriverStore::Mmap | DriverStore::Sharded(_) => {
+                G2Spec::Mmap { path: path_str(&g2_path)? }
+            }
+        };
+        let (g1_spec, cuts, mut segment_bytes) = match config.store {
+            DriverStore::Compact | DriverStore::Mmap => {
+                let g1_path = scratch.join("g1.snrs");
+                write_segment_file(g1, &g1_path)?;
+                let parts = config.workers.max(1) * config.tasks_per_worker.max(1);
+                let cuts = snr_store::shard_boundaries(g1, parts);
+                let spec = if matches!(config.store, DriverStore::Compact) {
+                    G1Spec::RangeLoad { path: path_str(&g1_path)? }
+                } else {
+                    G1Spec::MmapWhole { path: path_str(&g1_path)? }
+                };
+                (spec, cuts, file_len(&g1_path))
+            }
+            DriverStore::Sharded(n) => {
+                let shard_dir = scratch.join("g1-shards");
+                std::fs::create_dir_all(&shard_dir)?;
+                let paths = write_shard_segments(g1, n.max(1), &shard_dir)?;
+                let cuts = snr_store::shard_boundaries(g1, n.max(1));
+                let mut bytes = 0u64;
+                let mut strs = Vec::with_capacity(paths.len());
+                for p in &paths {
+                    bytes += file_len(p);
+                    strs.push(path_str(p)?);
+                }
+                (G1Spec::Shards { paths: strs }, cuts, bytes)
+            }
+        };
+        segment_bytes += file_len(&g2_path);
+        let tasks: Vec<(u32, u32)> =
+            cuts.windows(2).map(|w| (w[0], w[1] - w[0])).filter(|&(_, count)| count > 0).collect();
+        Ok(ShardDriver {
+            config,
+            scratch,
+            n1: g1.node_count(),
+            n2: g2.node_count(),
+            max_degree: g1.max_degree().max(g2.max_degree()),
+            g1_spec,
+            g2_spec,
+            tasks,
+            segment_bytes,
+        })
+    }
+
+    /// Total bytes of the scratch segment files shipped to workers.
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Number of row-range tasks per phase.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Runs the configured matching schedule across worker subprocesses.
+    ///
+    /// Mirrors the sequential `UserMatching` loop phase for phase: the
+    /// returned [`MatchingOutcome`] carries the same links and the same
+    /// per-phase `scored_pairs` / `new_links` counters.
+    pub fn run(&self, seeds: &[(NodeId, NodeId)]) -> Result<MatchingOutcome, DriverError> {
+        let start = Instant::now();
+        let cfg = &self.config.matching;
+        let mut links = Linking::with_seeds(self.n1, self.n2, seeds);
+        let mut phases = Vec::new();
+        let top_bucket = if cfg.degree_bucketing {
+            (usize::BITS - 1)
+                .saturating_sub(self.max_degree.max(1).leading_zeros())
+                .max(cfg.min_bucket)
+        } else {
+            cfg.min_bucket
+        };
+
+        let mut pool = WorkerPool::spawn(self)?;
+        // The delta each worker folds into its resident `Linking` at the
+        // next phase: the seed set first, then each phase's selections.
+        let mut delta: Vec<(u32, u32)> = seeds.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        let mut phase_no = 0u32;
+        for iteration in 1..=cfg.iterations {
+            for bucket in (cfg.min_bucket..=top_bucket).rev() {
+                let phase_start = Instant::now();
+                phase_no += 1;
+                let min_degree = 1usize << bucket;
+                let (scored_pairs, new_pairs) =
+                    self.run_phase(&mut pool, phase_no, min_degree as u32, &delta)?;
+                let new_links = links.insert_batch(&new_pairs);
+                delta = new_pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+                phases.push(PhaseStats {
+                    iteration,
+                    bucket: if cfg.degree_bucketing { bucket } else { 0 },
+                    scored_pairs,
+                    new_links,
+                    total_links: links.len(),
+                    duration: phase_start.elapsed(),
+                });
+            }
+        }
+        pool.shutdown();
+        Ok(MatchingOutcome { links, phases, total_duration: start.elapsed() })
+    }
+
+    /// One distributed round: broadcast the phase, schedule every task to
+    /// completion (re-assigning around dead and straggling workers), and
+    /// merge the claims.
+    fn run_phase(
+        &self,
+        pool: &mut WorkerPool,
+        phase: u32,
+        min_degree: u32,
+        delta: &[(u32, u32)],
+    ) -> Result<(usize, Vec<(NodeId, NodeId)>), DriverError> {
+        let threshold = self.config.matching.threshold;
+        pool.broadcast(&Message::Phase {
+            phase,
+            min_deg1: min_degree,
+            min_deg2: min_degree,
+            threshold,
+            links_delta: delta.to_vec(),
+        });
+        let mut sink = SelectSink::new(self.n2, threshold);
+        let total = self.tasks.len();
+        if total == 0 {
+            return Ok(sink.finish());
+        }
+        let mut done = vec![false; total];
+        let mut attempts = vec![0u32; total];
+        let mut done_count = 0usize;
+        let mut pending: VecDeque<usize> = (0..total).collect();
+        let attempt_budget = (self.config.workers * 2 + 4) as u32;
+
+        while done_count < total {
+            if pool.live_count() == 0 {
+                return Err(DriverError::AllWorkersDead { phase });
+            }
+            // Hand pending tasks to idle workers.
+            while let Some(&task) = pending.front() {
+                if done[task] {
+                    pending.pop_front();
+                    continue;
+                }
+                let Some(w) = pool.idle_worker() else { break };
+                pending.pop_front();
+                attempts[task] += 1;
+                if attempts[task] > attempt_budget {
+                    return Err(DriverError::TaskAbandoned {
+                        first_node: self.tasks[task].0,
+                        attempts: attempts[task],
+                    });
+                }
+                let (first_node, node_count) = self.tasks[task];
+                if !pool.assign(
+                    w,
+                    task,
+                    &Message::Task { phase, first_node, node_count },
+                    self.config.task_timeout,
+                ) {
+                    // The pipe write failed: the worker is dead, the task
+                    // goes back in the queue for someone else.
+                    pending.push_back(task);
+                }
+            }
+
+            let wait = pool
+                .earliest_deadline()
+                .map(|at| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(self.config.task_timeout);
+            match pool.events.recv_timeout(wait) {
+                Ok(Event::Msg(w, Message::TaskDone { phase: p, first_node, claims, .. })) => {
+                    pool.task_finished(w);
+                    if p != phase {
+                        // A straggler finishing a task that a previous
+                        // phase already accepted from someone else; the
+                        // worker is free again, the claims are stale.
+                        continue;
+                    }
+                    let task = self.task_index(first_node)?;
+                    if !done[task] {
+                        let decoded = SinkClaims::decode(&claims)?;
+                        sink.absorb_claims(&decoded)?;
+                        done[task] = true;
+                        done_count += 1;
+                    }
+                }
+                Ok(Event::Msg(w, Message::WorkerError { message })) => {
+                    // A worker-fatal error is survivable as long as other
+                    // workers remain: treat it like a death.
+                    eprintln!("snr-driver: worker {w} failed: {message}");
+                    if let Some(task) = pool.mark_dead(w) {
+                        if !done[task] {
+                            pending.push_back(task);
+                        }
+                    }
+                }
+                Ok(Event::Msg(_, other)) => {
+                    return Err(DriverError::Protocol(format!(
+                        "unexpected frame from worker: {other:?}"
+                    )));
+                }
+                Ok(Event::Dead(w)) => {
+                    if let Some(task) = pool.mark_dead(w) {
+                        if !done[task] {
+                            pending.push_back(task);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let expired = pool.expired(Instant::now(), self.config.task_timeout);
+                    for (w, task, second_strike) in expired {
+                        if second_strike {
+                            // Slept through the grace period too: stop
+                            // waiting and reclaim the slot, whatever the
+                            // state of the task.
+                            if let Some(t) = pool.kill(w) {
+                                if !done[t] {
+                                    pending.push_back(t);
+                                }
+                            }
+                        } else if !done[task] {
+                            // First deadline miss: re-queue speculatively,
+                            // first completion wins.
+                            pending.push_back(task);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(DriverError::AllWorkersDead { phase });
+                }
+            }
+        }
+        Ok(sink.finish())
+    }
+
+    /// Maps an echoed range start back to its task index.
+    fn task_index(&self, first_node: u32) -> Result<usize, DriverError> {
+        self.tasks.binary_search_by_key(&first_node, |&(first, _)| first).map_err(|_| {
+            DriverError::Protocol(format!("TaskDone for unknown row-range at {first_node}"))
+        })
+    }
+}
+
+impl Drop for ShardDriver {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.scratch);
+    }
+}
+
+/// Snapshots the graphs, runs the schedule, and tears everything down.
+///
+/// Convenience wrapper over [`ShardDriver::new`] + [`ShardDriver::run`].
+pub fn run_distributed<G1, G2>(
+    g1: &G1,
+    g2: &G2,
+    seeds: &[(NodeId, NodeId)],
+    config: DriverConfig,
+) -> Result<MatchingOutcome, DriverError>
+where
+    G1: GraphView,
+    G2: GraphView,
+{
+    ShardDriver::new(g1, g2, config)?.run(seeds)
+}
+
+fn path_str(p: &Path) -> Result<String, DriverError> {
+    p.to_str()
+        .map(str::to_owned)
+        .ok_or_else(|| DriverError::Protocol(format!("non-UTF-8 scratch path {}", p.display())))
+}
+
+fn file_len(p: &Path) -> u64 {
+    std::fs::metadata(p).map(|m| m.len()).unwrap_or(0)
+}
+
+/// What one worker is currently chewing on.
+struct Assignment {
+    task: usize,
+    /// `None` once the deadline machinery is done with this assignment
+    /// (completed tasks keep the slot busy until the frame arrives).
+    deadline: Option<Instant>,
+    /// Whether the first deadline already expired (next expiry kills).
+    speculated: bool,
+}
+
+struct WorkerSlot {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    alive: bool,
+    assignment: Option<Assignment>,
+}
+
+enum Event {
+    /// A frame arrived from worker `.0`.
+    Msg(u32, Message),
+    /// Worker `.0`'s stdout reached EOF or broke.
+    Dead(u32),
+}
+
+struct WorkerPool {
+    slots: Vec<WorkerSlot>,
+    events: Receiver<Event>,
+    /// Keeps the channel open even if every reader thread exits.
+    _events_tx: Sender<Event>,
+}
+
+impl WorkerPool {
+    /// Spawns every worker subprocess, completes the Init handshake, and
+    /// returns once at least one worker is ready.
+    fn spawn(driver: &ShardDriver) -> Result<WorkerPool, DriverError> {
+        let bin = worker_binary(&driver.config)?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut slots = Vec::with_capacity(driver.config.workers);
+        for id in 0..driver.config.workers as u32 {
+            let mut cmd = Command::new(&bin);
+            cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::inherit());
+            // Fault injection targets exactly worker 0; everyone else gets
+            // a scrubbed environment so a spec exported in the user's
+            // shell cannot take down the whole pool.
+            cmd.env_remove("SNR_DRIVER_FAULT");
+            if id == 0 {
+                if let Some(f) = &driver.config.fault {
+                    cmd.env("SNR_DRIVER_FAULT", f);
+                }
+            }
+            let mut child = cmd.spawn()?;
+            let stdin = child.stdin.take();
+            let stdout = child.stdout.take().ok_or_else(|| {
+                DriverError::Protocol(format!("worker {id} spawned without a stdout pipe"))
+            })?;
+            let reader_tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut stdout = stdout;
+                loop {
+                    match read_frame(&mut stdout) {
+                        Ok(Some(msg)) => {
+                            if reader_tx.send(Event::Msg(id, msg)).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(None) | Err(_) => {
+                            let _ = reader_tx.send(Event::Dead(id));
+                            break;
+                        }
+                    }
+                }
+            });
+            slots.push(WorkerSlot { child, stdin, alive: true, assignment: None });
+        }
+        let mut pool = WorkerPool { slots, events: rx, _events_tx: tx };
+
+        let init = |id: u32| Message::Init {
+            worker_id: id,
+            n1: driver.n1 as u64,
+            n2: driver.n2 as u64,
+            g1: driver.g1_spec.clone(),
+            g2: driver.g2_spec.clone(),
+        };
+        for id in 0..pool.slots.len() {
+            pool.send(id as u32, &init(id as u32));
+        }
+        let mut ready = vec![false; pool.slots.len()];
+        let deadline = Instant::now() + driver.config.task_timeout.max(Duration::from_secs(30));
+        while ready.iter().zip(&pool.slots).any(|(&r, s)| s.alive && !r) {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match pool.events.recv_timeout(wait) {
+                Ok(Event::Msg(w, Message::InitOk { .. })) => ready[w as usize] = true,
+                Ok(Event::Msg(w, Message::WorkerError { message })) => {
+                    eprintln!("snr-driver: worker {w} failed to init: {message}");
+                    pool.mark_dead(w);
+                }
+                Ok(Event::Msg(_, other)) => {
+                    return Err(DriverError::Protocol(format!(
+                        "unexpected frame during init: {other:?}"
+                    )));
+                }
+                Ok(Event::Dead(w)) => {
+                    pool.mark_dead(w);
+                }
+                Err(_) => {
+                    // Handshake deadline: give up on the silent workers.
+                    let silent: Vec<u32> = (0..pool.slots.len() as u32)
+                        .filter(|&id| pool.slots[id as usize].alive && !ready[id as usize])
+                        .collect();
+                    for id in silent {
+                        pool.kill(id);
+                    }
+                }
+            }
+        }
+        if pool.live_count() == 0 {
+            return Err(DriverError::AllWorkersDead { phase: 0 });
+        }
+        Ok(pool)
+    }
+
+    fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.alive).count()
+    }
+
+    /// A live worker with no outstanding assignment.
+    fn idle_worker(&self) -> Option<u32> {
+        self.slots.iter().position(|s| s.alive && s.assignment.is_none()).map(|i| i as u32)
+    }
+
+    /// Writes a frame to one worker; marks it dead on failure.
+    fn send(&mut self, w: u32, msg: &Message) -> bool {
+        let slot = &mut self.slots[w as usize];
+        if !slot.alive {
+            return false;
+        }
+        let ok = slot.stdin.as_mut().map(|s| write_frame(s, msg).is_ok()).unwrap_or(false);
+        if !ok {
+            // The reader thread will also notice EOF, but flag the death
+            // now so the scheduler stops picking this worker.
+            slot.alive = false;
+        }
+        ok
+    }
+
+    /// Sends a frame to every live worker (stragglers included — pipes are
+    /// FIFO, so a busy worker sees the phase after its in-flight task).
+    fn broadcast(&mut self, msg: &Message) {
+        for w in 0..self.slots.len() as u32 {
+            self.send(w, msg);
+        }
+    }
+
+    /// Sends a task to a worker and records the assignment + deadline.
+    fn assign(&mut self, w: u32, task: usize, msg: &Message, timeout: Duration) -> bool {
+        if !self.send(w, msg) {
+            return false;
+        }
+        self.slots[w as usize].assignment =
+            Some(Assignment { task, deadline: Some(Instant::now() + timeout), speculated: false });
+        true
+    }
+
+    /// Clears the assignment of a worker whose TaskDone just arrived.
+    fn task_finished(&mut self, w: u32) {
+        self.slots[w as usize].assignment = None;
+    }
+
+    /// Marks a worker dead and returns its abandoned task, if any.
+    fn mark_dead(&mut self, w: u32) -> Option<usize> {
+        let slot = &mut self.slots[w as usize];
+        slot.alive = false;
+        slot.stdin = None;
+        slot.assignment.take().map(|a| a.task)
+    }
+
+    /// Kills a worker process outright (straggler reclamation) and returns
+    /// its abandoned task, if any.
+    fn kill(&mut self, w: u32) -> Option<usize> {
+        let _ = self.slots[w as usize].child.kill();
+        self.mark_dead(w)
+    }
+
+    /// The soonest outstanding assignment deadline, if any.
+    fn earliest_deadline(&self) -> Option<Instant> {
+        self.slots
+            .iter()
+            .filter(|s| s.alive)
+            .filter_map(|s| s.assignment.as_ref().and_then(|a| a.deadline))
+            .min()
+    }
+
+    /// Collects `(worker, task, second_strike)` for every assignment whose
+    /// deadline has passed. A first miss arms the grace period (the
+    /// deadline is re-set one `timeout` further out); a second miss clears
+    /// the deadline and reports `second_strike = true`.
+    fn expired(&mut self, now: Instant, timeout: Duration) -> Vec<(u32, usize, bool)> {
+        let mut out = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if !slot.alive {
+                continue;
+            }
+            let Some(a) = slot.assignment.as_mut() else { continue };
+            let Some(d) = a.deadline else { continue };
+            if d > now {
+                continue;
+            }
+            let second_strike = a.speculated;
+            if second_strike {
+                a.deadline = None;
+            } else {
+                a.speculated = true;
+                a.deadline = Some(now + timeout);
+            }
+            out.push((i as u32, a.task, second_strike));
+        }
+        out
+    }
+
+    /// Broadcasts Shutdown, then reaps every child (kill first, so a
+    /// stalled worker cannot wedge the teardown).
+    fn shutdown(&mut self) {
+        self.broadcast(&Message::Shutdown);
+        self.cleanup();
+    }
+
+    fn cleanup(&mut self) {
+        for slot in &mut self.slots {
+            slot.stdin = None;
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.cleanup();
+    }
+}
+
+/// Locates the worker binary: explicit config, `SNR_DRIVER_WORKER`, then a
+/// sibling of the current executable (hopping out of `deps/` for test
+/// binaries).
+fn worker_binary(config: &DriverConfig) -> Result<PathBuf, DriverError> {
+    if let Some(p) = &config.worker_bin {
+        return Ok(p.clone());
+    }
+    if let Ok(p) = std::env::var("SNR_DRIVER_WORKER") {
+        if !p.is_empty() {
+            return Ok(PathBuf::from(p));
+        }
+    }
+    let mut dir = std::env::current_exe()?;
+    dir.pop();
+    if dir.file_name().is_some_and(|n| n == "deps") {
+        dir.pop();
+    }
+    let candidate = dir.join(format!("snr-driver-worker{}", std::env::consts::EXE_SUFFIX));
+    if candidate.exists() {
+        return Ok(candidate);
+    }
+    Err(DriverError::Protocol(format!(
+        "worker binary not found at {}; build it with `cargo build -p snr-driver` \
+         or point SNR_DRIVER_WORKER at it",
+        candidate.display()
+    )))
+}

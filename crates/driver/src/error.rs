@@ -1,0 +1,80 @@
+//! Error type of the shard driver.
+
+use snr_graph::GraphError;
+
+/// Everything that can go wrong while coordinating worker subprocesses.
+///
+/// The driver's contract is *clean failure*: a dead worker whose row-range
+/// can be re-assigned is not an error, but losing every worker, exhausting
+/// the retry budget for one row-range, or receiving a malformed frame
+/// surfaces as a `DriverError` — never a hang and never a panic.
+#[derive(Debug)]
+pub enum DriverError {
+    /// An I/O failure talking to a worker or the scratch segments.
+    Io(std::io::Error),
+    /// A graph or segment error (writing scratch segments, decoding claims).
+    Graph(GraphError),
+    /// A malformed or unexpected protocol frame.
+    Protocol(String),
+    /// A worker reported a fatal error of its own.
+    Worker {
+        /// Which worker reported.
+        worker: u32,
+        /// The worker's error message.
+        message: String,
+    },
+    /// Every worker died; no healthy process is left to re-assign to.
+    AllWorkersDead {
+        /// The 1-based phase that was running when the last worker died.
+        phase: u32,
+    },
+    /// One row-range failed or timed out more times than the retry budget
+    /// allows (e.g. a task that kills every worker assigned to it).
+    TaskAbandoned {
+        /// Global id of the first row of the abandoned range.
+        first_node: u32,
+        /// Number of assignment attempts made.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Io(e) => write!(f, "driver I/O error: {e}"),
+            DriverError::Graph(e) => write!(f, "driver graph error: {e}"),
+            DriverError::Protocol(msg) => write!(f, "driver protocol error: {msg}"),
+            DriverError::Worker { worker, message } => {
+                write!(f, "worker {worker} failed: {message}")
+            }
+            DriverError::AllWorkersDead { phase } => {
+                write!(f, "all workers dead during phase {phase}")
+            }
+            DriverError::TaskAbandoned { first_node, attempts } => {
+                write!(f, "row-range starting at {first_node} abandoned after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Io(e) => Some(e),
+            DriverError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DriverError {
+    fn from(e: std::io::Error) -> Self {
+        DriverError::Io(e)
+    }
+}
+
+impl From<GraphError> for DriverError {
+    fn from(e: GraphError) -> Self {
+        DriverError::Graph(e)
+    }
+}

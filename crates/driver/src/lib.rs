@@ -1,0 +1,34 @@
+//! Multi-process shard driver for distributed User-Matching.
+//!
+//! `snr-core` runs the Korula–Lattanzi matching on one address space;
+//! `snr-mapreduce` simulates the distributed formulation in-process. This
+//! crate is the real thing at small scale: a single coordinator spawns
+//! worker *subprocesses* (plain `std::process::Command`, no service
+//! registry), ships them segment files written by `snr-store`, and runs
+//! every phase of the schedule as one distributed round:
+//!
+//! 1. the coordinator broadcasts the phase parameters and the link delta,
+//! 2. workers score their assigned contiguous row-ranges through the
+//!    task-local `LinkCache` + `ScoreArena` fast path into a local
+//!    `SelectSink`,
+//! 3. serialized per-range sink claims travel back over stdout and merge
+//!    on the coordinator via `Best::merge`,
+//!
+//! yielding links bit-identical to the sequential arena backend (the
+//! argument is spelled out in [`driver`]). Dead workers and stragglers
+//! are handled by re-assigning their row-ranges; unrecoverable failures
+//! surface as [`DriverError`], never a hang.
+//!
+//! Fault injection for tests rides on the `SNR_DRIVER_FAULT` environment
+//! variable (`kill_worker:<round>` / `stall_worker:<ms>`), which the
+//! coordinator forwards to worker 0 only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod error;
+pub mod protocol;
+
+pub use driver::{run_distributed, DriverConfig, DriverStore, ShardDriver};
+pub use error::DriverError;

@@ -1,0 +1,125 @@
+//! Fault-injection harness: the driver must survive worker death and
+//! stragglers by re-assigning row-ranges — converging to the **same**
+//! links as a healthy run — and must turn unrecoverable failures into a
+//! clean [`DriverError`] instead of a hang. Every run here sits under a
+//! test-side watchdog so a scheduling bug can never wedge the suite.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snr_core::{MatchingConfig, UserMatching};
+use snr_driver::{run_distributed, DriverConfig, DriverError, DriverStore};
+use snr_generators::preferential_attachment;
+use snr_graph::NodeId;
+use snr_sampling::independent::independent_deletion_symmetric;
+use snr_sampling::{sample_seeds, RealizationPair};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::Duration;
+
+fn workload(seed: u64) -> (RealizationPair, Vec<(NodeId, NodeId)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = preferential_attachment(1_000, 6, &mut rng).unwrap();
+    let pair = independent_deletion_symmetric(&g, 0.6, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, 0.10, &mut rng).unwrap();
+    (pair, seeds)
+}
+
+fn config(workers: usize, fault: &str, timeout: Duration) -> DriverConfig {
+    let mut config = DriverConfig::new(workers);
+    config.matching = MatchingConfig::default().with_threshold(2).with_iterations(2);
+    config.store = DriverStore::Mmap;
+    config.task_timeout = timeout;
+    config.worker_bin = Some(PathBuf::from(env!("CARGO_BIN_EXE_snr-driver-worker")));
+    config.fault = if fault.is_empty() { None } else { Some(fault.to_string()) };
+    config
+}
+
+/// Runs `f` on a helper thread and panics if it has not returned within
+/// the watchdog window — the contract under test is "error, never hang".
+fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(180)) {
+        Ok(v) => v,
+        Err(mpsc::RecvTimeoutError::Timeout) => panic!("driver run hung past the watchdog"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => panic!("driver run panicked"),
+    }
+}
+
+#[test]
+fn killed_worker_rows_are_reassigned_bit_identically() {
+    let (pair, seeds) = workload(71);
+    let reference = UserMatching::new(MatchingConfig::default().with_threshold(2))
+        .run(&pair.g1, &pair.g2, &seeds);
+    // Worker 0 dies on its first task of round 1; worker 1 must absorb the
+    // whole node space and still reproduce the healthy link set.
+    let outcome = with_watchdog(move || {
+        run_distributed(
+            &pair.g1,
+            &pair.g2,
+            &seeds,
+            config(2, "kill_worker:1", Duration::from_secs(60)),
+        )
+    })
+    .expect("one death among two workers is survivable");
+    assert_eq!(outcome.links, reference.links, "re-assigned run diverged from the healthy one");
+}
+
+#[test]
+fn late_round_death_converges_too() {
+    let (pair, seeds) = workload(72);
+    let reference = UserMatching::new(MatchingConfig::default().with_threshold(2))
+        .run(&pair.g1, &pair.g2, &seeds);
+    // Death mid-schedule: phases before round 3 ran on both workers, so the
+    // survivor's resident Linking must already agree with the coordinator.
+    let outcome = with_watchdog(move || {
+        run_distributed(
+            &pair.g1,
+            &pair.g2,
+            &seeds,
+            config(2, "kill_worker:3", Duration::from_secs(60)),
+        )
+    })
+    .expect("one death among two workers is survivable");
+    assert_eq!(outcome.links, reference.links, "late-death run diverged from the healthy one");
+}
+
+#[test]
+fn losing_every_worker_is_a_clean_error_not_a_hang() {
+    let (pair, seeds) = workload(73);
+    let err = with_watchdog(move || {
+        run_distributed(
+            &pair.g1,
+            &pair.g2,
+            &seeds,
+            config(1, "kill_worker:1", Duration::from_secs(60)),
+        )
+    })
+    .expect_err("the only worker died; the run cannot succeed");
+    match err {
+        DriverError::AllWorkersDead { phase } => assert_eq!(phase, 1),
+        other => panic!("expected AllWorkersDead, got {other}"),
+    }
+}
+
+#[test]
+fn stalled_worker_is_speculated_around() {
+    let (pair, seeds) = workload(74);
+    let reference = UserMatching::new(MatchingConfig::default().with_threshold(2))
+        .run(&pair.g1, &pair.g2, &seeds);
+    // Worker 0 sleeps 30 s per task against a 2 s round deadline: its
+    // ranges are speculatively re-queued onto worker 1, and after the
+    // grace period the straggler is reclaimed outright.
+    let outcome = with_watchdog(move || {
+        run_distributed(
+            &pair.g1,
+            &pair.g2,
+            &seeds,
+            config(2, "stall_worker:30000", Duration::from_secs(2)),
+        )
+    })
+    .expect("a straggler among two workers is survivable");
+    assert_eq!(outcome.links, reference.links, "speculated run diverged from the healthy one");
+}

@@ -22,6 +22,14 @@
 //!   ([`snr_store::ShardedGraph`]); rayon workers score shard-aligned row
 //!   ranges.
 //!
+//! `--backend driver:<N>` swaps the in-process matcher for the
+//! multi-process shard driver (`snr-driver`): a coordinator spawns N worker
+//! subprocesses, ships them segment files, and runs every phase as one
+//! distributed round — the true distributed Table 2, with links
+//! bit-identical to the sequential run (`--store` then selects how the
+//! *workers* open the scratch segments). The worker binary must be built
+//! (`cargo build --release -p snr-driver`).
+//!
 //! The table reports bytes-per-edge of the uncompressed CSR and of the
 //! active store, plus the store's total adjacency bytes (`graph MB`), so
 //! the memory claims are measured rather than asserted.
@@ -34,6 +42,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snr_core::{MatchingConfig, MatchingOutcome, UserMatching};
+use snr_driver::{DriverConfig, DriverStore, ShardDriver};
 use snr_experiments::datasets::rmat_like;
 use snr_experiments::{ExperimentArgs, StoreMode};
 use snr_graph::{CsrGraph, GraphView, NodeId};
@@ -75,6 +84,39 @@ fn segment_dir() -> PathBuf {
 /// adjacency bytes. The copies are consumed: each branch converts and then
 /// *drops the uncompressed pair* before matching, so peak memory during the
 /// matcher is governed by the chosen representation.
+/// One run through the multi-process shard driver (`--backend driver:N`).
+/// The store mode maps onto how the *workers* open the scratch segments:
+/// `compact` → per-task range loads, `mmap` → whole-segment maps,
+/// `sharded:<K>` → K mapped shard segments. Timing covers `ShardDriver::run`
+/// only (segment writing excluded, consistent with the in-process paths);
+/// bytes are the scratch segments shipped to the workers.
+fn run_on_driver(
+    workers: usize,
+    store: StoreMode,
+    g1: CsrGraph,
+    g2: CsrGraph,
+    seeds: &[(NodeId, NodeId)],
+    config: MatchingConfig,
+) -> (MatchingOutcome, f64, f64, usize) {
+    let mut driver_config = DriverConfig::new(workers);
+    driver_config.matching = config;
+    driver_config.store = match store {
+        StoreMode::Compact => DriverStore::Compact,
+        StoreMode::Mmap => DriverStore::Mmap,
+        StoreMode::Sharded(n) => DriverStore::Sharded(n),
+    };
+    // Full-scale sweeps can hold a worker on one range for a while; the
+    // deadline only needs to catch wedged processes, not pace healthy ones.
+    driver_config.task_timeout = std::time::Duration::from_secs(600);
+    let edges = g1.edge_count() + g2.edge_count();
+    let driver = ShardDriver::new(&g1, &g2, driver_config).expect("snapshot graphs for driver");
+    drop((g1, g2));
+    let (outcome, secs) = timed(|| driver.run(seeds).expect("distributed run"));
+    let bytes = driver.segment_bytes() as usize;
+    let bpe = bytes as f64 / edges.max(1) as f64;
+    (outcome, secs, bpe, bytes)
+}
+
 fn run_on_store(
     store: StoreMode,
     g1: CsrGraph,
@@ -188,8 +230,10 @@ fn main() {
             .with_threshold(2)
             .with_iterations(1)
             .with_backend(args.backend);
-        let (outcome, secs, store_bpe, store_bytes) =
-            run_on_store(args.store, g1, g2, &seeds, config, exp);
+        let (outcome, secs, store_bpe, store_bytes) = match args.driver {
+            Some(workers) => run_on_driver(workers, args.store, g1, g2, &seeds, config),
+            None => run_on_store(args.store, g1, g2, &seeds, config, exp),
+        };
         let run = Evaluation::score_against(
             &truth,
             matchable,

@@ -11,8 +11,10 @@
 //!   binaries that honor it (`table2_scalability`): `compact` (default),
 //!   `mmap`, or `sharded:<N>`.
 //! * `--backend <mode>` — execution backend for the binaries that honor it
-//!   (`table2_scalability`): `sequential` (default), `rayon`, or
-//!   `mapreduce[:workers]` (worker count defaults to the CPU count).
+//!   (`table2_scalability`): `sequential` (default), `rayon`,
+//!   `mapreduce[:workers]` (worker count defaults to the CPU count), or
+//!   `driver[:workers]` — the multi-process shard driver from `snr-driver`
+//!   (worker count defaults to 2).
 
 use snr_core::Backend;
 use std::path::PathBuf;
@@ -28,7 +30,8 @@ fn parse_backend(s: &str) -> Result<Backend, String> {
         _ => match s.strip_prefix("mapreduce:").map(str::parse) {
             Some(Ok(workers)) if workers > 0 => Ok(Backend::MapReduce { workers }),
             _ => Err(format!(
-                "invalid --backend value {s:?} (expected sequential, rayon, or mapreduce[:N])"
+                "invalid --backend value {s:?} \
+                 (expected sequential, rayon, mapreduce[:N], or driver[:N])"
             )),
         },
     }
@@ -90,6 +93,10 @@ pub struct ExperimentArgs {
     pub store: StoreMode,
     /// Execution backend for the binaries that honor it.
     pub backend: Backend,
+    /// Worker-subprocess count when `--backend driver[:N]` selects the
+    /// multi-process shard driver (`snr-driver`) instead of an in-process
+    /// backend; `None` for the in-process backends.
+    pub driver: Option<usize>,
 }
 
 impl Default for ExperimentArgs {
@@ -100,6 +107,7 @@ impl Default for ExperimentArgs {
             json: None,
             store: StoreMode::Compact,
             backend: Backend::Sequential,
+            driver: None,
         }
     }
 }
@@ -137,10 +145,10 @@ impl ExperimentArgs {
                 }
                 "--backend" => {
                     let v = iter.next().ok_or("--backend requires a value")?;
-                    out.backend = parse_backend(v.as_ref())?;
+                    out.set_backend(v.as_ref())?;
                 }
                 arg if arg.starts_with("--backend=") => {
-                    out.backend = parse_backend(&arg["--backend=".len()..])?;
+                    out.set_backend(&arg["--backend=".len()..])?;
                 }
                 "--help" | "-h" => {
                     return Err(Self::usage().to_string());
@@ -162,14 +170,40 @@ impl ExperimentArgs {
         }
     }
 
+    /// Resolves a `--backend` value: the in-process backends go through
+    /// [`parse_backend`]; `driver[:N]` selects the multi-process shard
+    /// driver with `N` worker subprocesses (default 2).
+    fn set_backend(&mut self, s: &str) -> Result<(), String> {
+        if s == "driver" {
+            self.driver = Some(2);
+            return Ok(());
+        }
+        if let Some(rest) = s.strip_prefix("driver:") {
+            return match rest.parse() {
+                Ok(n) if n > 0 => {
+                    self.driver = Some(n);
+                    Ok(())
+                }
+                _ => Err(format!("invalid --backend value {s:?} (driver:<N> needs N > 0)")),
+            };
+        }
+        self.driver = None;
+        self.backend = parse_backend(s)?;
+        Ok(())
+    }
+
     /// Usage string shown for `--help` and on parse errors.
     pub fn usage() -> &'static str {
         "usage: <experiment> [--seed <u64>] [--full] [--json <path>] \
-         [--store compact|mmap|sharded:<N>] [--backend sequential|rayon|mapreduce[:N]]"
+         [--store compact|mmap|sharded:<N>] \
+         [--backend sequential|rayon|mapreduce[:N]|driver[:N]]"
     }
 
     /// Short label of the configured backend for table headers and records.
     pub fn backend_label(&self) -> String {
+        if let Some(workers) = self.driver {
+            return format!("driver x{workers}");
+        }
         match self.backend {
             Backend::Sequential => "sequential".to_string(),
             Backend::Rayon => "rayon".to_string(),
@@ -259,6 +293,21 @@ mod tests {
         let args = ExperimentArgs::parse(["--backend=mapreduce:3"]).unwrap();
         assert_eq!(args.backend_label(), "mapreduce x3");
         assert_eq!(ExperimentArgs::default().backend_label(), "sequential");
+    }
+
+    #[test]
+    fn parses_driver_backend_in_both_spellings() {
+        let args = ExperimentArgs::parse(["--backend", "driver:4"]).unwrap();
+        assert_eq!(args.driver, Some(4));
+        assert_eq!(args.backend_label(), "driver x4");
+        assert_eq!(ExperimentArgs::parse(["--backend=driver:3"]).unwrap().driver, Some(3));
+        assert_eq!(ExperimentArgs::parse(["--backend=driver"]).unwrap().driver, Some(2));
+        // Switching back to an in-process backend clears the driver choice.
+        let args = ExperimentArgs::parse(["--backend=driver:4", "--backend=rayon"]).unwrap();
+        assert_eq!(args.driver, None);
+        assert_eq!(args.backend, Backend::Rayon);
+        assert!(ExperimentArgs::parse(["--backend=driver:0"]).is_err());
+        assert!(ExperimentArgs::parse(["--backend=driver:x"]).is_err());
     }
 
     #[test]

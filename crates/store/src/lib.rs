@@ -45,6 +45,7 @@ pub mod sharded;
 
 pub use mmap::MmapGraph;
 pub use segment::{
-    read_segment, write_segment, write_segment_file, write_segment_range, SegmentMeta,
+    read_segment, read_segment_rows, read_segment_rows_file, write_segment, write_segment_file,
+    write_segment_range, SegmentMeta,
 };
 pub use sharded::{shard_boundaries, write_shard_segments, ShardedGraph};

@@ -9,7 +9,10 @@
 //! anecdote: the shim's `StdRng` made the original seed 1 an outlier and
 //! the test had to move to seed 8.
 //!
-//! The sweep is `#[ignore]`d (≈100 matcher runs); run it with
+//! A deterministic ten-seed slice runs in the regular suite (the fixed
+//! seed list makes it as reproducible as any other test, and it is the
+//! regression tripwire for sensitivity drift); the full sweep stays
+//! `#[ignore]`d (≈100 matcher runs) and opt-in:
 //!
 //! ```sh
 //! SEED_SWEEP_COUNT=100 cargo test --release --test seed_sensitivity -- --ignored --nocapture
@@ -74,18 +77,18 @@ fn run_pipeline(seed: u64) -> (f64, f64, f64) {
     (eval.precision(), eval.recall(), growth)
 }
 
-#[test]
-#[ignore = "sweep harness: ~100 matcher runs; see module docs"]
-fn independent_deletion_assertions_across_seeds() {
-    let runs: u64 =
-        std::env::var("SEED_SWEEP_COUNT").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
-
+/// Runs the pipeline across `seeds`, prints the per-assertion report, and
+/// enforces the sweep's floor: the assertions must hold for at least 90%
+/// of the seeds, otherwise the fixed-seed end-to-end test is load-bearing
+/// luck.
+fn sweep(seeds: impl IntoIterator<Item = u64>, label: &str) {
     let mut precision = Criterion::new("precision > 0.97", 0.97);
     let mut recall = Criterion::new("recall > 0.5", 0.5);
     let mut growth = Criterion::new("new_good > seeds", 1.0);
     let mut all_pass = 0usize;
+    let mut runs = 0usize;
 
-    for seed in 1..=runs {
+    for seed in seeds {
         let (p, r, g) = run_pipeline(seed);
         precision.observe(p, seed);
         recall.observe(r, seed);
@@ -93,12 +96,13 @@ fn independent_deletion_assertions_across_seeds() {
         if p > 0.97 && r > 0.5 && g > 1.0 {
             all_pass += 1;
         }
+        runs += 1;
     }
 
-    println!("seed sweep: independent-deletion pipeline, seeds 1..={runs}");
-    precision.report(runs as usize);
-    recall.report(runs as usize);
-    growth.report(runs as usize);
+    println!("seed sweep: independent-deletion pipeline, {label}");
+    precision.report(runs);
+    recall.report(runs);
+    growth.report(runs);
     println!(
         "  {:<28} {:>23} {:>5.1}% ({}/{})",
         "all assertions",
@@ -107,12 +111,23 @@ fn independent_deletion_assertions_across_seeds() {
         all_pass,
         runs
     );
+    assert!(all_pass * 10 >= runs * 9, "assertions hold for only {all_pass}/{runs} seeds");
+}
 
-    // The sweep's purpose is visibility, but it still enforces a floor: the
-    // assertions must hold for the overwhelming majority of seeds, otherwise
-    // the fixed-seed test is load-bearing luck.
-    assert!(
-        all_pass * 10 >= (runs as usize) * 9,
-        "assertions hold for only {all_pass}/{runs} seeds"
-    );
+/// The always-on slice: ten fixed seeds, deterministic, fast enough for
+/// the regular suite. Seed 1 is the known precision outlier (see the
+/// module docs), so the expected steady state is 9/10 — right at the
+/// sweep's 90% floor, which is the point: any *further* sensitivity
+/// regression trips this test instead of waiting for the opt-in sweep.
+#[test]
+fn independent_deletion_assertions_hold_on_a_ten_seed_slice() {
+    sweep(1..=10, "seeds 1..=10");
+}
+
+#[test]
+#[ignore = "sweep harness: ~100 matcher runs; see module docs"]
+fn independent_deletion_assertions_across_seeds() {
+    let runs: u64 =
+        std::env::var("SEED_SWEEP_COUNT").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
+    sweep(1..=runs, &format!("seeds 1..={runs}"));
 }
