@@ -9,15 +9,26 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snr_bench::Workload;
-use snr_core::scoring::{fused_phase, mapreduce_fused_phase};
+use snr_core::blocking::{lsh_fused_phase, Banding, DEFAULT_SKETCH_SEED};
+use snr_core::scoring::{fused_phase, mapreduce_fused_phase, CandidateCache};
 use snr_core::witness::{count_mapreduce, count_rayon, count_sequential};
-use snr_core::MatchingConfig;
+use snr_core::{Linking, MatchingConfig};
 use snr_driver::{DriverConfig, DriverStore, ShardDriver};
-use snr_graph::GraphView;
+use snr_graph::{GraphView, NodeId};
 use snr_mapreduce::Engine;
 use snr_store::{write_segment_file, MmapGraph, ShardedGraph};
 use std::hint::black_box;
 use std::path::PathBuf;
+
+/// The phase's degree-eligible unlinked nodes of one copy, as the matcher
+/// would assemble them for the blocked path.
+fn eligible<G: GraphView>(g: &G, links: &Linking, copy1: bool, min_degree: usize) -> Vec<u32> {
+    CandidateCache::build(g).eligible(
+        min_degree,
+        |u| if copy1 { links.is_linked_g1(NodeId(u)) } else { links.is_linked_g2(NodeId(u)) },
+        |u| g.degree(NodeId(u)),
+    )
+}
 
 /// Writes `g` as a segment under the temp dir (overwriting any previous
 /// bench run's file) and reopens it mmap-backed.
@@ -101,6 +112,46 @@ fn bench_rmat16(c: &mut Criterion) {
     group.bench_function("compact/fused", |b| {
         b.iter(|| black_box(fused_phase(&c1, &c2, &links, 2, 2, 2, true)))
     });
+    // The LSH-blocked phase (CandidateSource::Lsh): sketch both copies'
+    // eligible nodes over their witness-link sets, propose pairs via 16×2
+    // banding, verify proposals exactly. Same (min_degree 2, threshold 2)
+    // phase as the fused labels above.
+    let banding = Banding::new(16, 2);
+    let (csr_c1, csr_c2) = (eligible(g1, &links, true, 2), eligible(g2, &links, false, 2));
+    group.bench_function("csr/lsh_fused", |b| {
+        b.iter(|| {
+            black_box(lsh_fused_phase(
+                g1,
+                g2,
+                &links,
+                &csr_c1,
+                &csr_c2,
+                2,
+                2,
+                &banding,
+                DEFAULT_SKETCH_SEED,
+                true,
+            ))
+        })
+    });
+    let (cc_c1, cc_c2) = (eligible(&c1, &links, true, 2), eligible(&c2, &links, false, 2));
+    group.bench_function("compact/lsh_fused", |b| {
+        b.iter(|| {
+            black_box(lsh_fused_phase(
+                &c1,
+                &c2,
+                &links,
+                &cc_c1,
+                &cc_c2,
+                2,
+                2,
+                &banding,
+                DEFAULT_SKETCH_SEED,
+                true,
+            ))
+        })
+    });
+
     // The MapReduce backend's fused phase (combiner mappers + packed
     // row shuffle + select-fused reduce) — what one matcher phase actually
     // runs on Backend::MapReduce since the arena rebuild.

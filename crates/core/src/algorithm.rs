@@ -1,12 +1,14 @@
 //! The User-Matching algorithm (Section 3.2 of the paper).
 
 use crate::backend::Backend;
-use crate::config::MatchingConfig;
+use crate::blocking::{adaptive_lsh_phase, DEFAULT_SKETCH_SEED};
+use crate::config::{CandidateSource, MatchingConfig};
 use crate::linking::Linking;
-use crate::scoring::{fused_phase, mapreduce_fused_phase};
+use crate::scoring::{fused_phase_on, mapreduce_fused_phase_on, CandidateCache};
 use crate::stats::{MatchingOutcome, PhaseStats};
 use snr_graph::{GraphView, NodeId};
 use snr_mapreduce::{Engine, EngineStats};
+use snr_sketch::Banding;
 use std::time::Instant;
 
 /// The User-Matching reconciliation algorithm.
@@ -142,10 +144,32 @@ impl UserMatching {
             (_, provided) => provided,
         };
 
+        if matches!(cfg.candidates, CandidateSource::Lsh { .. }) {
+            assert!(
+                !matches!(cfg.backend, Backend::MapReduce { .. }),
+                "LSH candidate blocking is not supported on the MapReduce backend; \
+                 use Backend::Sequential or Backend::Rayon"
+            );
+        }
+
+        // Degrees never change during a run: read them once per side and
+        // assemble each phase's eligible set from the cached log₂-degree
+        // groups instead of rescanning all n nodes every phase. The copy-2
+        // cache only exists for LSH blocking (the exact path filters copy-2
+        // eligibility inside the LinkCache build).
+        let cand_cache1 = CandidateCache::build(g1);
+        let cand_cache2 = matches!(cfg.candidates, CandidateSource::Lsh { .. })
+            .then(|| CandidateCache::build(g2));
+
         for iteration in 1..=cfg.iterations {
             for bucket in (cfg.min_bucket..=top_bucket).rev() {
                 let phase_start = Instant::now();
                 let min_degree = 1usize << bucket;
+                let candidates = cand_cache1.eligible(
+                    min_degree,
+                    |u| links.is_linked_g1(NodeId(u)),
+                    |u| g1.degree(NodeId(u)),
+                );
 
                 let (scored_pairs, new_pairs) = match (cfg.backend, engine_ref) {
                     (Backend::MapReduce { .. }, Some(engine)) => {
@@ -154,25 +178,71 @@ impl UserMatching {
                         // shuffle is range-partitioned by row, and the
                         // reduce folds rows into per-partition SelectSinks —
                         // no global score table, same bits as fused_phase.
-                        mapreduce_fused_phase(
+                        mapreduce_fused_phase_on(
                             engine,
                             g1,
                             g2,
                             &links,
-                            min_degree,
+                            candidates,
                             min_degree,
                             cfg.threshold,
                         )
                     }
                     _ => {
-                        // Arena fast path: witness scoring and mutual-best
-                        // selection fused into one pass over per-candidate
-                        // rows — no score table is materialized. Selection
-                        // follows the same backend as scoring, so
-                        // Backend::Rayon is parallel through the whole
-                        // phase.
                         let parallel = matches!(cfg.backend, Backend::Rayon);
-                        fused_phase(g1, g2, &links, min_degree, min_degree, cfg.threshold, parallel)
+                        match cfg.candidates {
+                            // Arena fast path: witness scoring and mutual-
+                            // best selection fused into one pass over per-
+                            // candidate rows — no score table is
+                            // materialized. Selection follows the same
+                            // backend as scoring, so Backend::Rayon is
+                            // parallel through the whole phase.
+                            CandidateSource::Exact => fused_phase_on(
+                                g1,
+                                g2,
+                                &links,
+                                &candidates,
+                                min_degree,
+                                cfg.threshold,
+                                parallel,
+                            ),
+                            // Blocked path: MinHash/LSH proposes candidate
+                            // pairs, which are then scored exactly. The
+                            // sketch seed mixes in the phase coordinates so
+                            // each phase re-draws its hash family. Phases
+                            // whose exact scan is light fall back to it
+                            // (lossless and faster there); only mass-heavy
+                            // phases pay the sketch — see the adaptive gate
+                            // in `crate::blocking`.
+                            CandidateSource::Lsh { bands, rows } => {
+                                let candidates2 = || {
+                                    cand_cache2
+                                        .as_ref()
+                                        .expect("copy-2 cache is built for LSH runs")
+                                        .eligible(
+                                            min_degree,
+                                            |v| links.is_linked_g2(NodeId(v)),
+                                            |v| g2.degree(NodeId(v)),
+                                        )
+                                };
+                                let seed = DEFAULT_SKETCH_SEED
+                                    ^ (u64::from(iteration) << 32)
+                                    ^ u64::from(bucket);
+                                adaptive_lsh_phase(
+                                    g1,
+                                    g2,
+                                    &links,
+                                    &candidates,
+                                    candidates2,
+                                    min_degree,
+                                    cfg.threshold,
+                                    &Banding::new(bands, rows),
+                                    seed,
+                                    cfg.lsh_mass_floor,
+                                    parallel,
+                                )
+                            }
+                        }
                     }
                 };
 

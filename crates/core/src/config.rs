@@ -1,7 +1,34 @@
 //! Algorithm configuration.
 
 use crate::backend::Backend;
+use crate::blocking::DEFAULT_LSH_MASS_FLOOR;
 use serde::{Deserialize, Serialize};
+
+/// How each phase generates the candidate `(u, v)` pairs it scores.
+///
+/// The exact source considers every degree-eligible pair that shares at
+/// least one witness — complete, but its cost is the full witness-
+/// contribution sum and at R-MAT-20+ candidate *generation* becomes the
+/// wall. LSH blocking sketches both sides' witness-link sets as MinHash
+/// signatures and only scores pairs that collide in at least one of `bands`
+/// bands of `rows` rows; the surviving pairs are re-scored *exactly*, so
+/// blocking trades bounded recall for a much smaller scored set without
+/// ever corrupting the scores of pairs it keeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateSource {
+    /// Every degree-eligible pair with at least one shared witness.
+    #[default]
+    Exact,
+    /// MinHash/LSH candidate blocking with `bands` bands of `rows` rows
+    /// (signature length `k = bands · rows`). Only supported by the
+    /// in-process sequential and rayon backends.
+    Lsh {
+        /// Number of LSH bands `b`. More bands raise recall.
+        bands: usize,
+        /// Rows per band `r`. More rows sharpen the filter.
+        rows: usize,
+    },
+}
 
 /// Configuration of the [`crate::UserMatching`] algorithm.
 ///
@@ -28,6 +55,17 @@ pub struct MatchingConfig {
     pub min_bucket: u32,
     /// Execution backend.
     pub backend: Backend,
+    /// Candidate-pair source: exact enumeration or MinHash/LSH blocking.
+    pub candidates: CandidateSource,
+    /// Adaptive gate for [`CandidateSource::Lsh`]: a phase is blocked only
+    /// if its estimated exact scored-pair count (bump-mass bound, then a
+    /// sampled estimate — see [`crate::blocking::estimate_scored_pairs`])
+    /// reaches this floor *and* the per-candidate count is high enough that
+    /// sketching pays for itself. Cheap tail phases fall back to exact
+    /// scoring, which is both faster and lossless there. `0` disables the
+    /// gate: every phase is blocked (pure LSH — what the recall sweeps
+    /// measure).
+    pub lsh_mass_floor: u64,
 }
 
 impl Default for MatchingConfig {
@@ -38,6 +76,8 @@ impl Default for MatchingConfig {
             degree_bucketing: true,
             min_bucket: 1,
             backend: Backend::Sequential,
+            candidates: CandidateSource::Exact,
+            lsh_mass_floor: DEFAULT_LSH_MASS_FLOOR,
         }
     }
 }
@@ -72,6 +112,18 @@ impl MatchingConfig {
         self.backend = backend;
         self
     }
+
+    /// Sets the candidate-pair source.
+    pub fn with_candidates(mut self, candidates: CandidateSource) -> Self {
+        self.candidates = candidates;
+        self
+    }
+
+    /// Sets the adaptive-blocking mass floor (`0` = block every phase).
+    pub fn with_lsh_mass_floor(mut self, floor: u64) -> Self {
+        self.lsh_mass_floor = floor;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +138,8 @@ mod tests {
         assert!(c.degree_bucketing);
         assert_eq!(c.min_bucket, 1);
         assert_eq!(c.backend, Backend::Sequential);
+        assert_eq!(c.candidates, CandidateSource::Exact);
+        assert_eq!(c.lsh_mass_floor, DEFAULT_LSH_MASS_FLOOR);
     }
 
     #[test]
@@ -95,12 +149,25 @@ mod tests {
             .with_iterations(3)
             .with_degree_bucketing(false)
             .with_min_bucket(4)
-            .with_backend(Backend::Rayon);
+            .with_backend(Backend::Rayon)
+            .with_candidates(CandidateSource::Lsh { bands: 8, rows: 2 })
+            .with_lsh_mass_floor(0);
         assert_eq!(c.threshold, 5);
         assert_eq!(c.iterations, 3);
         assert!(!c.degree_bucketing);
         assert_eq!(c.min_bucket, 4);
         assert_eq!(c.backend, Backend::Rayon);
+        assert_eq!(c.candidates, CandidateSource::Lsh { bands: 8, rows: 2 });
+        assert_eq!(c.lsh_mass_floor, 0);
+    }
+
+    #[test]
+    fn candidate_source_serde_roundtrip() {
+        for c in [CandidateSource::Exact, CandidateSource::Lsh { bands: 16, rows: 3 }] {
+            let json = serde_json::to_string(&c).unwrap();
+            let c2: CandidateSource = serde_json::from_str(&json).unwrap();
+            assert_eq!(c, c2);
+        }
     }
 
     #[test]

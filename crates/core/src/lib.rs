@@ -70,6 +70,7 @@
 pub mod algorithm;
 pub mod backend;
 pub mod baseline;
+pub mod blocking;
 pub mod config;
 pub mod linking;
 pub mod matching;
@@ -81,6 +82,6 @@ pub mod witness;
 pub use algorithm::UserMatching;
 pub use backend::Backend;
 pub use baseline::BaselineMatching;
-pub use config::MatchingConfig;
+pub use config::{CandidateSource, MatchingConfig};
 pub use linking::Linking;
 pub use stats::{MatchingOutcome, PhaseStats};

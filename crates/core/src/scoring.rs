@@ -178,6 +178,17 @@ impl LinkCache {
         Some(&self.targets[lo..hi])
     }
 
+    /// The link index of `w1` (its position in [`Linking::pairs`] order), or
+    /// `None` if `w1` is not linked. Unlike [`LinkCache::eligible_of`] this
+    /// ignores the eligibility filter — every link has an index even when
+    /// its cached target list is empty. The blocking layer uses it to turn
+    /// a copy-1 neighborhood into its witness-link set.
+    #[inline]
+    pub fn link_slot(&self, w1: NodeId) -> Option<u32> {
+        let k = *self.slot.get(w1.index())?;
+        (k != NO_LINK).then_some(k)
+    }
+
     /// Total number of cached eligible neighbors across all links.
     pub fn cached_targets(&self) -> usize {
         self.targets.len()
@@ -239,6 +250,14 @@ impl ScoreArena {
     #[inline]
     pub fn get(&self, v: u32) -> u32 {
         self.scores[v as usize]
+    }
+
+    /// The current row's score for `v`, or `None` if `v` was not touched
+    /// this row. Only valid after at least one [`ScoreArena::begin_row`].
+    #[inline]
+    pub fn current(&self, v: u32) -> Option<u32> {
+        let i = v as usize;
+        (self.stamp[i] == self.epoch).then(|| self.scores[i])
     }
 }
 
@@ -345,7 +364,7 @@ impl SelectSink {
     /// must pass every non-zero entry of row `u` exactly once (in any
     /// order — the row best and per-`v` bests are order-independent) and
     /// must not pass an empty row.
-    fn row_entries(&mut self, u: u32, mut entries: impl Iterator<Item = (u32, u32)>) {
+    pub(crate) fn row_entries(&mut self, u: u32, mut entries: impl Iterator<Item = (u32, u32)>) {
         let (v0, s0) = entries.next().expect("drivers only emit non-empty rows");
         let mut best = Best { partner: v0, score: s0, unique: true };
         self.best_v[v0 as usize].consider(u, s0);
@@ -609,6 +628,77 @@ pub(crate) fn collect_candidates<G1: GraphView>(
         .collect()
 }
 
+/// Per-run cache of one graph side's degree structure, replacing the
+/// per-phase full rescan of [`collect_candidates`].
+///
+/// Every phase of every iteration used to read the degree of *all* `n`
+/// nodes again — `O(k · log D · n)` degree lookups, each a potential page
+/// fault on an mmap-backed view. Degrees never change during a run, so this
+/// cache reads them exactly once, grouping node ids by `⌊log₂ degree⌋`
+/// (each group kept in ascending id order). A phase's eligible set is then
+/// assembled from whole groups — only the split group of a non-power-of-two
+/// `min_degree` ever re-reads a degree — filtered by the current link state.
+///
+/// [`CandidateCache::eligible`] returns exactly what [`collect_candidates`]
+/// would (pinned by the equivalence tests), so cached and uncached phases
+/// produce bit-identical links.
+pub struct CandidateCache {
+    /// `groups[j]` holds the node ids with `⌊log₂ degree⌋ == j`, ascending.
+    groups: Vec<Vec<u32>>,
+}
+
+impl CandidateCache {
+    /// Reads every node's degree once and groups ids by `⌊log₂ degree⌋`
+    /// (degree-0 nodes are dropped — no `min_degree ≥ 1` can admit them).
+    pub fn build<G: GraphView>(g: &G) -> CandidateCache {
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        for u in 0..g.node_count() as u32 {
+            let d = g.degree(NodeId(u));
+            if d == 0 {
+                continue;
+            }
+            let j = (usize::BITS - 1 - d.leading_zeros()) as usize;
+            if groups.len() <= j {
+                groups.resize_with(j + 1, Vec::new);
+            }
+            groups[j].push(u);
+        }
+        CandidateCache { groups }
+    }
+
+    /// The ids with degree at least `min_degree` (≥ 1) for which
+    /// `is_linked` is false, ascending — exactly
+    /// [`collect_candidates`]' output for the matching side.
+    ///
+    /// Group `j` covers degrees `[2^j, 2^{j+1})`, so groups above
+    /// `⌊log₂ min_degree⌋` qualify wholesale; only that boundary group needs
+    /// a per-id degree check, and only when `min_degree` is not a power of
+    /// two (the algorithm's buckets always are, so the check usually
+    /// vanishes). `degree_of` is consulted for just that split group.
+    pub fn eligible<L, D>(&self, min_degree: usize, is_linked: L, degree_of: D) -> Vec<u32>
+    where
+        L: Fn(u32) -> bool,
+        D: Fn(u32) -> usize,
+    {
+        let min_degree = min_degree.max(1);
+        let boundary = (usize::BITS - 1 - min_degree.leading_zeros()) as usize;
+        let split = !min_degree.is_power_of_two();
+        let mut out = Vec::new();
+        for (j, group) in self.groups.iter().enumerate().skip(boundary) {
+            for &u in group {
+                if j == boundary && split && degree_of(u) < min_degree {
+                    continue;
+                }
+                if !is_linked(u) {
+                    out.push(u);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
 /// Splits the sorted candidate list into per-worker chunks, aligning chunk
 /// boundaries with `g1`'s storage partitions when it has any (a sharded
 /// view: each worker then streams candidate rows from one shard instead of
@@ -722,6 +812,54 @@ pub fn score_assigned_rows<G1, S>(
     }
 }
 
+/// Scores an explicit candidate-pair list through the exact arena path —
+/// the verification kernel of LSH candidate blocking.
+///
+/// `pairs` must be sorted by `(u, v)` and duplicate-free (what
+/// `snr_sketch::propose_pairs` emits). For each distinct `u` the full row
+/// is accumulated into `arena` through the same [`LinkCache`] walk as
+/// [`score_assigned_rows`] — so every score handed on is *exact* — but only
+/// the proposed `(u, v)` entries with a non-zero score reach the sink. The
+/// sink therefore selects mutual bests over the blocked candidate set, and
+/// its `scored_pairs` statistic counts proposed non-zero pairs: the number
+/// blocking actually sent to selection, the quantity the recall/speed
+/// sweeps compare against the exact path's scored-pair count.
+pub fn score_pair_list<G1: GraphView>(
+    g1: &G1,
+    cache: &LinkCache,
+    pairs: &[(u32, u32)],
+    arena: &mut ScoreArena,
+    sink: &mut SelectSink,
+) {
+    let mut entries: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let u = pairs[i].0;
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == u {
+            j += 1;
+        }
+        arena.begin_row();
+        for w1 in g1.neighbors_iter(NodeId(u)) {
+            if let Some(vs) = cache.eligible_of(w1) {
+                for &v in vs {
+                    arena.bump(v);
+                }
+            }
+        }
+        entries.clear();
+        for &(_, v) in &pairs[i..j] {
+            if let Some(score) = arena.current(v) {
+                entries.push((v, score));
+            }
+        }
+        if !entries.is_empty() {
+            sink.row_entries(u, entries.iter().copied());
+        }
+        i = j;
+    }
+}
+
 /// Runs one phase of arena scoring and returns the merged sink.
 ///
 /// `parallel = false` scores every row on the calling thread; `parallel =
@@ -744,19 +882,59 @@ where
     S: ScoreSink,
     F: Fn() -> S + Sync,
 {
+    let candidates = collect_candidates(g1, links, min_deg1);
+    score_phase_on(g1, g2, links, &candidates, min_deg2, parallel, make_sink)
+}
+
+/// [`score_phase`] over a caller-supplied candidate list (ascending copy-1
+/// ids, already degree-eligible and unlinked) — the entry point
+/// `UserMatching` uses with its per-run [`CandidateCache`], skipping the
+/// per-phase full degree rescan.
+pub fn score_phase_on<G1, G2, S, F>(
+    g1: &G1,
+    g2: &G2,
+    links: &Linking,
+    candidates: &[u32],
+    min_deg2: usize,
+    parallel: bool,
+    make_sink: F,
+) -> S
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+    S: ScoreSink,
+    F: Fn() -> S + Sync,
+{
     let cache = if parallel {
         LinkCache::build_parallel(g2, links, min_deg2)
     } else {
         LinkCache::build(g2, links, min_deg2)
     };
-    let candidates = collect_candidates(g1, links, min_deg1);
-    let n2 = g2.node_count();
+    score_phase_cached(g1, &cache, g2.node_count(), candidates, parallel, make_sink)
+}
 
+/// [`score_phase_on`] over a caller-supplied [`LinkCache`] (and `n2`, the
+/// copy-2 node count the cache was built against) — lets a caller that
+/// needs the cache for its own bookkeeping (the adaptive blocking gate)
+/// build it once and still run the exact phase on it.
+pub fn score_phase_cached<G1, S, F>(
+    g1: &G1,
+    cache: &LinkCache,
+    n2: usize,
+    candidates: &[u32],
+    parallel: bool,
+    make_sink: F,
+) -> S
+where
+    G1: GraphView + Sync,
+    S: ScoreSink,
+    F: Fn() -> S + Sync,
+{
     if !parallel || candidates.len() < PARALLEL_CUTOFF {
         let mut arena = ScoreArena::new(n2);
         let mut sink = make_sink();
-        for &u in &candidates {
-            score_row(g1, &cache, u, &mut arena, &mut sink);
+        for &u in candidates {
+            score_row(g1, cache, u, &mut arena, &mut sink);
         }
         sink
     } else {
@@ -769,14 +947,14 @@ where
         // order is fixed left-to-right (the sinks are order-independent
         // regardless).
         let workers = rayon::current_num_threads().max(1);
-        let chunks = chunk_candidates(g1, &candidates, workers);
+        let chunks = chunk_candidates(g1, candidates, workers);
         let sinks: Vec<S> = chunks
             .par_iter()
             .map(|chunk| {
                 let mut arena = ScoreArena::new(n2);
                 let mut sink = make_sink();
                 for &u in *chunk {
-                    score_row(g1, &cache, u, &mut arena, &mut sink);
+                    score_row(g1, cache, u, &mut arena, &mut sink);
                 }
                 sink
             })
@@ -813,6 +991,44 @@ where
 {
     let n2 = g2.node_count();
     score_phase(g1, g2, links, min_deg1, min_deg2, parallel, || SelectSink::new(n2, threshold))
+        .finish()
+}
+
+/// [`fused_phase`] over a caller-supplied candidate list (see
+/// [`score_phase_on`]): same bits, no per-phase candidate rescan.
+pub fn fused_phase_on<G1, G2>(
+    g1: &G1,
+    g2: &G2,
+    links: &Linking,
+    candidates: &[u32],
+    min_deg2: usize,
+    threshold: u32,
+    parallel: bool,
+) -> (usize, Vec<(NodeId, NodeId)>)
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+{
+    let n2 = g2.node_count();
+    score_phase_on(g1, g2, links, candidates, min_deg2, parallel, || SelectSink::new(n2, threshold))
+        .finish()
+}
+
+/// [`fused_phase_on`] over a caller-supplied [`LinkCache`] (see
+/// [`score_phase_cached`]): the exact fallback arm of the adaptive blocking
+/// gate, which has already built the cache to estimate the phase's cost.
+pub fn fused_phase_cached<G1>(
+    g1: &G1,
+    cache: &LinkCache,
+    n2: usize,
+    candidates: &[u32],
+    threshold: u32,
+    parallel: bool,
+) -> (usize, Vec<(NodeId, NodeId)>)
+where
+    G1: GraphView + Sync,
+{
+    score_phase_cached(g1, cache, n2, candidates, parallel, || SelectSink::new(n2, threshold))
         .finish()
 }
 
@@ -965,6 +1181,25 @@ where
     G2: GraphView + Sync,
 {
     let candidates = collect_candidates(g1, links, min_deg1);
+    mapreduce_fused_phase_on(engine, g1, g2, links, candidates, min_deg2, threshold)
+}
+
+/// [`mapreduce_fused_phase`] over a caller-supplied candidate list (see
+/// [`score_phase_on`]): the candidate rows become the round's map input
+/// directly instead of being rescanned from `g1`.
+pub fn mapreduce_fused_phase_on<G1, G2>(
+    engine: &Engine,
+    g1: &G1,
+    g2: &G2,
+    links: &Linking,
+    candidates: Vec<u32>,
+    min_deg2: usize,
+    threshold: u32,
+) -> (usize, Vec<(NodeId, NodeId)>)
+where
+    G1: GraphView + Sync,
+    G2: GraphView + Sync,
+{
     run_select_round(
         engine,
         "witness-score",
@@ -1511,5 +1746,93 @@ mod tests {
         let mut ok = SelectSink::new(n2, 2);
         ok.absorb_claims(&claims).unwrap();
         assert_eq!(ok.finish(), fused_phase(&g1, &g2, &links, 2, 2, 2, false));
+    }
+
+    #[test]
+    fn candidate_cache_matches_collect_candidates() {
+        let (g1, _g2, links) = pa_workload(71, 600, 5);
+        let cache = CandidateCache::build(&g1);
+        // Power-of-two bucket sizes (the algorithm's phases) and odd
+        // min_degrees that force the boundary-group degree re-check.
+        for d in [1usize, 2, 3, 4, 5, 7, 8, 13, 64, 1_000] {
+            let expected = collect_candidates(&g1, &links, d);
+            let got =
+                cache.eligible(d, |u| links.is_linked_g1(NodeId(u)), |u| g1.degree(NodeId(u)));
+            assert_eq!(got, expected, "min_degree={d}");
+        }
+        // An empty linking and a min_degree of 0 (clamped to 1) also agree.
+        let no_links = Linking::new(g1.node_count(), g1.node_count());
+        assert_eq!(
+            cache.eligible(0, |u| no_links.is_linked_g1(NodeId(u)), |u| g1.degree(NodeId(u))),
+            collect_candidates(&g1, &no_links, 1)
+        );
+    }
+
+    #[test]
+    fn phase_on_cached_candidates_is_bit_identical() {
+        let (g1, g2, links) = pa_workload(73, 500, 6);
+        let cache = CandidateCache::build(&g1);
+        let engine = snr_mapreduce::Engine::new(2).with_chunk_size(32);
+        for (d, t) in [(1usize, 1u32), (2, 2), (4, 3)] {
+            let candidates =
+                cache.eligible(d, |u| links.is_linked_g1(NodeId(u)), |u| g1.degree(NodeId(u)));
+            let expected = fused_phase(&g1, &g2, &links, d, d, t, false);
+            for parallel in [false, true] {
+                assert_eq!(
+                    fused_phase_on(&g1, &g2, &links, &candidates, d, t, parallel),
+                    expected,
+                    "d={d} t={t} parallel={parallel}"
+                );
+            }
+            assert_eq!(
+                mapreduce_fused_phase_on(&engine, &g1, &g2, &links, candidates, d, t),
+                expected,
+                "mapreduce d={d} t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_list_over_all_nonzero_pairs_matches_fused_phase() {
+        let (g1, g2, links) = pa_workload(79, 400, 6);
+        let n2 = g2.node_count();
+        for (d, t) in [(1usize, 1u32), (2, 2), (4, 3)] {
+            let table = count_sequential(&g1, &g2, &links, d, d);
+            let mut all_pairs: Vec<(u32, u32)> = table.keys().copied().collect();
+            all_pairs.sort_unstable();
+            let cache = LinkCache::build(&g2, &links, d);
+            let mut arena = ScoreArena::new(n2);
+            let mut sink = SelectSink::new(n2, t);
+            score_pair_list(&g1, &cache, &all_pairs, &mut arena, &mut sink);
+            assert_eq!(sink.finish(), fused_phase(&g1, &g2, &links, d, d, t, false), "d={d} t={t}");
+        }
+    }
+
+    #[test]
+    fn pair_list_counts_only_proposed_nonzero_pairs() {
+        let (g1, g2, links) = pa_workload(83, 400, 6);
+        let n2 = g2.node_count();
+        let table = count_sequential(&g1, &g2, &links, 2, 2);
+        let mut nonzero: Vec<(u32, u32)> = table.keys().copied().collect();
+        nonzero.sort_unstable();
+        // Half the true pairs plus some zero-score proposals: the sink must
+        // count exactly the proposed non-zero pairs and score them exactly.
+        let proposed: Vec<(u32, u32)> = nonzero
+            .iter()
+            .step_by(2)
+            .copied()
+            .chain((0..20).map(|i| (u32::MAX - 1 - i, 0)))
+            .collect();
+        let mut sorted = proposed.clone();
+        sorted.sort_unstable();
+        // Out-of-range rows would panic in neighbors_iter; keep only valid.
+        let sorted: Vec<(u32, u32)> =
+            sorted.into_iter().filter(|&(u, _)| (u as usize) < g1.node_count()).collect();
+        let cache = LinkCache::build(&g2, &links, 2);
+        let mut arena = ScoreArena::new(n2);
+        let mut sink = SelectSink::new(n2, 2);
+        score_pair_list(&g1, &cache, &sorted, &mut arena, &mut sink);
+        let (scored, _) = sink.finish();
+        assert_eq!(scored, sorted.iter().filter(|p| table.contains_key(*p)).count());
     }
 }

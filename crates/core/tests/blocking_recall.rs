@@ -1,0 +1,132 @@
+//! End-to-end LSH blocking quality: on random PA and ER reconciliation
+//! workloads, a blocked run must agree with the exact run on (almost) every
+//! link it emits, recover at least a pinned fraction of the exact run's
+//! good links, stay precise in its own right, and score far fewer candidate
+//! pairs doing it.
+//!
+//! The subset property is statistical, not structural: mutual-best
+//! selection over a *subset* of the scored pairs can emit a link the exact
+//! run suppresses (the exact run's better partner for some `v` may not have
+//! been proposed), and once one phase diverges the later phases cascade.
+//! With the high-recall banding pinned here the divergence stays marginal —
+//! the probe runs behind these floors measured ≤ 2.4% blocked-only links,
+//! ≥ 96% recall, ≤ 2.2% bad-link rate, and 3–6× fewer scored pairs at
+//! n = 2500 — so the floors below have real margin while still tripping on
+//! any sketching or banding regression.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snr_core::{Backend, CandidateSource, MatchingConfig, UserMatching};
+use snr_generators::{gnp, preferential_attachment};
+use snr_graph::NodeId;
+use snr_sampling::independent::independent_deletion_symmetric;
+use snr_sampling::{sample_seeds, RealizationPair};
+
+fn workload(use_pa: bool, n: usize, seed: u64) -> (RealizationPair, Vec<(NodeId, NodeId)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = if use_pa {
+        preferential_attachment(n, 12, &mut rng).unwrap()
+    } else {
+        gnp(n, 24.0 / n as f64, &mut rng).unwrap()
+    };
+    let pair = independent_deletion_symmetric(&g, 0.6, &mut rng).unwrap();
+    let seeds = sample_seeds(&pair, 0.10, &mut rng).unwrap();
+    (pair, seeds)
+}
+
+fn good_links(pair: &RealizationPair, links: &snr_core::Linking) -> usize {
+    links.pairs().filter(|&(u1, u2)| pair.truth.is_correct(u1, u2)).count()
+}
+
+/// Runs exact vs blocked on one workload and checks the four pinned
+/// properties: near-subset agreement with the exact run, recall at least
+/// `recall_floor` of the exact run's good links, a bounded bad-link rate,
+/// and at least a 2× reduction in scored candidate pairs.
+fn assert_blocking_quality(use_pa: bool, n: usize, threshold: u32, seed: u64, recall_floor: f64) {
+    let (pair, seeds) = workload(use_pa, n, seed);
+    let base = MatchingConfig::default().with_threshold(threshold).with_iterations(2);
+    let exact = UserMatching::new(base.clone()).run(&pair.g1, &pair.g2, &seeds);
+    // 16 bands × 2 rows: collision probability 1 − (1 − J²)¹⁶, i.e. > 99%
+    // for Jaccard ≥ 0.5 and ~78% at 0.3 — high recall at a fraction of the
+    // exact candidate volume. Mass floor 0 forces *every* phase through the
+    // sketch (these workloads are far below the adaptive floor, which would
+    // otherwise silently turn the whole run exact and void the test).
+    let blocked_cfg = base
+        .clone()
+        .with_candidates(CandidateSource::Lsh { bands: 16, rows: 2 })
+        .with_lsh_mass_floor(0);
+    let blocked = UserMatching::new(blocked_cfg.clone()).run(&pair.g1, &pair.g2, &seeds);
+    let label = if use_pa { "pa" } else { "er" };
+
+    // Near-subset: at most 3% of the blocked run's links are links the
+    // exact run did not emit.
+    let exact_links: std::collections::HashSet<(NodeId, NodeId)> = exact.links.pairs().collect();
+    let extra = blocked.links.pairs().filter(|p| !exact_links.contains(p)).count();
+    assert!(
+        (extra as f64) <= 0.03 * (blocked.links.len() as f64),
+        "{label} n={n} t={threshold} seed={seed}: {extra} of {} blocked links are not in \
+         the exact run's output",
+        blocked.links.len()
+    );
+
+    // Recall floor against the exact run's good links.
+    let exact_good = good_links(&pair, &exact.links);
+    let blocked_good = good_links(&pair, &blocked.links);
+    assert!(
+        blocked_good as f64 >= recall_floor * exact_good as f64,
+        "{label} n={n} t={threshold} seed={seed}: blocked recovered {blocked_good} of \
+         {exact_good} good links (floor {recall_floor})"
+    );
+
+    // Blocking must stay precise in absolute terms, not just relative to
+    // the exact run.
+    let blocked_bad = blocked.links.len() - blocked_good;
+    assert!(
+        (blocked_bad as f64) <= 0.03 * (blocked.links.len() as f64),
+        "{label} n={n} t={threshold} seed={seed}: {blocked_bad} bad links of {}",
+        blocked.links.len()
+    );
+
+    // The whole point: at least 2× fewer scored candidate pairs.
+    let exact_scored: usize = exact.phases.iter().map(|p| p.scored_pairs).sum();
+    let blocked_scored: usize = blocked.phases.iter().map(|p| p.scored_pairs).sum();
+    assert!(
+        blocked_scored * 2 < exact_scored,
+        "{label} n={n} t={threshold} seed={seed}: blocking scored {blocked_scored} pairs, \
+         exact {exact_scored}"
+    );
+
+    // The rayon backend produces the same blocked links as sequential.
+    let par =
+        UserMatching::new(blocked_cfg.with_backend(Backend::Rayon)).run(&pair.g1, &pair.g2, &seeds);
+    assert_eq!(par.links, blocked.links, "{label}: blocked links must be backend-independent");
+}
+
+#[test]
+fn pa_blocking_preserves_precision_and_recall() {
+    assert_blocking_quality(true, 2_500, 2, 1001, 0.95);
+    assert_blocking_quality(true, 2_500, 3, 1002, 0.95);
+}
+
+#[test]
+fn er_blocking_preserves_precision_and_recall() {
+    assert_blocking_quality(false, 2_500, 2, 2001, 0.95);
+    assert_blocking_quality(false, 2_500, 3, 2002, 0.95);
+}
+
+#[test]
+fn adaptive_mass_floor_turns_light_workloads_exact() {
+    // Every phase of this workload is far below DEFAULT_LSH_MASS_FLOOR, so
+    // with the default gate an Lsh config must take the exact path in every
+    // phase and reproduce the exact run bit for bit.
+    let (pair, seeds) = workload(true, 2_000, 3001);
+    let base = MatchingConfig::default().with_threshold(2).with_iterations(2);
+    let exact = UserMatching::new(base.clone()).run(&pair.g1, &pair.g2, &seeds);
+    let adaptive =
+        UserMatching::new(base.with_candidates(CandidateSource::Lsh { bands: 16, rows: 2 }))
+            .run(&pair.g1, &pair.g2, &seeds);
+    assert_eq!(adaptive.links, exact.links);
+    let exact_scored: usize = exact.phases.iter().map(|p| p.scored_pairs).sum();
+    let adaptive_scored: usize = adaptive.phases.iter().map(|p| p.scored_pairs).sum();
+    assert_eq!(adaptive_scored, exact_scored);
+}

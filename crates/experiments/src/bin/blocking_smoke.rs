@@ -1,0 +1,136 @@
+//! Smoke check for the MinHash/LSH candidate-blocking path.
+//!
+//! ```text
+//! cargo run --release -p snr-experiments --bin blocking_smoke [--full]
+//! ```
+//!
+//! Runs the Table 2 reconciliation workload (R-MAT, edge survival 0.5, seed
+//! probability 0.10, T = 2, k = 1) at scale 13 by default and scale 16 with
+//! `--full`, three ways: the exact sequential matcher, a *pure* blocked run
+//! (`lsh:16x2`, mass floor 0 — every phase through the sketch), and an
+//! adaptive blocked run at the default mass floor. The run fails (non-zero
+//! exit) unless:
+//!
+//! * the pure blocked run recovers at least 95% of the exact run's good
+//!   links while scoring at least 2× fewer candidate pairs — the
+//!   recall/reduction contract the sketch + banding layer pins;
+//! * its bad-link rate stays within 5% of its emitted links;
+//! * the adaptive run reproduces the exact run bit for bit: every phase of
+//!   this workload sits far below `DEFAULT_LSH_MASS_FLOOR`, so the gate
+//!   must route all of them to the exact scan.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snr_core::{CandidateSource, MatchingConfig, MatchingOutcome, UserMatching};
+use snr_experiments::datasets::rmat_like;
+use snr_experiments::ExperimentArgs;
+use snr_graph::GraphView;
+use snr_metrics::Evaluation;
+use snr_sampling::independent::independent_deletion_symmetric;
+use snr_sampling::{sample_seeds, RealizationPair};
+use std::time::Instant;
+
+const BANDS: usize = 16;
+const ROWS: usize = 2;
+const RECALL_FLOOR: f64 = 0.95;
+
+fn scored_pairs(outcome: &MatchingOutcome) -> usize {
+    outcome.phases.iter().map(|p| p.scored_pairs).sum()
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let exp: u32 = if args.full { 16 } else { 13 };
+
+    let g = rmat_like(exp, args.seed);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ exp as u64);
+    let pair = independent_deletion_symmetric(&g, 0.5, &mut rng).expect("valid probability");
+    drop(g);
+    let mut seed_rng = StdRng::seed_from_u64(args.seed ^ 0x5EED_5EED);
+    let seeds = sample_seeds(&pair, 0.10, &mut seed_rng).expect("valid link probability");
+    let matchable = pair.matchable_nodes();
+    let RealizationPair { g1, g2, truth } = pair;
+    let (c1, c2) = (g1.compact(), g2.compact());
+    println!(
+        "RMAT-{exp}: {}/{} nodes, {}/{} edges, {} seed links",
+        c1.node_count(),
+        c2.node_count(),
+        g1.edge_count(),
+        g2.edge_count(),
+        seeds.len()
+    );
+    drop((g1, g2));
+
+    let base = MatchingConfig::default().with_threshold(2).with_iterations(1);
+    let evaluate = |outcome: &MatchingOutcome| {
+        Evaluation::score_against(&truth, matchable, &outcome.links, outcome.links.seed_count())
+    };
+    let run = |cfg: MatchingConfig| {
+        let start = Instant::now();
+        let outcome = UserMatching::new(cfg).run(&c1, &c2, &seeds);
+        (outcome, start.elapsed().as_secs_f64())
+    };
+
+    let (exact, exact_secs) = run(base.clone());
+    let exact_eval = evaluate(&exact);
+    let exact_scored = scored_pairs(&exact);
+    println!(
+        "exact:    {exact_secs:.3}s, {exact_scored} scored pairs, {} good / {} bad new links",
+        exact_eval.new_good, exact_eval.new_bad
+    );
+
+    // Pure blocking: mass floor 0 pushes every phase through the sketch, so
+    // the recall/reduction numbers measure the banding itself.
+    let pure_cfg = base
+        .clone()
+        .with_candidates(CandidateSource::Lsh { bands: BANDS, rows: ROWS })
+        .with_lsh_mass_floor(0);
+    let (pure, pure_secs) = run(pure_cfg);
+    let pure_eval = evaluate(&pure);
+    let pure_scored = scored_pairs(&pure);
+    let recall = pure_eval.new_good as f64 / (exact_eval.new_good as f64).max(1.0);
+    let reduction = exact_scored as f64 / pure_scored.max(1) as f64;
+    println!(
+        "lsh:{BANDS}x{ROWS}: {pure_secs:.3}s, {pure_scored} scored pairs ({reduction:.1}x fewer), \
+         {} good / {} bad new links (recall {recall:.3})",
+        pure_eval.new_good, pure_eval.new_bad
+    );
+    assert!(
+        recall >= RECALL_FLOOR,
+        "pure lsh:{BANDS}x{ROWS} recovered {} of {} good links (recall {recall:.3}, \
+         floor {RECALL_FLOOR})",
+        pure_eval.new_good,
+        exact_eval.new_good
+    );
+    assert!(
+        pure_scored * 2 < exact_scored,
+        "pure lsh:{BANDS}x{ROWS} scored {pure_scored} pairs vs {exact_scored} exact — \
+         blocking must cut the scored set at least 2x"
+    );
+    let emitted = pure.links.len() - pure.links.seed_count();
+    assert!(
+        (pure_eval.new_bad as f64) <= 0.05 * (emitted as f64).max(1.0),
+        "pure lsh:{BANDS}x{ROWS} emitted {} bad links of {emitted}",
+        pure_eval.new_bad
+    );
+
+    // Adaptive gate: this workload sits far below the default mass floor in
+    // every phase, so the gated run must be indistinguishable from exact.
+    let adaptive_cfg = base.with_candidates(CandidateSource::Lsh { bands: BANDS, rows: ROWS });
+    let (adaptive, adaptive_secs) = run(adaptive_cfg);
+    println!("adaptive: {adaptive_secs:.3}s (default mass floor, all phases below it)");
+    assert_eq!(
+        adaptive.links, exact.links,
+        "adaptive run below the mass floor must reproduce the exact links bit for bit"
+    );
+    assert_eq!(
+        scored_pairs(&adaptive),
+        exact_scored,
+        "adaptive run below the mass floor must score exactly the exact run's pairs"
+    );
+
+    println!(
+        "OK: recall {recall:.3} (>= {RECALL_FLOOR} required), {reduction:.1}x fewer scored \
+         pairs (>= 2x required), adaptive gate fell back to exact bit-identically"
+    );
+}

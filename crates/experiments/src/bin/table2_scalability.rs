@@ -30,6 +30,13 @@
 //! *workers* open the scratch segments). The worker binary must be built
 //! (`cargo build --release -p snr-driver`).
 //!
+//! `--blocking lsh:<B>x<R>` switches candidate generation from the exact
+//! all-eligible-pairs scan to MinHash/LSH blocking (`snr-sketch`): each
+//! phase sketches both copies' eligible nodes over their witness-link sets
+//! and only the banding's proposals are scored exactly. Requires an
+//! in-process row-scoring backend (`sequential` or `rayon`). The JSON
+//! record's `scored_pairs` column is where the reduction shows up.
+//!
 //! The table reports bytes-per-edge of the uncompressed CSR and of the
 //! active store, plus the store's total adjacency bytes (`graph MB`), so
 //! the memory claims are measured rather than asserted.
@@ -171,6 +178,15 @@ fn run_on_store(
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    if args.blocking != snr_core::CandidateSource::Exact
+        && (args.driver.is_some() || matches!(args.backend, snr_core::Backend::MapReduce { .. }))
+    {
+        eprintln!(
+            "--blocking=lsh needs an in-process row-scoring backend; \
+             use --backend sequential or --backend rayon"
+        );
+        std::process::exit(2);
+    }
     // Paper exponents: 24, 26, 28 (each step quadruples the node count).
     // Demo: 12/14/16 keeps the paper's 4x-per-step growth while staying
     // laptop-sized; full: 18/20/22 on the compact representation.
@@ -188,7 +204,8 @@ fn main() {
 
     println!("Table 2 — relative running time on R-MAT graphs (s = 0.5, seed prob = 0.10, T = 2, k = 1)\n");
     println!("Matcher representation: {}", args.store.label());
-    println!("Matcher backend: {}\n", args.backend_label());
+    println!("Matcher backend: {}", args.backend_label());
+    println!("Candidate blocking: {}\n", args.blocking_label());
 
     let mut table = TextTable::new([
         "graph",
@@ -205,6 +222,7 @@ fn main() {
         .parameter("exponents", format!("{exponents:?}"))
         .parameter("representation", args.store.label())
         .parameter("backend", args.backend_label())
+        .parameter("blocking", args.blocking_label())
         .parameter("seed", args.seed.to_string());
 
     let mut first_time: Option<f64> = None;
@@ -229,7 +247,8 @@ fn main() {
         let config = MatchingConfig::default()
             .with_threshold(2)
             .with_iterations(1)
-            .with_backend(args.backend);
+            .with_backend(args.backend)
+            .with_candidates(args.blocking);
         let (outcome, secs, store_bpe, store_bytes) = match args.driver {
             Some(workers) => run_on_driver(workers, args.store, g1, g2, &seeds, config),
             None => run_on_store(args.store, g1, g2, &seeds, config, exp),
@@ -271,7 +290,11 @@ fn main() {
             .value("store_bytes_per_edge", store_bpe)
             .value("memory_bytes", store_bytes as f64)
             .value("new_good", run.new_good as f64)
-            .value("new_bad", run.new_bad as f64);
+            .value("new_bad", run.new_bad as f64)
+            .value(
+                "scored_pairs",
+                outcome.phases.iter().map(|p| p.scored_pairs).sum::<usize>() as f64,
+            );
         if let Some(&r) = paper_relative.get(i) {
             row = row.paper_value("relative", r);
         }

@@ -15,8 +15,12 @@
 //!   `mapreduce[:workers]` (worker count defaults to the CPU count), or
 //!   `driver[:workers]` — the multi-process shard driver from `snr-driver`
 //!   (worker count defaults to 2).
+//! * `--blocking <mode>` — candidate generation for the binaries that honor
+//!   it (`table2_scalability`): `exact` (default, every degree-eligible
+//!   pair) or `lsh:<bands>x<rows>` — MinHash/LSH candidate blocking from
+//!   `snr-sketch`.
 
-use snr_core::Backend;
+use snr_core::{Backend, CandidateSource};
 use std::path::PathBuf;
 use std::str::FromStr;
 
@@ -34,6 +38,21 @@ fn parse_backend(s: &str) -> Result<Backend, String> {
                  (expected sequential, rayon, mapreduce[:N], or driver[:N])"
             )),
         },
+    }
+}
+
+/// Parses a `--blocking` value: `exact` or `lsh:<bands>x<rows>`.
+fn parse_blocking(s: &str) -> Result<CandidateSource, String> {
+    if s == "exact" {
+        return Ok(CandidateSource::Exact);
+    }
+    let parsed = s.strip_prefix("lsh:").and_then(|spec| {
+        let (b, r) = spec.split_once('x')?;
+        Some((b.parse::<usize>().ok()?, r.parse::<usize>().ok()?))
+    });
+    match parsed {
+        Some((bands, rows)) if bands > 0 && rows > 0 => Ok(CandidateSource::Lsh { bands, rows }),
+        _ => Err(format!("invalid --blocking value {s:?} (expected exact or lsh:<bands>x<rows>)")),
     }
 }
 
@@ -97,6 +116,8 @@ pub struct ExperimentArgs {
     /// multi-process shard driver (`snr-driver`) instead of an in-process
     /// backend; `None` for the in-process backends.
     pub driver: Option<usize>,
+    /// Candidate generation for the binaries that honor it.
+    pub blocking: CandidateSource,
 }
 
 impl Default for ExperimentArgs {
@@ -108,6 +129,7 @@ impl Default for ExperimentArgs {
             store: StoreMode::Compact,
             backend: Backend::Sequential,
             driver: None,
+            blocking: CandidateSource::Exact,
         }
     }
 }
@@ -149,6 +171,13 @@ impl ExperimentArgs {
                 }
                 arg if arg.starts_with("--backend=") => {
                     out.set_backend(&arg["--backend=".len()..])?;
+                }
+                "--blocking" => {
+                    let v = iter.next().ok_or("--blocking requires a value")?;
+                    out.blocking = parse_blocking(v.as_ref())?;
+                }
+                arg if arg.starts_with("--blocking=") => {
+                    out.blocking = parse_blocking(&arg["--blocking=".len()..])?;
                 }
                 "--help" | "-h" => {
                     return Err(Self::usage().to_string());
@@ -196,7 +225,8 @@ impl ExperimentArgs {
     pub fn usage() -> &'static str {
         "usage: <experiment> [--seed <u64>] [--full] [--json <path>] \
          [--store compact|mmap|sharded:<N>] \
-         [--backend sequential|rayon|mapreduce[:N]|driver[:N]]"
+         [--backend sequential|rayon|mapreduce[:N]|driver[:N]] \
+         [--blocking exact|lsh:<B>x<R>]"
     }
 
     /// Short label of the configured backend for table headers and records.
@@ -208,6 +238,15 @@ impl ExperimentArgs {
             Backend::Sequential => "sequential".to_string(),
             Backend::Rayon => "rayon".to_string(),
             Backend::MapReduce { workers } => format!("mapreduce x{workers}"),
+        }
+    }
+
+    /// Short label of the configured candidate source for table headers and
+    /// experiment records.
+    pub fn blocking_label(&self) -> String {
+        match self.blocking {
+            CandidateSource::Exact => "exact".to_string(),
+            CandidateSource::Lsh { bands, rows } => format!("lsh:{bands}x{rows}"),
         }
     }
 
@@ -308,6 +347,29 @@ mod tests {
         assert_eq!(args.backend, Backend::Rayon);
         assert!(ExperimentArgs::parse(["--backend=driver:0"]).is_err());
         assert!(ExperimentArgs::parse(["--backend=driver:x"]).is_err());
+    }
+
+    #[test]
+    fn parses_blocking_modes_in_both_spellings() {
+        assert_eq!(ExperimentArgs::default().blocking, CandidateSource::Exact);
+        assert_eq!(
+            ExperimentArgs::parse(["--blocking", "exact"]).unwrap().blocking,
+            CandidateSource::Exact
+        );
+        let args = ExperimentArgs::parse(["--blocking=lsh:16x2"]).unwrap();
+        assert_eq!(args.blocking, CandidateSource::Lsh { bands: 16, rows: 2 });
+        assert_eq!(args.blocking_label(), "lsh:16x2");
+        assert_eq!(
+            ExperimentArgs::parse(["--blocking", "lsh:8x4"]).unwrap().blocking,
+            CandidateSource::Lsh { bands: 8, rows: 4 }
+        );
+        assert_eq!(ExperimentArgs::default().blocking_label(), "exact");
+        assert!(ExperimentArgs::parse(["--blocking"]).is_err());
+        assert!(ExperimentArgs::parse(["--blocking", "fuzzy"]).is_err());
+        assert!(ExperimentArgs::parse(["--blocking=lsh:0x2"]).is_err());
+        assert!(ExperimentArgs::parse(["--blocking=lsh:16x0"]).is_err());
+        assert!(ExperimentArgs::parse(["--blocking=lsh:16"]).is_err());
+        assert!(ExperimentArgs::parse(["--blocking=lsh:ax2"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! MinHash signatures over `u64` item sets.
+//!
+//! A [`MinHasher`] holds `k` hash functions
+//! `h_i(x) = (mix64(x) ^ seed_i) · φ` (seeds drawn from one SplitMix64
+//! stream, `φ` the odd golden-ratio constant). Each `h_i` is a bijection on
+//! `u64` — a permutation of the item universe, which is what MinHash
+//! requires — and the expensive avalanche of `x` is computed once per item
+//! instead of once per hash function, leaving two cheap ops on the `k`-wide
+//! inner loop. The signature of a set `S` is `sig[i] = min_{x ∈ S} h_i(x)`
+//! — for two sets, `P[sig_A[i] == sig_B[i]]` equals their Jaccard
+//! similarity, so the fraction of agreeing components estimates Jaccard
+//! with standard error `√(J(1−J)/k)`.
+
+use rand::hash::{mix64, SplitMix64};
+use rand::RngCore;
+use rayon::prelude::*;
+
+/// Item count per worker chunk when building signatures in parallel.
+const PARALLEL_CHUNK_MIN: usize = 256;
+
+/// A family of `k` MinHash functions derived deterministically from a seed.
+#[derive(Clone, Debug)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+impl MinHasher {
+    /// A hasher with `k` hash functions derived from `seed`. `k` must be at
+    /// least 1.
+    pub fn new(k: usize, seed: u64) -> MinHasher {
+        assert!(k >= 1, "MinHasher needs at least one hash function");
+        let mut stream = SplitMix64::new(seed);
+        MinHasher { seeds: (0..k).map(|_| stream.next_u64()).collect() }
+    }
+
+    /// Number of hash functions (the signature length).
+    pub fn k(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Writes the signature of `items` into `out` (length exactly
+    /// [`MinHasher::k`]). Returns `false` — leaving `out` untouched — if
+    /// the item stream is empty: the MinHash of the empty set is undefined,
+    /// and callers must skip such nodes rather than sketch them.
+    pub fn signature_into(&self, items: impl IntoIterator<Item = u64>, out: &mut [u64]) -> bool {
+        assert_eq!(out.len(), self.k(), "signature buffer length must equal k");
+        const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut iter = items.into_iter();
+        let Some(first) = iter.next() else {
+            return false;
+        };
+        let m = mix64(first);
+        for (slot, &seed) in out.iter_mut().zip(&self.seeds) {
+            *slot = (m ^ seed).wrapping_mul(PHI);
+        }
+        for item in iter {
+            let m = mix64(item);
+            for (slot, &seed) in out.iter_mut().zip(&self.seeds) {
+                let h = (m ^ seed).wrapping_mul(PHI);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        true
+    }
+
+    /// The signature of `items`, or `None` for an empty stream.
+    pub fn signature(&self, items: impl IntoIterator<Item = u64>) -> Option<Vec<u64>> {
+        let mut out = vec![0u64; self.k()];
+        self.signature_into(items, &mut out).then_some(out)
+    }
+}
+
+/// Estimates the Jaccard similarity of the two sets behind `a` and `b`:
+/// the fraction of agreeing signature components. Both signatures must come
+/// from the same [`MinHasher`] and have equal length.
+pub fn estimate_jaccard(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "signatures must have equal length");
+    assert!(!a.is_empty(), "cannot estimate Jaccard from empty signatures");
+    let agree = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    agree as f64 / a.len() as f64
+}
+
+/// A column-packed collection of signatures: `ids[i]`'s signature is the
+/// `i`-th stride-`k` slice of `sigs`. Nodes whose item set was empty are
+/// not stored (they cannot collide with anything).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignatureSet {
+    k: usize,
+    ids: Vec<u32>,
+    sigs: Vec<u64>,
+}
+
+impl SignatureSet {
+    /// Builds signatures for every id in `ids` whose item set is non-empty.
+    /// `items_of` yields the item set of one id into the scratch buffer it
+    /// is handed (cleared between calls).
+    pub fn build<F>(hasher: &MinHasher, ids: &[u32], items_of: F) -> SignatureSet
+    where
+        F: Fn(u32, &mut Vec<u64>),
+    {
+        let mut out = SignatureSet { k: hasher.k(), ids: Vec::new(), sigs: Vec::new() };
+        let mut items = Vec::new();
+        let mut sig = vec![0u64; hasher.k()];
+        for &id in ids {
+            items.clear();
+            items_of(id, &mut items);
+            if hasher.signature_into(items.iter().copied(), &mut sig) {
+                out.ids.push(id);
+                out.sigs.extend_from_slice(&sig);
+            }
+        }
+        out
+    }
+
+    /// Parallel sibling of [`SignatureSet::build`], bit-identical to it:
+    /// the id list is split into contiguous chunks, each worker sketches
+    /// its chunk, and chunk results are spliced back in input order (the
+    /// hash family is fixed, so per-id signatures do not depend on which
+    /// worker computed them).
+    pub fn build_parallel<F>(hasher: &MinHasher, ids: &[u32], items_of: F) -> SignatureSet
+    where
+        F: Fn(u32, &mut Vec<u64>) + Sync,
+    {
+        if ids.len() < PARALLEL_CHUNK_MIN {
+            return SignatureSet::build(hasher, ids, items_of);
+        }
+        let chunk_size =
+            ids.len().div_ceil(rayon::current_num_threads().max(1)).max(PARALLEL_CHUNK_MIN);
+        let chunks: Vec<&[u32]> = ids.chunks(chunk_size).collect();
+        let parts: Vec<SignatureSet> =
+            chunks.par_iter().map(|chunk| SignatureSet::build(hasher, chunk, &items_of)).collect();
+        let mut out = SignatureSet {
+            k: hasher.k(),
+            ids: Vec::with_capacity(parts.iter().map(|p| p.ids.len()).sum()),
+            sigs: Vec::with_capacity(parts.iter().map(|p| p.sigs.len()).sum()),
+        };
+        for part in parts {
+            out.ids.extend(part.ids);
+            out.sigs.extend(part.sigs);
+        }
+        out
+    }
+
+    /// Signature length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stored (non-empty) signatures.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if no signatures are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The ids with stored signatures, in input order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The `i`-th stored signature.
+    pub fn signature_at(&self, i: usize) -> &[u64] {
+        &self.sigs[i * self.k..(i + 1) * self.k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_items_produce_no_signature() {
+        let hasher = MinHasher::new(8, 1);
+        assert_eq!(hasher.signature(std::iter::empty()), None);
+        let set = SignatureSet::build(&hasher, &[0, 1, 2], |id, items| {
+            if id == 1 {
+                items.push(99);
+            }
+        });
+        assert_eq!(set.ids(), &[1]);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn identical_sets_have_identical_signatures() {
+        let hasher = MinHasher::new(16, 7);
+        let a = hasher.signature([3u64, 1, 4, 15]).unwrap();
+        let b = hasher.signature([15u64, 4, 3, 1]).unwrap();
+        assert_eq!(a, b, "signatures are order-independent");
+        assert_eq!(estimate_jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_mostly_disagree() {
+        let hasher = MinHasher::new(64, 11);
+        let a = hasher.signature((0..50).map(|i| i * 2)).unwrap();
+        let b = hasher.signature((0..50).map(|i| i * 2 + 1)).unwrap();
+        assert!(estimate_jaccard(&a, &b) < 0.2, "disjoint sets should rarely agree");
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let hasher = MinHasher::new(12, 3);
+        let ids: Vec<u32> = (0..2_000).collect();
+        let items = |id: u32, out: &mut Vec<u64>| {
+            for j in 0..(id % 17) {
+                out.push(u64::from(id / 13 + j));
+            }
+        };
+        let seq = SignatureSet::build(&hasher, &ids, items);
+        let par = SignatureSet::build_parallel(&hasher, &ids, items);
+        assert_eq!(seq, par);
+    }
+}

@@ -206,10 +206,48 @@ fn reject_sample<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
 
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    hash::mix64(*state)
+}
+
+/// Cheap stateless hashing built on the SplitMix64 finalizer — the wider
+/// hash API consumers like `snr-sketch` need for MinHash permutations
+/// (`k` independent hash functions derived from one base seed, each a call
+/// to [`hash::mix64`] on `seed ^ item`).
+pub mod hash {
+    use super::RngCore;
+
+    /// The SplitMix64 finalizer: a fast, statistically strong 64-bit mixer
+    /// (every input bit avalanches to every output bit). Bijective, so
+    /// distinct inputs never collide.
+    #[inline]
+    pub fn mix64(x: u64) -> u64 {
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The SplitMix64 sequence generator itself, exposed as an [`RngCore`]:
+    /// a weaker but faster stream than `StdRng`, fit for deriving families
+    /// of hash seeds deterministically from one base seed.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        /// A stream seeded with `seed`.
+        pub fn new(seed: u64) -> SplitMix64 {
+            SplitMix64 { state: seed }
+        }
+    }
+
+    impl RngCore for SplitMix64 {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            mix64(self.state)
+        }
+    }
 }
 
 /// Deterministic generators.
@@ -311,6 +349,38 @@ mod tests {
     use super::rngs::StdRng;
     use super::seq::SliceRandom;
     use super::{Rng, SeedableRng};
+
+    #[test]
+    fn splitmix_stream_matches_mix64_of_its_states() {
+        use super::hash::{mix64, SplitMix64};
+        let mut s = SplitMix64::new(42);
+        let mut state = 42u64;
+        for _ in 0..32 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(s.next_u64(), mix64(state));
+        }
+        // Deterministic per seed, distinct across seeds.
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = SplitMix64::new(7);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = SplitMix64::new(7);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = SplitMix64::new(8);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
 
     #[test]
     fn same_seed_same_stream() {
