@@ -4,19 +4,25 @@
 //! stdin/stdout: opens the segment stores named by `Init`, folds each
 //! `Phase`'s link delta into a resident `Linking` and rebuilds the
 //! `LinkCache`, and answers every `Task` with the serialized `SelectSink`
-//! claims of one contiguous row-range. Fatal failures go out as one
-//! `WorkerError` frame followed by a nonzero exit; `Shutdown` or EOF on
-//! stdin is a clean exit.
+//! claims of one contiguous row-range. A `Reinit` frame (sent to fresh
+//! processes — respawns and resumed runs) replaces the resident `Linking`
+//! with the full snapshot it carries, which by the invariant in
+//! `snr_driver::driver` is bit-identical to the state an uninterrupted
+//! worker would hold. Fatal failures go out as one `WorkerError` frame
+//! followed by a nonzero exit; `Shutdown` or EOF on stdin is a clean exit.
 //!
-//! Fault injection (tests only): `SNR_DRIVER_FAULT=kill_worker:<round>`
-//! makes the worker die mid-round with `exit(17)` the first time it
-//! receives a task of that 1-based phase; `stall_worker:<ms>` makes it
-//! sleep that long before answering each task.
+//! Fault injection (tests only) comes from the `SNR_FAULT` spec the
+//! coordinator scopes to this process (see `snr_faults`): `kill` dies with
+//! `exit(17)` on a matching task, `stall` sleeps before answering,
+//! `error_frame` reports a fatal `WorkerError`, `corrupt_frame` flips a
+//! byte in (and truncates) one claims payload, and `truncate_frame` cuts a
+//! `TaskDone` frame off mid-body and exits.
 
 use snr_core::scoring::{score_assigned_rows, LinkCache, ScoreArena, SelectSink};
 use snr_core::Linking;
 use snr_driver::protocol::{read_frame, write_frame, G1Spec, G2Spec, Message};
 use snr_driver::DriverError;
+use snr_faults::{corrupt_payload, FaultRegistry, FaultSite};
 use snr_graph::{CompactCsr, NodeId};
 use snr_store::{read_segment, read_segment_rows_file, MmapGraph, ShardedGraph};
 use std::fs::File;
@@ -56,6 +62,7 @@ struct PhaseParams {
 }
 
 struct WorkerState {
+    worker_id: u32,
     n2: usize,
     g1: G1View,
     g2: G2View,
@@ -64,24 +71,16 @@ struct WorkerState {
     params: Option<PhaseParams>,
 }
 
-#[derive(Default)]
-struct Fault {
-    kill_phase: Option<u32>,
-    stall: Option<Duration>,
-}
-
-fn parse_fault() -> Fault {
-    let Ok(spec) = std::env::var("SNR_DRIVER_FAULT") else { return Fault::default() };
-    let mut fault = Fault::default();
-    match spec.split_once(':') {
-        Some(("kill_worker", round)) => fault.kill_phase = round.parse().ok(),
-        Some(("stall_worker", ms)) => fault.stall = ms.parse().map(Duration::from_millis).ok(),
-        _ => {}
+impl WorkerState {
+    /// Rebuilds the `LinkCache` and phase params after the links changed
+    /// (the shared tail of `Phase` and `Reinit`).
+    fn set_phase(&mut self, phase: u32, min_deg1: u32, min_deg2: u32, threshold: u32) {
+        let cache = match &self.g2 {
+            G2View::Mem(g) => LinkCache::build(g, &self.links, min_deg2 as usize),
+            G2View::Map(g) => LinkCache::build(g, &self.links, min_deg2 as usize),
+        };
+        self.params = Some(PhaseParams { phase, min_deg1: min_deg1 as usize, threshold, cache });
     }
-    if !spec.is_empty() && fault.kill_phase.is_none() && fault.stall.is_none() {
-        eprintln!("snr-driver-worker: ignoring unparseable SNR_DRIVER_FAULT={spec:?}");
-    }
-    fault
 }
 
 fn open_g1(spec: &G1Spec) -> Result<G1View, DriverError> {
@@ -102,8 +101,12 @@ fn open_g2(spec: &G2Spec) -> Result<G2View, DriverError> {
     })
 }
 
+fn to_pairs(raw: &[(u32, u32)]) -> Vec<(NodeId, NodeId)> {
+    raw.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect()
+}
+
 fn run() -> Result<(), DriverError> {
-    let fault = parse_fault();
+    let faults = FaultRegistry::from_env();
     let mut stdin = std::io::stdin().lock();
     let mut stdout = std::io::stdout().lock();
     let mut state: Option<WorkerState> = None;
@@ -116,6 +119,7 @@ fn run() -> Result<(), DriverError> {
                 let n1 = n1 as usize;
                 let n2 = n2 as usize;
                 state = Some(WorkerState {
+                    worker_id,
                     n2,
                     g1: open_g1(&g1)?,
                     g2: open_g2(&g2)?,
@@ -129,15 +133,25 @@ fn run() -> Result<(), DriverError> {
                 let st = state
                     .as_mut()
                     .ok_or_else(|| DriverError::Protocol("Phase before Init".into()))?;
-                let pairs: Vec<(NodeId, NodeId)> =
-                    links_delta.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
-                st.links.insert_batch(&pairs);
-                let cache = match &st.g2 {
-                    G2View::Mem(g) => LinkCache::build(g, &st.links, min_deg2 as usize),
-                    G2View::Map(g) => LinkCache::build(g, &st.links, min_deg2 as usize),
-                };
-                st.params =
-                    Some(PhaseParams { phase, min_deg1: min_deg1 as usize, threshold, cache });
+                st.links.insert_batch(&to_pairs(&links_delta));
+                st.set_phase(phase, min_deg1, min_deg2, threshold);
+            }
+            Message::Reinit { phase, min_deg1, min_deg2, threshold, links_full } => {
+                let st = state
+                    .as_mut()
+                    .ok_or_else(|| DriverError::Protocol("Reinit before Init".into()))?;
+                // Replace, not merge: the snapshot *is* the coordinator's
+                // full link state for the current phase.
+                let mut links = Linking::new(st.links.g1_capacity(), st.links.g2_capacity());
+                links.insert_batch(&to_pairs(&links_full));
+                st.links = links;
+                if phase == 0 {
+                    // Handshake completed before the first phase broadcast;
+                    // the Phase frame will follow.
+                    st.params = None;
+                } else {
+                    st.set_phase(phase, min_deg1, min_deg2, threshold);
+                }
             }
             Message::Task { phase, first_node, node_count } => {
                 let st = state
@@ -153,13 +167,22 @@ fn run() -> Result<(), DriverError> {
                         params.phase
                     )));
                 }
-                if fault.kill_phase == Some(phase) {
+                let me = Some(st.worker_id);
+                if faults.fire(FaultSite::Kill, me, Some(phase)).is_some() {
                     // Injected fault: die mid-round without a goodbye, the
                     // way a real worker crash looks to the coordinator.
                     std::process::exit(17);
                 }
-                if let Some(d) = fault.stall {
-                    std::thread::sleep(d);
+                if faults.fire(FaultSite::ErrorFrame, me, Some(phase)).is_some() {
+                    write_frame(
+                        &mut stdout,
+                        &Message::WorkerError { message: "injected error_frame fault".to_string() },
+                    )?;
+                    stdout.flush()?;
+                    std::process::exit(3);
+                }
+                if let Some(hit) = faults.fire(FaultSite::Stall, me, Some(phase)) {
+                    std::thread::sleep(Duration::from_millis(hit.millis));
                 }
                 let mut sink = SelectSink::new(st.n2, params.threshold);
                 match &st.g1 {
@@ -198,11 +221,26 @@ fn run() -> Result<(), DriverError> {
                         &mut sink,
                     ),
                 }
-                let claims = sink.into_claims().encode();
-                write_frame(
-                    &mut stdout,
-                    &Message::TaskDone { phase, first_node, node_count, claims },
-                )?;
+                let mut claims = sink.into_claims().encode();
+                if faults.fire(FaultSite::CorruptFrame, me, Some(phase)).is_some() {
+                    // One task answer goes out damaged; the coordinator's
+                    // decode rejects it, kills this worker, and rescores the
+                    // range elsewhere.
+                    let salt = ((phase as u64) << 32) | first_node as u64;
+                    corrupt_payload(&mut claims, faults.seed() ^ salt);
+                }
+                let reply = Message::TaskDone { phase, first_node, node_count, claims };
+                if faults.fire(FaultSite::TruncateFrame, me, Some(phase)).is_some() {
+                    // Write the full length prefix but only half the body,
+                    // then die: the coordinator's reader sees a short frame
+                    // (EOF mid-body) and treats it as a worker death.
+                    let mut buf = Vec::new();
+                    write_frame(&mut buf, &reply)?;
+                    stdout.write_all(&buf[..buf.len() / 2])?;
+                    stdout.flush()?;
+                    std::process::exit(19);
+                }
+                write_frame(&mut stdout, &reply)?;
             }
             other => {
                 return Err(DriverError::Protocol(format!(

@@ -23,22 +23,56 @@
 //!   `insert`, which is how the coordinator (and the sequential driver)
 //!   applies the same pairs.
 //!
-//! # Fault tolerance
+//! The same argument covers every recovery path. During phase `P` the
+//! coordinator's merged `Linking` holds the seeds plus the selections of
+//! phases `1..P-1` — exactly the replica state a worker that saw every
+//! delta would hold — so a `Reinit` frame carrying the full snapshot
+//! brings a *fresh* process (respawn, resume) to a state bit-identical to
+//! an uninterrupted worker's, and the in-process degradation path scores
+//! row-ranges through the very same `score_assigned_rows` + `SelectSink`
+//! code the workers run.
 //!
-//! A worker that dies (pipe EOF, nonzero exit) or misses its round
-//! deadline has its row-range re-queued for the surviving workers;
-//! stragglers get one speculative grace period and are then killed. The
-//! failure modes that cannot be recovered — every worker dead, or one
-//! row-range burning through the retry budget — surface as
-//! [`DriverError`], never a hang.
+//! # Fault tolerance and self-healing
+//!
+//! A worker that dies (pipe EOF, nonzero exit, undecodable claims) or
+//! misses its round deadline has its row-range re-queued for the
+//! surviving workers; stragglers get one speculative grace period and are
+//! then killed. On top of that PR-6 baseline sit three healing layers:
+//!
+//! 1. **Respawn** — every death schedules a relaunch with exponential
+//!    backoff (`backoff_base_ms · 2^attempt`) while the per-run
+//!    [`DriverConfig::respawn_budget`] lasts; the replacement syncs via
+//!    `Reinit` and picks up tasks mid-phase.
+//! 2. **Checkpoint/resume** — after each phase the coordinator persists
+//!    links + counters to `checkpoint.snrc` in the scratch dir (see
+//!    [`crate::checkpoint`]); [`ShardDriver::resume`] restarts from the
+//!    last complete phase, bit-identical to an uninterrupted run.
+//! 3. **Degradation** — when the pool (live + scheduled respawns) falls
+//!    below [`DriverConfig::degrade_floor`], the coordinator finishes the
+//!    remaining row-ranges in-process ([`DegradePolicy::InProcess`], the
+//!    default) instead of failing; [`DegradePolicy::Fail`] keeps the old
+//!    abort behavior.
+//!
+//! The failure modes that remain — the pool collapsing under
+//! `DegradePolicy::Fail`, or one row-range burning through the retry
+//! budget — surface as [`DriverError`], never a hang.
 
+use crate::checkpoint::{Checkpoint, CheckpointPhase, CHECKPOINT_FILE};
 use crate::error::DriverError;
 use crate::protocol::{read_frame, write_frame, G1Spec, G2Spec, Message};
-use snr_core::scoring::{SelectSink, SinkClaims};
+use snr_core::scoring::{score_assigned_rows, LinkCache, ScoreArena, SelectSink, SinkClaims};
 use snr_core::{Linking, MatchingConfig, MatchingOutcome, PhaseStats};
-use snr_graph::{GraphView, NodeId};
-use snr_store::{write_segment_file, write_shard_segments};
+use snr_faults::{FaultRegistry, FaultSite};
+use snr_graph::{CompactCsr, GraphView, NodeId};
+use snr_store::segment::{SegmentMeta, HEADER_LEN};
+use snr_store::{
+    read_segment, read_segment_rows_file, write_segment_file, write_shard_segments, MmapGraph,
+    ShardedGraph,
+};
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -56,6 +90,36 @@ pub enum DriverStore {
     /// g1 is split into this many shard segments; workers map them through
     /// a `ShardedGraph` view, and each shard is one task.
     Sharded(usize),
+}
+
+/// What the coordinator does when the worker pool collapses below
+/// [`DriverConfig::degrade_floor`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// Abort the run with [`DriverError::AllWorkersDead`] (the pre-healing
+    /// behavior).
+    Fail,
+    /// Finish the remaining row-ranges in-process through the same
+    /// `score_assigned_rows` + `SelectSink` path the workers run: slower,
+    /// but bit-identical and always completes.
+    #[default]
+    InProcess,
+}
+
+/// Counters of one [`ShardDriver::run`] / [`ShardDriver::resume`] call,
+/// exposed via [`ShardDriver::last_run_stats`] so tests and smoke bins can
+/// assert that a recovery path actually engaged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Respawn launches attempted (successful or not).
+    pub respawns: u32,
+    /// Row-ranges scored in-process by the degradation path.
+    pub degraded_tasks: u64,
+    /// Checkpoint files written.
+    pub checkpoints: u32,
+    /// Checkpoint writes that failed (the run continues; resume just redoes
+    /// one more phase).
+    pub checkpoint_failures: u32,
 }
 
 /// Configuration of a [`ShardDriver`] run.
@@ -76,28 +140,54 @@ pub struct DriverConfig {
     /// `workers * tasks_per_worker` entry-balanced tasks (ignored for
     /// [`DriverStore::Sharded`], where each shard is one task).
     pub tasks_per_worker: usize,
-    /// Fault-injection spec forwarded to worker 0 as `SNR_DRIVER_FAULT`
-    /// (`kill_worker:<round>` or `stall_worker:<ms>`); inherited from the
-    /// coordinator's own environment by [`DriverConfig::new`].
+    /// Fault-injection spec (see `snr_faults` for the grammar). Parsed into
+    /// a registry by [`ShardDriver::new`]; worker-site actions are
+    /// re-scoped per subprocess through `FaultRegistry::worker_spec`.
+    /// Inherited from `SNR_FAULT` (or the legacy `SNR_DRIVER_FAULT`) by
+    /// [`DriverConfig::new`].
     pub fault: Option<String>,
     /// Explicit worker binary path; when unset the driver checks
     /// `SNR_DRIVER_WORKER` and then looks next to the current executable.
     pub worker_bin: Option<PathBuf>,
+    /// How many worker relaunches one run may spend (a respawn consumes
+    /// budget when it is scheduled, whether or not the exec succeeds).
+    pub respawn_budget: u32,
+    /// Base of the exponential respawn backoff: attempt `k` of a slot
+    /// waits `backoff_base_ms · 2^k` before relaunching.
+    pub backoff_base_ms: u64,
+    /// What to do when the pool collapses below `degrade_floor`.
+    pub degrade: DegradePolicy,
+    /// Degrade once live-or-respawning workers drop below this count
+    /// (default 1: degrade only on total loss). 0 disables degradation:
+    /// total loss then surfaces as [`DriverError::AllWorkersDead`]
+    /// regardless of [`DriverConfig::degrade`].
+    pub degrade_floor: usize,
+    /// Whether to persist a checkpoint after every phase (default true).
+    pub checkpoints: bool,
 }
 
 impl DriverConfig {
     /// A config with `workers` subprocesses and defaults for the rest:
-    /// mmap stores, 60 s round deadline, three tasks per worker, fault
-    /// spec taken from the `SNR_DRIVER_FAULT` environment variable.
+    /// mmap stores, 60 s round deadline, three tasks per worker, two
+    /// respawns with 50 ms base backoff, in-process degradation on total
+    /// loss, per-phase checkpoints, fault spec taken from the `SNR_FAULT`
+    /// (or legacy `SNR_DRIVER_FAULT`) environment variable.
     pub fn new(workers: usize) -> Self {
+        let env_spec = |var: &str| std::env::var(var).ok().filter(|s| !s.is_empty());
         DriverConfig {
             workers: workers.max(1),
             matching: MatchingConfig::default(),
             store: DriverStore::Mmap,
             task_timeout: Duration::from_secs(60),
             tasks_per_worker: 3,
-            fault: std::env::var("SNR_DRIVER_FAULT").ok().filter(|s| !s.is_empty()),
+            fault: env_spec(snr_faults::ENV_FAULT)
+                .or_else(|| env_spec(snr_faults::ENV_FAULT_LEGACY)),
             worker_bin: None,
+            respawn_budget: 2,
+            backoff_base_ms: 50,
+            degrade: DegradePolicy::InProcess,
+            degrade_floor: 1,
+            checkpoints: true,
         }
     }
 }
@@ -109,12 +199,16 @@ static SCRATCH_SEQ: AtomicUsize = AtomicUsize::new(0);
 /// Single-coordinator, multi-worker shard driver.
 ///
 /// `new` snapshots both graphs into segment files under a scratch
-/// directory (removed on drop); [`ShardDriver::run`] then executes the
-/// configured matching schedule across worker subprocesses, one
-/// distributed round per phase.
+/// directory; [`ShardDriver::run`] then executes the configured matching
+/// schedule across worker subprocesses, one distributed round per phase.
+/// The scratch directory is removed on drop after a clean run and *kept*
+/// after a failed or interrupted one, so [`ShardDriver::resume`] can pick
+/// the run back up from its last checkpoint.
 pub struct ShardDriver {
     config: DriverConfig,
+    faults: FaultRegistry,
     scratch: PathBuf,
+    keep_scratch: Cell<bool>,
     n1: usize,
     n2: usize,
     max_degree: usize,
@@ -123,6 +217,8 @@ pub struct ShardDriver {
     /// Disjoint `(first_node, node_count)` ranges tiling `0..n1`, ascending.
     tasks: Vec<(u32, u32)>,
     segment_bytes: u64,
+    stats: RefCell<RunStats>,
+    pids: RefCell<Vec<u32>>,
 }
 
 impl ShardDriver {
@@ -133,6 +229,7 @@ impl ShardDriver {
         G1: GraphView,
         G2: GraphView,
     {
+        let faults = parse_faults(&config)?;
         let scratch = std::env::temp_dir().join(format!(
             "snr-driver-{}-{}",
             std::process::id(),
@@ -141,12 +238,7 @@ impl ShardDriver {
         std::fs::create_dir_all(&scratch)?;
         let g2_path = scratch.join("g2.snrs");
         write_segment_file(g2, &g2_path)?;
-        let g2_spec = match config.store {
-            DriverStore::Compact => G2Spec::Load { path: path_str(&g2_path)? },
-            DriverStore::Mmap | DriverStore::Sharded(_) => {
-                G2Spec::Mmap { path: path_str(&g2_path)? }
-            }
-        };
+        let g2_spec = g2_spec_for(config.store, &g2_path)?;
         let (g1_spec, cuts, mut segment_bytes) = match config.store {
             DriverStore::Compact | DriverStore::Mmap => {
                 let g1_path = scratch.join("g1.snrs");
@@ -179,7 +271,9 @@ impl ShardDriver {
             cuts.windows(2).map(|w| (w[0], w[1] - w[0])).filter(|&(_, count)| count > 0).collect();
         Ok(ShardDriver {
             config,
+            faults,
             scratch,
+            keep_scratch: Cell::new(false),
             n1: g1.node_count(),
             n2: g2.node_count(),
             max_degree: g1.max_degree().max(g2.max_degree()),
@@ -187,6 +281,131 @@ impl ShardDriver {
             g2_spec,
             tasks,
             segment_bytes,
+            stats: RefCell::new(RunStats::default()),
+            pids: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Reopens an interrupted run from the checkpoint in `dir` (a scratch
+    /// directory kept by a failed or halted run) and executes the phases
+    /// that remain. The result is bit-identical to what the uninterrupted
+    /// run would have produced.
+    ///
+    /// The checkpoint pins the store mode and the matching schedule; a
+    /// `config` whose schedule disagrees is a [`DriverError::Checkpoint`]
+    /// (no silent partial resume). Worker count, timeouts, and the healing
+    /// knobs are free to differ — task tiling does not affect the result.
+    pub fn resume<P: AsRef<Path>>(
+        dir: P,
+        config: DriverConfig,
+    ) -> Result<MatchingOutcome, DriverError> {
+        let scratch = dir.as_ref().to_path_buf();
+        let cp = Checkpoint::read_file(&scratch.join(CHECKPOINT_FILE))?;
+        let driver = ShardDriver::reopen(scratch, config, &cp)?;
+        let seeds: Vec<(NodeId, NodeId)> =
+            cp.seeds.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
+        let out = driver.run_inner(&seeds, Some(&cp));
+        if out.is_err() {
+            driver.keep_scratch.set(true);
+        }
+        out
+    }
+
+    /// Rebuilds a driver around an existing scratch directory: reopens the
+    /// segments the interrupted run wrote, re-derives the task tiling, and
+    /// validates every checkpointed parameter against `config`.
+    fn reopen(
+        scratch: PathBuf,
+        mut config: DriverConfig,
+        cp: &Checkpoint,
+    ) -> Result<ShardDriver, DriverError> {
+        let m = &config.matching;
+        if (m.threshold, m.iterations, m.degree_bucketing, m.min_bucket)
+            != (cp.threshold, cp.iterations, cp.degree_bucketing, cp.min_bucket)
+        {
+            return Err(DriverError::Checkpoint(format!(
+                "resume config (T={} k={} bucketing={} min_bucket={}) disagrees with the \
+                 checkpointed schedule (T={} k={} bucketing={} min_bucket={})",
+                m.threshold,
+                m.iterations,
+                m.degree_bucketing,
+                m.min_bucket,
+                cp.threshold,
+                cp.iterations,
+                cp.degree_bucketing,
+                cp.min_bucket
+            )));
+        }
+        config.store = cp.store;
+        let faults = parse_faults(&config)?;
+        let g2_path = scratch.join("g2.snrs");
+        let g2_meta = read_meta(&g2_path)?;
+        if g2_meta.node_count as u64 != cp.n2 {
+            return Err(DriverError::Checkpoint(format!(
+                "checkpoint says n2={} but g2.snrs holds {} nodes",
+                cp.n2, g2_meta.node_count
+            )));
+        }
+        let g2_spec = g2_spec_for(config.store, &g2_path)?;
+        let (g1_spec, cuts, g1_max_degree, mut segment_bytes) = match config.store {
+            DriverStore::Compact | DriverStore::Mmap => {
+                let g1_path = scratch.join("g1.snrs");
+                let g1 = MmapGraph::open(&g1_path)?;
+                check_n1(g1.node_count(), cp)?;
+                let parts = config.workers.max(1) * config.tasks_per_worker.max(1);
+                let cuts = snr_store::shard_boundaries(&g1, parts);
+                let spec = if matches!(config.store, DriverStore::Compact) {
+                    G1Spec::RangeLoad { path: path_str(&g1_path)? }
+                } else {
+                    G1Spec::MmapWhole { path: path_str(&g1_path)? }
+                };
+                (spec, cuts, g1.max_degree(), file_len(&g1_path))
+            }
+            DriverStore::Sharded(n) => {
+                let shard_dir = scratch.join("g1-shards");
+                let mut paths = Vec::new();
+                loop {
+                    let p = shard_dir.join(format!("shard-{}.snrs", paths.len()));
+                    if !p.exists() {
+                        break;
+                    }
+                    paths.push(p);
+                }
+                if paths.is_empty() {
+                    return Err(DriverError::Checkpoint(format!(
+                        "checkpoint expects sharded g1 but {} holds no shard-*.snrs",
+                        shard_dir.display()
+                    )));
+                }
+                let g1 = ShardedGraph::open(&paths)?;
+                check_n1(g1.node_count(), cp)?;
+                let cuts = snr_store::shard_boundaries(&g1, n.max(1));
+                let mut bytes = 0u64;
+                let mut strs = Vec::with_capacity(paths.len());
+                for p in &paths {
+                    bytes += file_len(p);
+                    strs.push(path_str(p)?);
+                }
+                (G1Spec::Shards { paths: strs }, cuts, g1.max_degree(), bytes)
+            }
+        };
+        segment_bytes += file_len(&g2_path);
+        let tasks: Vec<(u32, u32)> =
+            cuts.windows(2).map(|w| (w[0], w[1] - w[0])).filter(|&(_, count)| count > 0).collect();
+        Ok(ShardDriver {
+            config,
+            faults,
+            scratch,
+            keep_scratch: Cell::new(false),
+            n1: cp.n1 as usize,
+            n2: cp.n2 as usize,
+            max_degree: g1_max_degree.max(g2_meta.max_degree),
+            g1_spec,
+            g2_spec,
+            tasks,
+            segment_bytes,
+            stats: RefCell::new(RunStats::default()),
+            pids: RefCell::new(Vec::new()),
         })
     }
 
@@ -200,16 +419,41 @@ impl ShardDriver {
         self.tasks.len()
     }
 
+    /// The scratch directory holding segments and the checkpoint. Kept on
+    /// disk after a failed or interrupted run for [`ShardDriver::resume`].
+    pub fn scratch_dir(&self) -> &Path {
+        &self.scratch
+    }
+
+    /// Recovery counters of the most recent `run`/`resume` call.
+    pub fn last_run_stats(&self) -> RunStats {
+        *self.stats.borrow()
+    }
+
+    /// PIDs of every worker subprocess spawned by the most recent run,
+    /// respawns included (for reap assertions in tests).
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.pids.borrow().clone()
+    }
+
     /// Runs the configured matching schedule across worker subprocesses.
     ///
     /// Mirrors the sequential `UserMatching` loop phase for phase: the
     /// returned [`MatchingOutcome`] carries the same links and the same
-    /// per-phase `scored_pairs` / `new_links` counters.
+    /// per-phase `scored_pairs` / `new_links` counters. On error the
+    /// scratch directory (with its last checkpoint) is kept for
+    /// [`ShardDriver::resume`].
     pub fn run(&self, seeds: &[(NodeId, NodeId)]) -> Result<MatchingOutcome, DriverError> {
-        let start = Instant::now();
+        let out = self.run_inner(seeds, None);
+        if out.is_err() {
+            self.keep_scratch.set(true);
+        }
+        out
+    }
+
+    /// The full phase schedule as `(iteration, bucket-exponent)` pairs.
+    fn schedule(&self) -> Vec<(u32, u32)> {
         let cfg = &self.config.matching;
-        let mut links = Linking::with_seeds(self.n1, self.n2, seeds);
-        let mut phases = Vec::new();
         let top_bucket = if cfg.degree_bucketing {
             (usize::BITS - 1)
                 .saturating_sub(self.max_degree.max(1).leading_zeros())
@@ -217,47 +461,142 @@ impl ShardDriver {
         } else {
             cfg.min_bucket
         };
-
-        let mut pool = WorkerPool::spawn(self)?;
-        // The delta each worker folds into its resident `Linking` at the
-        // next phase: the seed set first, then each phase's selections.
-        let mut delta: Vec<(u32, u32)> = seeds.iter().map(|&(a, b)| (a.0, b.0)).collect();
-        let mut phase_no = 0u32;
+        let mut out = Vec::new();
         for iteration in 1..=cfg.iterations {
             for bucket in (cfg.min_bucket..=top_bucket).rev() {
-                let phase_start = Instant::now();
-                phase_no += 1;
-                let min_degree = 1usize << bucket;
-                let (scored_pairs, new_pairs) =
-                    self.run_phase(&mut pool, phase_no, min_degree as u32, &delta)?;
-                let new_links = links.insert_batch(&new_pairs);
-                delta = new_pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
-                phases.push(PhaseStats {
-                    iteration,
-                    bucket: if cfg.degree_bucketing { bucket } else { 0 },
-                    scored_pairs,
-                    new_links,
-                    total_links: links.len(),
-                    duration: phase_start.elapsed(),
-                });
+                out.push((iteration, bucket));
+            }
+        }
+        out
+    }
+
+    fn run_inner(
+        &self,
+        seeds: &[(NodeId, NodeId)],
+        prior: Option<&Checkpoint>,
+    ) -> Result<MatchingOutcome, DriverError> {
+        let start = Instant::now();
+        let cfg = &self.config.matching;
+        *self.stats.borrow_mut() = RunStats::default();
+        self.pids.borrow_mut().clear();
+        let mut links = Linking::with_seeds(self.n1, self.n2, seeds);
+        let mut phases: Vec<PhaseStats> = Vec::new();
+        if let Some(cp) = prior {
+            let pairs: Vec<(NodeId, NodeId)> =
+                cp.links.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
+            links.insert_batch(&pairs);
+            phases = cp.phase_stats();
+        }
+        let schedule = self.schedule();
+        if phases.len() > schedule.len() {
+            return Err(DriverError::Checkpoint(format!(
+                "checkpoint records {} phases but the schedule only has {}",
+                phases.len(),
+                schedule.len()
+            )));
+        }
+        let completed = phases.len();
+        let mut pool = WorkerPool::spawn(self)?;
+        let mut inproc: Option<InProcess> = None;
+        // The delta a *Ready* worker folds in at the next Phase broadcast.
+        // A fresh pool (first phase of a run, or any resume) has no Ready
+        // workers yet; those sync through Reinit's full snapshot instead.
+        let mut delta: Vec<(u32, u32)> = if prior.is_some() {
+            Vec::new()
+        } else {
+            seeds.iter().map(|&(a, b)| (a.0, b.0)).collect()
+        };
+        for (idx, &(iteration, bucket)) in schedule.iter().enumerate().skip(completed) {
+            let phase_start = Instant::now();
+            let phase_no = (idx + 1) as u32;
+            let min_degree = 1usize << bucket;
+            let (scored_pairs, new_pairs) = self.run_phase(
+                &mut pool,
+                phase_no,
+                min_degree as u32,
+                &delta,
+                &links,
+                &mut inproc,
+            )?;
+            let new_links = links.insert_batch(&new_pairs);
+            delta = new_pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+            phases.push(PhaseStats {
+                iteration,
+                bucket: if cfg.degree_bucketing { bucket } else { 0 },
+                scored_pairs,
+                new_links,
+                total_links: links.len(),
+                duration: phase_start.elapsed(),
+            });
+            if self.config.checkpoints {
+                self.write_checkpoint(seeds, &links, &phases, phase_no);
+            }
+            if self.faults.fire(FaultSite::Halt, None, Some(phase_no)).is_some() {
+                pool.shutdown();
+                return Err(DriverError::Interrupted { phase: phase_no });
             }
         }
         pool.shutdown();
         Ok(MatchingOutcome { links, phases, total_duration: start.elapsed() })
     }
 
+    /// Persists the merged state after a phase. A failed write (real I/O or
+    /// the injected `checkpoint_io` fault) is logged and counted, not
+    /// fatal: the previous checkpoint survives (writes are
+    /// temp-file-then-rename), so resume just redoes one more phase.
+    fn write_checkpoint(
+        &self,
+        seeds: &[(NodeId, NodeId)],
+        links: &Linking,
+        phases: &[PhaseStats],
+        phase_no: u32,
+    ) {
+        let cfg = &self.config.matching;
+        let cp = Checkpoint {
+            store: self.config.store,
+            n1: self.n1 as u64,
+            n2: self.n2 as u64,
+            threshold: cfg.threshold,
+            iterations: cfg.iterations,
+            degree_bucketing: cfg.degree_bucketing,
+            min_bucket: cfg.min_bucket,
+            seeds: seeds.iter().map(|&(a, b)| (a.0, b.0)).collect(),
+            links: links.pairs().map(|(a, b)| (a.0, b.0)).collect(),
+            phases: phases.iter().map(CheckpointPhase::from).collect(),
+        };
+        let result = if self.faults.fire(FaultSite::CheckpointIo, None, Some(phase_no)).is_some() {
+            Err(DriverError::Io(std::io::Error::other("injected checkpoint_io fault")))
+        } else {
+            cp.write_file(&self.scratch.join(CHECKPOINT_FILE))
+        };
+        let mut stats = self.stats.borrow_mut();
+        match result {
+            Ok(()) => stats.checkpoints += 1,
+            Err(e) => {
+                stats.checkpoint_failures += 1;
+                eprintln!(
+                    "snr-driver: checkpoint write after phase {phase_no} failed (continuing): {e}"
+                );
+            }
+        }
+    }
+
     /// One distributed round: broadcast the phase, schedule every task to
-    /// completion (re-assigning around dead and straggling workers), and
-    /// merge the claims.
+    /// completion (re-assigning around dead and straggling workers,
+    /// respawning dead slots, degrading in-process if the pool collapses),
+    /// and merge the claims.
     fn run_phase(
         &self,
         pool: &mut WorkerPool,
         phase: u32,
         min_degree: u32,
         delta: &[(u32, u32)],
+        links: &Linking,
+        inproc: &mut Option<InProcess>,
     ) -> Result<(usize, Vec<(NodeId, NodeId)>), DriverError> {
         let threshold = self.config.matching.threshold;
-        pool.broadcast(&Message::Phase {
+        pool.phase = PhaseCtx { phase, min_degree, threshold };
+        pool.broadcast_ready(&Message::Phase {
             phase,
             min_deg1: min_degree,
             min_deg2: min_degree,
@@ -271,13 +610,37 @@ impl ShardDriver {
         }
         let mut done = vec![false; total];
         let mut attempts = vec![0u32; total];
+        let mut assigned_to: Vec<Vec<u32>> = vec![Vec::new(); total];
         let mut done_count = 0usize;
         let mut pending: VecDeque<usize> = (0..total).collect();
-        let attempt_budget = (self.config.workers * 2 + 4) as u32;
+        let attempt_budget = (self.config.workers * 2 + 4) as u32 + self.config.respawn_budget * 2;
 
         while done_count < total {
-            if pool.live_count() == 0 {
-                return Err(DriverError::AllWorkersDead { phase });
+            pool.launch_due_respawns(self);
+            // A pool below the floor degrades (or fails); a pool of zero is
+            // always actionable even with the floor at 0, because nothing
+            // could ever finish the remaining tasks otherwise.
+            if pool.potential_workers() < self.config.degrade_floor.max(1) {
+                let degrade = self.config.degrade_floor > 0
+                    && matches!(self.config.degrade, DegradePolicy::InProcess);
+                if degrade {
+                    self.finish_in_process(
+                        phase,
+                        min_degree,
+                        links,
+                        inproc,
+                        &mut sink,
+                        &mut done,
+                        &mut done_count,
+                    )?;
+                    continue;
+                }
+                return Err(DriverError::AllWorkersDead {
+                    phase,
+                    respawns_used: pool.respawns_used,
+                    respawn_budget: self.config.respawn_budget,
+                    last_fault: pool.last_fault.clone(),
+                });
             }
             // Hand pending tasks to idle workers.
             while let Some(&task) = pending.front() {
@@ -291,10 +654,14 @@ impl ShardDriver {
                 if attempts[task] > attempt_budget {
                     return Err(DriverError::TaskAbandoned {
                         first_node: self.tasks[task].0,
+                        node_count: self.tasks[task].1,
                         attempts: attempts[task],
+                        workers: std::mem::take(&mut assigned_to[task]),
+                        last_fault: pool.last_fault.clone(),
                     });
                 }
                 let (first_node, node_count) = self.tasks[task];
+                assigned_to[task].push(w);
                 if !pool.assign(
                     w,
                     task,
@@ -302,62 +669,97 @@ impl ShardDriver {
                     self.config.task_timeout,
                 ) {
                     // The pipe write failed: the worker is dead, the task
-                    // goes back in the queue for someone else.
+                    // goes back in the queue for someone else. The reader
+                    // thread's Dead event will reap and respawn the slot.
                     pending.push_back(task);
                 }
             }
 
             let wait = pool
-                .earliest_deadline()
+                .next_wakeup()
                 .map(|at| at.saturating_duration_since(Instant::now()))
                 .unwrap_or(self.config.task_timeout);
             match pool.events.recv_timeout(wait) {
-                Ok(Event::Msg(w, Message::TaskDone { phase: p, first_node, claims, .. })) => {
-                    pool.task_finished(w);
-                    if p != phase {
-                        // A straggler finishing a task that a previous
-                        // phase already accepted from someone else; the
-                        // worker is free again, the claims are stale.
+                Ok(Event::Msg(w, generation, msg)) => {
+                    if pool.is_stale(w, generation) {
                         continue;
                     }
-                    let task = self.task_index(first_node)?;
-                    if !done[task] {
-                        let decoded = SinkClaims::decode(&claims)?;
-                        sink.absorb_claims(&decoded)?;
-                        done[task] = true;
-                        done_count += 1;
-                    }
-                }
-                Ok(Event::Msg(w, Message::WorkerError { message })) => {
-                    // A worker-fatal error is survivable as long as other
-                    // workers remain: treat it like a death.
-                    eprintln!("snr-driver: worker {w} failed: {message}");
-                    if let Some(task) = pool.mark_dead(w) {
-                        if !done[task] {
-                            pending.push_back(task);
+                    match msg {
+                        Message::TaskDone { phase: p, first_node, claims, .. } => {
+                            pool.task_finished(w);
+                            if p != phase {
+                                // A straggler finishing a task that a
+                                // previous phase already accepted from
+                                // someone else; the worker is free again,
+                                // the claims are stale.
+                                continue;
+                            }
+                            let task = self.task_index(first_node)?;
+                            if done[task] {
+                                continue;
+                            }
+                            // `absorb_claims` validates fully before
+                            // mutating, so a rejected frame leaves the sink
+                            // untouched and the range can be rescored.
+                            match SinkClaims::decode(&claims)
+                                .and_then(|decoded| sink.absorb_claims(&decoded))
+                            {
+                                Ok(()) => {
+                                    done[task] = true;
+                                    done_count += 1;
+                                }
+                                Err(e) => {
+                                    pool.note_death(
+                                        self,
+                                        w,
+                                        &format!("worker {w} sent undecodable claims: {e}"),
+                                    );
+                                    pending.push_back(task);
+                                }
+                            }
+                        }
+                        Message::InitOk { .. } => pool.complete_handshake(self, w, links),
+                        Message::WorkerError { message } => {
+                            if let Some(t) =
+                                pool.note_death(self, w, &format!("worker {w} failed: {message}"))
+                            {
+                                if !done[t] {
+                                    pending.push_back(t);
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(DriverError::Protocol(format!(
+                                "unexpected frame from worker: {other:?}"
+                            )));
                         }
                     }
                 }
-                Ok(Event::Msg(_, other)) => {
-                    return Err(DriverError::Protocol(format!(
-                        "unexpected frame from worker: {other:?}"
-                    )));
-                }
-                Ok(Event::Dead(w)) => {
-                    if let Some(task) = pool.mark_dead(w) {
-                        if !done[task] {
-                            pending.push_back(task);
+                Ok(Event::Dead(w, generation)) => {
+                    if pool.is_stale(w, generation) {
+                        continue;
+                    }
+                    if let Some(t) = pool.note_death(self, w, &format!("worker {w} pipe closed")) {
+                        if !done[t] {
+                            pending.push_back(t);
                         }
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    let expired = pool.expired(Instant::now(), self.config.task_timeout);
-                    for (w, task, second_strike) in expired {
+                    let now = Instant::now();
+                    for (w, task, second_strike) in pool.expired(now, self.config.task_timeout) {
                         if second_strike {
                             // Slept through the grace period too: stop
-                            // waiting and reclaim the slot, whatever the
-                            // state of the task.
-                            if let Some(t) = pool.kill(w) {
+                            // waiting, reclaim the slot, and let the respawn
+                            // machinery replace the process.
+                            if let Some(t) = pool.note_death(
+                                self,
+                                w,
+                                &format!(
+                                    "worker {w} missed two deadlines for the row-range at {}",
+                                    self.tasks[task].0
+                                ),
+                            ) {
                                 if !done[t] {
                                     pending.push_back(t);
                                 }
@@ -368,13 +770,109 @@ impl ShardDriver {
                             pending.push_back(task);
                         }
                     }
+                    for w in pool.init_expired(now) {
+                        pool.note_death(
+                            self,
+                            w,
+                            &format!("worker {w} never completed the init handshake"),
+                        );
+                    }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(DriverError::AllWorkersDead { phase });
+                    return Err(DriverError::AllWorkersDead {
+                        phase,
+                        respawns_used: pool.respawns_used,
+                        respawn_budget: self.config.respawn_budget,
+                        last_fault: pool.last_fault.clone(),
+                    });
                 }
             }
         }
         Ok(sink.finish())
+    }
+
+    /// The degradation path: scores every remaining row-range in the
+    /// coordinator's own process through the same `score_assigned_rows` +
+    /// `SelectSink` pipeline the workers run, absorbing each range's claims
+    /// into the phase sink. Bit-identical by construction (the in-memory
+    /// claims skip only the encode/decode roundtrip, which is an identity).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_in_process(
+        &self,
+        phase: u32,
+        min_degree: u32,
+        links: &Linking,
+        inproc: &mut Option<InProcess>,
+        sink: &mut SelectSink,
+        done: &mut [bool],
+        done_count: &mut usize,
+    ) -> Result<(), DriverError> {
+        if inproc.is_none() {
+            *inproc = Some(InProcess::open(&self.g1_spec, &self.g2_spec, self.n2)?);
+        }
+        let ip = inproc.as_mut().expect("just opened");
+        if ip.cache.as_ref().map(|&(p, _)| p) != Some(phase) {
+            let cache = match &ip.g2 {
+                CoordG2::Mem(g) => LinkCache::build(g, links, min_degree as usize),
+                CoordG2::Map(g) => LinkCache::build(g, links, min_degree as usize),
+            };
+            ip.cache = Some((phase, cache));
+        }
+        let cache = &ip.cache.as_ref().expect("just built").1;
+        let threshold = self.config.matching.threshold;
+        let mut scored = 0u64;
+        for (task, &(first_node, node_count)) in self.tasks.iter().enumerate() {
+            if done[task] {
+                continue;
+            }
+            let mut task_sink = SelectSink::new(self.n2, threshold);
+            match &ip.g1 {
+                CoordG1::Range(path) => {
+                    let (_, rows) =
+                        read_segment_rows_file(path, first_node..first_node + node_count)?;
+                    score_assigned_rows(
+                        &rows,
+                        first_node,
+                        0..node_count,
+                        cache,
+                        links,
+                        min_degree as usize,
+                        &mut ip.arena,
+                        &mut task_sink,
+                    );
+                }
+                CoordG1::Whole(g) => score_assigned_rows(
+                    g,
+                    0,
+                    first_node..first_node + node_count,
+                    cache,
+                    links,
+                    min_degree as usize,
+                    &mut ip.arena,
+                    &mut task_sink,
+                ),
+                CoordG1::Sharded(g) => score_assigned_rows(
+                    g,
+                    0,
+                    first_node..first_node + node_count,
+                    cache,
+                    links,
+                    min_degree as usize,
+                    &mut ip.arena,
+                    &mut task_sink,
+                ),
+            }
+            sink.absorb_claims(&task_sink.into_claims())?;
+            done[task] = true;
+            *done_count += 1;
+            scored += 1;
+        }
+        self.stats.borrow_mut().degraded_tasks += scored;
+        eprintln!(
+            "snr-driver: worker pool below floor in phase {phase}; \
+             scored {scored} row-range(s) in-process"
+        );
+        Ok(())
     }
 
     /// Maps an echoed range start back to its task index.
@@ -387,13 +885,17 @@ impl ShardDriver {
 
 impl Drop for ShardDriver {
     fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.scratch);
+        if !self.keep_scratch.get() {
+            let _ = std::fs::remove_dir_all(&self.scratch);
+        }
     }
 }
 
 /// Snapshots the graphs, runs the schedule, and tears everything down.
 ///
 /// Convenience wrapper over [`ShardDriver::new`] + [`ShardDriver::run`].
+/// Unlike a held [`ShardDriver`], the scratch directory is removed even on
+/// error — the caller has no handle to resume from anyway.
 pub fn run_distributed<G1, G2>(
     g1: &G1,
     g2: &G2,
@@ -404,7 +906,46 @@ where
     G1: GraphView,
     G2: GraphView,
 {
-    ShardDriver::new(g1, g2, config)?.run(seeds)
+    let driver = ShardDriver::new(g1, g2, config)?;
+    let out = driver.run(seeds);
+    driver.keep_scratch.set(false);
+    out
+}
+
+fn parse_faults(config: &DriverConfig) -> Result<FaultRegistry, DriverError> {
+    match &config.fault {
+        Some(spec) => FaultRegistry::parse(spec).map_err(DriverError::InvalidFaultSpec),
+        None => Ok(FaultRegistry::empty()),
+    }
+}
+
+fn g2_spec_for(store: DriverStore, g2_path: &Path) -> Result<G2Spec, DriverError> {
+    Ok(match store {
+        DriverStore::Compact => G2Spec::Load { path: path_str(g2_path)? },
+        DriverStore::Mmap | DriverStore::Sharded(_) => G2Spec::Mmap { path: path_str(g2_path)? },
+    })
+}
+
+fn check_n1(actual: usize, cp: &Checkpoint) -> Result<(), DriverError> {
+    if actual as u64 != cp.n1 {
+        return Err(DriverError::Checkpoint(format!(
+            "checkpoint says n1={} but the g1 segments hold {} nodes",
+            cp.n1, actual
+        )));
+    }
+    Ok(())
+}
+
+/// Reads just the header of a segment file (node counts, max degree) for
+/// resume validation, without mapping the data.
+fn read_meta(path: &Path) -> Result<SegmentMeta, DriverError> {
+    let mut f = File::open(path)
+        .map_err(|e| DriverError::Checkpoint(format!("cannot open {}: {e}", path.display())))?;
+    let mut header = vec![0u8; HEADER_LEN];
+    f.read_exact(&mut header).map_err(|e| {
+        DriverError::Checkpoint(format!("cannot read segment header of {}: {e}", path.display()))
+    })?;
+    Ok(SegmentMeta::from_header_bytes(&header)?)
 }
 
 fn path_str(p: &Path) -> Result<String, DriverError> {
@@ -417,6 +958,53 @@ fn file_len(p: &Path) -> u64 {
     std::fs::metadata(p).map(|m| m.len()).unwrap_or(0)
 }
 
+/// The coordinator's own graph views for the degradation path, opened
+/// lazily from the same scratch segments the workers use.
+struct InProcess {
+    g1: CoordG1,
+    g2: CoordG2,
+    arena: ScoreArena,
+    /// Phase-stamped `LinkCache` so consecutive degraded phases rebuild it
+    /// exactly once each.
+    cache: Option<(u32, LinkCache)>,
+}
+
+enum CoordG1 {
+    Range(PathBuf),
+    Whole(MmapGraph),
+    Sharded(ShardedGraph<MmapGraph>),
+}
+
+enum CoordG2 {
+    Mem(CompactCsr),
+    Map(MmapGraph),
+}
+
+impl InProcess {
+    fn open(g1: &G1Spec, g2: &G2Spec, n2: usize) -> Result<InProcess, DriverError> {
+        let g1 = match g1 {
+            G1Spec::RangeLoad { path } => CoordG1::Range(PathBuf::from(path)),
+            G1Spec::MmapWhole { path } => CoordG1::Whole(MmapGraph::open(path)?),
+            G1Spec::Shards { paths } => CoordG1::Sharded(ShardedGraph::open(paths)?),
+        };
+        let g2 = match g2 {
+            G2Spec::Load { path } => {
+                let (_, g) = read_segment(BufReader::new(File::open(path)?))?;
+                CoordG2::Mem(g)
+            }
+            G2Spec::Mmap { path } => CoordG2::Map(MmapGraph::open(path)?),
+        };
+        Ok(InProcess { g1, g2, arena: ScoreArena::new(n2), cache: None })
+    }
+}
+
+/// The phase parameters a `Reinit` answer to a late `InitOk` must carry.
+struct PhaseCtx {
+    phase: u32,
+    min_degree: u32,
+    threshold: u32,
+}
+
 /// What one worker is currently chewing on.
 struct Assignment {
     task: usize,
@@ -427,146 +1015,276 @@ struct Assignment {
     speculated: bool,
 }
 
+enum SlotState {
+    /// Process launched, `Init` sent, waiting for `InitOk` (which the
+    /// coordinator answers with `Reinit` before marking the slot Ready).
+    AwaitingInit {
+        /// Give up on the handshake past this instant.
+        deadline: Instant,
+    },
+    /// Synced and eligible for tasks.
+    Ready,
+    /// No live process behind the slot (may still have a pending respawn).
+    Dead,
+}
+
 struct WorkerSlot {
-    child: Child,
+    child: Option<Child>,
     stdin: Option<ChildStdin>,
-    alive: bool,
+    state: SlotState,
     assignment: Option<Assignment>,
+    /// Incremented on every (re)launch; events from previous incarnations
+    /// carry an older generation and are dropped.
+    generation: u32,
+    /// Relaunches of this slot so far (drives the backoff exponent).
+    respawns: u32,
 }
 
 enum Event {
-    /// A frame arrived from worker `.0`.
-    Msg(u32, Message),
-    /// Worker `.0`'s stdout reached EOF or broke.
-    Dead(u32),
+    /// A frame arrived from worker `.0`, incarnation `.1`.
+    Msg(u32, u32, Message),
+    /// Worker `.0` (incarnation `.1`)'s stdout reached EOF or broke.
+    Dead(u32, u32),
 }
 
 struct WorkerPool {
     slots: Vec<WorkerSlot>,
     events: Receiver<Event>,
-    /// Keeps the channel open even if every reader thread exits.
-    _events_tx: Sender<Event>,
+    /// Keeps the channel open even if every reader thread exits; cloned
+    /// into each reader thread.
+    events_tx: Sender<Event>,
+    /// `(slot, due)` relaunches waiting out their backoff.
+    pending_respawn: Vec<(usize, Instant)>,
+    respawns_used: u32,
+    /// The most recent failure description (surfaced in errors).
+    last_fault: Option<String>,
+    /// Parameters of the phase currently running (for `Reinit`).
+    phase: PhaseCtx,
+    bin: PathBuf,
 }
 
 impl WorkerPool {
-    /// Spawns every worker subprocess, completes the Init handshake, and
-    /// returns once at least one worker is ready.
+    /// Spawns every worker subprocess and sends `Init`. The handshake
+    /// completes asynchronously: each `InitOk` is answered with `Reinit`
+    /// inside the phase event loop, so a slow worker delays nobody.
     fn spawn(driver: &ShardDriver) -> Result<WorkerPool, DriverError> {
         let bin = worker_binary(&driver.config)?;
         let (tx, rx) = std::sync::mpsc::channel();
-        let mut slots = Vec::with_capacity(driver.config.workers);
-        for id in 0..driver.config.workers as u32 {
-            let mut cmd = Command::new(&bin);
-            cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::inherit());
-            // Fault injection targets exactly worker 0; everyone else gets
-            // a scrubbed environment so a spec exported in the user's
-            // shell cannot take down the whole pool.
-            cmd.env_remove("SNR_DRIVER_FAULT");
-            if id == 0 {
-                if let Some(f) = &driver.config.fault {
-                    cmd.env("SNR_DRIVER_FAULT", f);
-                }
+        let mut pool = WorkerPool {
+            slots: (0..driver.config.workers)
+                .map(|_| WorkerSlot {
+                    child: None,
+                    stdin: None,
+                    state: SlotState::Dead,
+                    assignment: None,
+                    generation: 0,
+                    respawns: 0,
+                })
+                .collect(),
+            events: rx,
+            events_tx: tx,
+            pending_respawn: Vec::new(),
+            respawns_used: 0,
+            last_fault: None,
+            phase: PhaseCtx { phase: 0, min_degree: 0, threshold: 0 },
+            bin,
+        };
+        for w in 0..pool.slots.len() {
+            if !pool.launch(driver, w, None) {
+                pool.schedule_respawn(driver, w);
             }
-            let mut child = cmd.spawn()?;
-            let stdin = child.stdin.take();
-            let stdout = child.stdout.take().ok_or_else(|| {
-                DriverError::Protocol(format!("worker {id} spawned without a stdout pipe"))
-            })?;
-            let reader_tx = tx.clone();
-            std::thread::spawn(move || {
-                let mut stdout = stdout;
-                loop {
-                    match read_frame(&mut stdout) {
-                        Ok(Some(msg)) => {
-                            if reader_tx.send(Event::Msg(id, msg)).is_err() {
-                                break;
-                            }
-                        }
-                        Ok(None) | Err(_) => {
-                            let _ = reader_tx.send(Event::Dead(id));
+        }
+        if pool.potential_workers() == 0 && matches!(driver.config.degrade, DegradePolicy::Fail) {
+            return Err(DriverError::AllWorkersDead {
+                phase: 0,
+                respawns_used: pool.respawns_used,
+                respawn_budget: driver.config.respawn_budget,
+                last_fault: pool.last_fault.clone(),
+            });
+        }
+        Ok(pool)
+    }
+
+    /// Launches (or relaunches) the process behind slot `w` and sends
+    /// `Init`. `after_round` is set for respawns: it meters the respawn
+    /// stat, consults the `respawn_fail` fault site, and filters the fault
+    /// spec so the replacement does not re-inherit the fault that killed
+    /// its predecessor.
+    fn launch(&mut self, driver: &ShardDriver, w: usize, after_round: Option<u32>) -> bool {
+        if after_round.is_some() {
+            driver.stats.borrow_mut().respawns += 1;
+            if driver.faults.fire(FaultSite::RespawnFail, Some(w as u32), after_round).is_some() {
+                self.last_fault = Some(format!("injected respawn_fail for worker {w}"));
+                eprintln!("snr-driver: injected respawn_fail for worker {w}");
+                return false;
+            }
+        }
+        let mut cmd = Command::new(&self.bin);
+        cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::inherit());
+        // Each worker sees exactly the fault actions addressed to its
+        // index; a spec exported in the user's shell cannot take down the
+        // whole pool.
+        cmd.env_remove(snr_faults::ENV_FAULT);
+        cmd.env_remove(snr_faults::ENV_FAULT_LEGACY);
+        if let Some(spec) = driver.faults.worker_spec(w as u32, after_round) {
+            cmd.env(snr_faults::ENV_FAULT, spec);
+        }
+        let mut child = match cmd.spawn() {
+            Ok(c) => c,
+            Err(e) => {
+                self.last_fault = Some(format!("spawning worker {w} failed: {e}"));
+                return false;
+            }
+        };
+        driver.pids.borrow_mut().push(child.id());
+        let stdin = child.stdin.take();
+        let Some(stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            self.last_fault = Some(format!("worker {w} spawned without a stdout pipe"));
+            return false;
+        };
+        let id = w as u32;
+        let generation = {
+            let slot = &mut self.slots[w];
+            slot.generation += 1;
+            slot.child = Some(child);
+            slot.stdin = stdin;
+            slot.assignment = None;
+            slot.state = SlotState::AwaitingInit {
+                deadline: Instant::now() + driver.config.task_timeout.max(Duration::from_secs(30)),
+            };
+            slot.generation
+        };
+        let reader_tx = self.events_tx.clone();
+        std::thread::spawn(move || {
+            let mut stdout = stdout;
+            loop {
+                match read_frame(&mut stdout) {
+                    Ok(Some(msg)) => {
+                        if reader_tx.send(Event::Msg(id, generation, msg)).is_err() {
                             break;
                         }
                     }
+                    Ok(None) | Err(_) => {
+                        let _ = reader_tx.send(Event::Dead(id, generation));
+                        break;
+                    }
                 }
-            });
-            slots.push(WorkerSlot { child, stdin, alive: true, assignment: None });
-        }
-        let mut pool = WorkerPool { slots, events: rx, _events_tx: tx };
-
-        let init = |id: u32| Message::Init {
+            }
+        });
+        let init = Message::Init {
             worker_id: id,
             n1: driver.n1 as u64,
             n2: driver.n2 as u64,
             g1: driver.g1_spec.clone(),
             g2: driver.g2_spec.clone(),
         };
-        for id in 0..pool.slots.len() {
-            pool.send(id as u32, &init(id as u32));
+        if !self.send(id, &init) {
+            self.reap(w);
+            self.last_fault = Some(format!("worker {w} init pipe write failed"));
+            return false;
         }
-        let mut ready = vec![false; pool.slots.len()];
-        let deadline = Instant::now() + driver.config.task_timeout.max(Duration::from_secs(30));
-        while ready.iter().zip(&pool.slots).any(|(&r, s)| s.alive && !r) {
-            let wait = deadline.saturating_duration_since(Instant::now());
-            match pool.events.recv_timeout(wait) {
-                Ok(Event::Msg(w, Message::InitOk { .. })) => ready[w as usize] = true,
-                Ok(Event::Msg(w, Message::WorkerError { message })) => {
-                    eprintln!("snr-driver: worker {w} failed to init: {message}");
-                    pool.mark_dead(w);
-                }
-                Ok(Event::Msg(_, other)) => {
-                    return Err(DriverError::Protocol(format!(
-                        "unexpected frame during init: {other:?}"
-                    )));
-                }
-                Ok(Event::Dead(w)) => {
-                    pool.mark_dead(w);
-                }
-                Err(_) => {
-                    // Handshake deadline: give up on the silent workers.
-                    let silent: Vec<u32> = (0..pool.slots.len() as u32)
-                        .filter(|&id| pool.slots[id as usize].alive && !ready[id as usize])
-                        .collect();
-                    for id in silent {
-                        pool.kill(id);
-                    }
-                }
+        true
+    }
+
+    /// Consumes respawn budget for one future relaunch of slot `w` (no-op
+    /// once the budget is spent) with exponential backoff.
+    fn schedule_respawn(&mut self, driver: &ShardDriver, w: usize) {
+        if self.respawns_used >= driver.config.respawn_budget {
+            return;
+        }
+        self.respawns_used += 1;
+        let slot = &mut self.slots[w];
+        let exponent = slot.respawns.min(6);
+        slot.respawns += 1;
+        let delay =
+            Duration::from_millis(driver.config.backoff_base_ms.saturating_mul(1 << exponent));
+        self.pending_respawn.push((w, Instant::now() + delay));
+    }
+
+    /// Executes every respawn whose backoff has elapsed; a failed launch
+    /// re-schedules (budget permitting).
+    fn launch_due_respawns(&mut self, driver: &ShardDriver) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.pending_respawn.len() {
+            if self.pending_respawn[i].1 > now {
+                i += 1;
+                continue;
+            }
+            let (w, _) = self.pending_respawn.swap_remove(i);
+            if !self.launch(driver, w, Some(self.phase.phase)) {
+                self.schedule_respawn(driver, w);
             }
         }
-        if pool.live_count() == 0 {
-            return Err(DriverError::AllWorkersDead { phase: 0 });
+    }
+
+    /// Answers a worker's `InitOk` with the full link snapshot and the
+    /// current phase parameters, making the slot Ready. This is the whole
+    /// sync story for first launch, respawn, and resume alike — see the
+    /// bit-identity argument at the top of the module.
+    fn complete_handshake(&mut self, driver: &ShardDriver, w: u32, links: &Linking) {
+        if !matches!(self.slots[w as usize].state, SlotState::AwaitingInit { .. }) {
+            return; // duplicate InitOk from a confused worker: ignore
         }
-        Ok(pool)
+        let reinit = Message::Reinit {
+            phase: self.phase.phase,
+            min_deg1: self.phase.min_degree,
+            min_deg2: self.phase.min_degree,
+            threshold: self.phase.threshold,
+            links_full: links.pairs().map(|(a, b)| (a.0, b.0)).collect(),
+        };
+        if self.send(w, &reinit) {
+            self.slots[w as usize].state = SlotState::Ready;
+        } else {
+            self.note_death(driver, w, &format!("worker {w} reinit pipe write failed"));
+        }
     }
 
-    fn live_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.alive).count()
+    /// Live (Ready or initializing) slots plus scheduled respawns: the
+    /// number of workers the phase can still hope to use.
+    fn potential_workers(&self) -> usize {
+        self.slots.iter().filter(|s| !matches!(s.state, SlotState::Dead)).count()
+            + self.pending_respawn.len()
     }
 
-    /// A live worker with no outstanding assignment.
+    /// A Ready worker with no outstanding assignment.
     fn idle_worker(&self) -> Option<u32> {
-        self.slots.iter().position(|s| s.alive && s.assignment.is_none()).map(|i| i as u32)
+        self.slots
+            .iter()
+            .position(|s| matches!(s.state, SlotState::Ready) && s.assignment.is_none())
+            .map(|i| i as u32)
     }
 
-    /// Writes a frame to one worker; marks it dead on failure.
+    /// Whether an event belongs to a previous incarnation of its slot.
+    fn is_stale(&self, w: u32, generation: u32) -> bool {
+        self.slots[w as usize].generation != generation
+    }
+
+    /// Writes a frame to one worker; marks it dead on failure (the reader
+    /// thread's Dead event then triggers reap + respawn).
     fn send(&mut self, w: u32, msg: &Message) -> bool {
         let slot = &mut self.slots[w as usize];
-        if !slot.alive {
+        if matches!(slot.state, SlotState::Dead) {
             return false;
         }
         let ok = slot.stdin.as_mut().map(|s| write_frame(s, msg).is_ok()).unwrap_or(false);
         if !ok {
-            // The reader thread will also notice EOF, but flag the death
-            // now so the scheduler stops picking this worker.
-            slot.alive = false;
+            slot.state = SlotState::Dead;
         }
         ok
     }
 
-    /// Sends a frame to every live worker (stragglers included — pipes are
+    /// Sends a frame to every Ready worker (stragglers included — pipes are
     /// FIFO, so a busy worker sees the phase after its in-flight task).
-    fn broadcast(&mut self, msg: &Message) {
+    /// Initializing workers are skipped: their `Reinit` answer carries the
+    /// same state.
+    fn broadcast_ready(&mut self, msg: &Message) {
         for w in 0..self.slots.len() as u32 {
-            self.send(w, msg);
+            if matches!(self.slots[w as usize].state, SlotState::Ready) {
+                self.send(w, msg);
+            }
         }
     }
 
@@ -585,27 +1303,52 @@ impl WorkerPool {
         self.slots[w as usize].assignment = None;
     }
 
-    /// Marks a worker dead and returns its abandoned task, if any.
-    fn mark_dead(&mut self, w: u32) -> Option<usize> {
+    /// Handles a worker death from any cause: kills + reaps the child (no
+    /// zombies linger mid-run), records the fault, schedules a respawn
+    /// (budget permitting), and returns the abandoned task, if any. Safe to
+    /// call twice for one death — the second call finds no child and does
+    /// not double-schedule.
+    fn note_death(&mut self, driver: &ShardDriver, w: u32, reason: &str) -> Option<usize> {
         let slot = &mut self.slots[w as usize];
-        slot.alive = false;
+        let had_child = slot.child.is_some();
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
         slot.stdin = None;
-        slot.assignment.take().map(|a| a.task)
+        slot.state = SlotState::Dead;
+        let task = slot.assignment.take().map(|a| a.task);
+        if had_child {
+            eprintln!("snr-driver: {reason}");
+            self.last_fault = Some(reason.to_string());
+            self.schedule_respawn(driver, w as usize);
+        }
+        task
     }
 
-    /// Kills a worker process outright (straggler reclamation) and returns
-    /// its abandoned task, if any.
-    fn kill(&mut self, w: u32) -> Option<usize> {
-        let _ = self.slots[w as usize].child.kill();
-        self.mark_dead(w)
+    /// Reaps slot `w` without scheduling a respawn (spawn-path cleanup and
+    /// teardown).
+    fn reap(&mut self, w: usize) {
+        let slot = &mut self.slots[w];
+        slot.stdin = None;
+        slot.state = SlotState::Dead;
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
     }
 
-    /// The soonest outstanding assignment deadline, if any.
-    fn earliest_deadline(&self) -> Option<Instant> {
+    /// The soonest instant anything needs attention: an assignment
+    /// deadline, an init-handshake deadline, or a respawn coming due.
+    fn next_wakeup(&self) -> Option<Instant> {
         self.slots
             .iter()
-            .filter(|s| s.alive)
-            .filter_map(|s| s.assignment.as_ref().and_then(|a| a.deadline))
+            .filter_map(|s| match s.state {
+                SlotState::AwaitingInit { deadline } => Some(deadline),
+                SlotState::Ready => s.assignment.as_ref().and_then(|a| a.deadline),
+                SlotState::Dead => None,
+            })
+            .chain(self.pending_respawn.iter().map(|&(_, due)| due))
             .min()
     }
 
@@ -616,7 +1359,7 @@ impl WorkerPool {
     fn expired(&mut self, now: Instant, timeout: Duration) -> Vec<(u32, usize, bool)> {
         let mut out = Vec::new();
         for (i, slot) in self.slots.iter_mut().enumerate() {
-            if !slot.alive {
+            if !matches!(slot.state, SlotState::Ready) {
                 continue;
             }
             let Some(a) = slot.assignment.as_mut() else { continue };
@@ -636,18 +1379,33 @@ impl WorkerPool {
         out
     }
 
-    /// Broadcasts Shutdown, then reaps every child (kill first, so a
-    /// stalled worker cannot wedge the teardown).
+    /// Workers whose init handshake deadline has passed.
+    fn init_expired(&self, now: Instant) -> Vec<u32> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s.state {
+                SlotState::AwaitingInit { deadline } if deadline <= now => Some(i as u32),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Broadcasts Shutdown to every live worker, then reaps every child
+    /// (kill first, so a stalled worker cannot wedge the teardown).
     fn shutdown(&mut self) {
-        self.broadcast(&Message::Shutdown);
+        for w in 0..self.slots.len() as u32 {
+            if !matches!(self.slots[w as usize].state, SlotState::Dead) {
+                self.send(w, &Message::Shutdown);
+            }
+        }
         self.cleanup();
     }
 
     fn cleanup(&mut self) {
-        for slot in &mut self.slots {
-            slot.stdin = None;
-            let _ = slot.child.kill();
-            let _ = slot.child.wait();
+        self.pending_respawn.clear();
+        for w in 0..self.slots.len() {
+            self.reap(w);
         }
     }
 }

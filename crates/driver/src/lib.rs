@@ -15,20 +15,33 @@
 //!    on the coordinator via `Best::merge`,
 //!
 //! yielding links bit-identical to the sequential arena backend (the
-//! argument is spelled out in [`driver`]). Dead workers and stragglers
-//! are handled by re-assigning their row-ranges; unrecoverable failures
-//! surface as [`DriverError`], never a hang.
+//! argument is spelled out in [`driver`]).
 //!
-//! Fault injection for tests rides on the `SNR_DRIVER_FAULT` environment
-//! variable (`kill_worker:<round>` / `stall_worker:<ms>`), which the
-//! coordinator forwards to worker 0 only.
+//! The driver is *self-healing*: dead workers and stragglers have their
+//! row-ranges re-assigned and their slots respawned with exponential
+//! backoff (within [`DriverConfig::respawn_budget`]); every phase boundary
+//! persists a checksummed checkpoint ([`checkpoint`]) that
+//! [`ShardDriver::resume`] restarts from; and a pool that collapses below
+//! [`DriverConfig::degrade_floor`] falls back to scoring the remaining
+//! ranges in-process ([`DegradePolicy::InProcess`]). All recovery paths
+//! produce bit-identical results. Unrecoverable failures surface as
+//! [`DriverError`], never a hang.
+//!
+//! Fault injection for tests rides on the `SNR_FAULT` environment variable
+//! (or `DriverConfig::fault`), a comma-separated spec of named sites such
+//! as `kill:w1@round2,corrupt_frame:w0@round1` — see `snr_faults` for the
+//! grammar. The PR-6 `SNR_DRIVER_FAULT=kill_worker:<round>` /
+//! `stall_worker:<ms>` spellings remain as aliases.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod driver;
 pub mod error;
 pub mod protocol;
 
-pub use driver::{run_distributed, DriverConfig, DriverStore, ShardDriver};
+pub use driver::{
+    run_distributed, DegradePolicy, DriverConfig, DriverStore, RunStats, ShardDriver,
+};
 pub use error::DriverError;

@@ -15,12 +15,21 @@
 //! ```text
 //! C → W   Init      segment paths + node-space sizes        (once)
 //! W → C   InitOk                                            (once)
+//! C → W   Reinit    phase params + full link snapshot       (once, after InitOk)
 //! C → W   Phase     per-phase params + link delta           (per phase)
 //! C → W   Task      one contiguous row-range                (0+ per phase)
 //! W → C   TaskDone  serialized SelectSink claims            (per task)
 //! W → C   WorkerError   fatal worker-side failure           (at most once)
 //! C → W   Shutdown                                          (once)
 //! ```
+//!
+//! `Reinit` is the self-healing half of the handshake: instead of assuming
+//! a worker was present for every previous phase delta, the coordinator
+//! answers each `InitOk` with the *complete* accumulated link state plus
+//! the current phase parameters. That makes the very same handshake serve
+//! first launch, mid-phase respawn of a crashed worker, and
+//! checkpoint-resume — a fresh process is always one frame away from the
+//! replica state an uninterrupted worker would hold.
 
 use crate::error::DriverError;
 use std::io::{Read, Write};
@@ -90,6 +99,23 @@ pub enum Message {
         /// Echoed worker id.
         worker_id: u32,
     },
+    /// Coordinator → worker: replace the worker's resident `Linking` with
+    /// this full snapshot and arm the given phase. Sent in answer to every
+    /// `InitOk`, so a worker spawned mid-run (respawn, resume) starts from
+    /// exactly the replica state an uninterrupted worker would hold.
+    Reinit {
+        /// 1-based phase number the snapshot is current for.
+        phase: u32,
+        /// Minimum copy-1 degree for candidate rows.
+        min_deg1: u32,
+        /// Minimum copy-2 degree for eligible partners.
+        min_deg2: u32,
+        /// Selection threshold.
+        threshold: u32,
+        /// Every link pair accumulated so far (seeds included), replacing
+        /// any state the worker holds.
+        links_full: Vec<(u32, u32)>,
+    },
     /// Coordinator → worker: start a phase. `links_delta` is the pairs
     /// inserted since the previous phase (the seed set before phase 1);
     /// the worker folds it into its resident `Linking` and rebuilds its
@@ -145,6 +171,7 @@ const TAG_TASK: u8 = 4;
 const TAG_TASK_DONE: u8 = 5;
 const TAG_WORKER_ERROR: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_REINIT: u8 = 8;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -348,6 +375,18 @@ impl Message {
                 put_str(&mut out, message);
             }
             Message::Shutdown => out.push(TAG_SHUTDOWN),
+            Message::Reinit { phase, min_deg1, min_deg2, threshold, links_full } => {
+                out.push(TAG_REINIT);
+                put_u32(&mut out, *phase);
+                put_u32(&mut out, *min_deg1);
+                put_u32(&mut out, *min_deg2);
+                put_u32(&mut out, *threshold);
+                put_u32(&mut out, links_full.len() as u32);
+                for &(a, b) in links_full {
+                    put_u32(&mut out, a);
+                    put_u32(&mut out, b);
+                }
+            }
         }
         out
     }
@@ -383,6 +422,13 @@ impl Message {
             },
             TAG_WORKER_ERROR => Message::WorkerError { message: c.string()? },
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_REINIT => Message::Reinit {
+                phase: c.u32()?,
+                min_deg1: c.u32()?,
+                min_deg2: c.u32()?,
+                threshold: c.u32()?,
+                links_full: c.pairs()?,
+            },
             t => return Err(DriverError::Protocol(format!("unknown frame tag {t}"))),
         };
         c.finish()?;
@@ -444,6 +490,13 @@ mod tests {
                 g2: G2Spec::Mmap { path: "g2.snrs".into() },
             },
             Message::InitOk { worker_id: 3 },
+            Message::Reinit {
+                phase: 2,
+                min_deg1: 4,
+                min_deg2: 4,
+                threshold: 2,
+                links_full: vec![(0, 5), (7, 7), (9, 2)],
+            },
             Message::Phase {
                 phase: 1,
                 min_deg1: 2,

@@ -98,6 +98,7 @@ fn segment_dir() -> PathBuf {
 /// only (segment writing excluded, consistent with the in-process paths);
 /// bytes are the scratch segments shipped to the workers.
 fn run_on_driver(
+    args: &ExperimentArgs,
     workers: usize,
     store: StoreMode,
     g1: CsrGraph,
@@ -112,6 +113,12 @@ fn run_on_driver(
         StoreMode::Mmap => DriverStore::Mmap,
         StoreMode::Sharded(n) => DriverStore::Sharded(n),
     };
+    if let Some(budget) = args.respawn_budget {
+        driver_config.respawn_budget = budget;
+    }
+    if let Some(policy) = args.degrade {
+        driver_config.degrade = policy;
+    }
     // Full-scale sweeps can hold a worker on one range for a while; the
     // deadline only needs to catch wedged processes, not pace healthy ones.
     driver_config.task_timeout = std::time::Duration::from_secs(600);
@@ -250,7 +257,7 @@ fn main() {
             .with_backend(args.backend)
             .with_candidates(args.blocking);
         let (outcome, secs, store_bpe, store_bytes) = match args.driver {
-            Some(workers) => run_on_driver(workers, args.store, g1, g2, &seeds, config),
+            Some(workers) => run_on_driver(&args, workers, args.store, g1, g2, &seeds, config),
             None => run_on_store(args.store, g1, g2, &seeds, config, exp),
         };
         let run = Evaluation::score_against(

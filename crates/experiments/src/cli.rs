@@ -19,8 +19,13 @@
 //!   it (`table2_scalability`): `exact` (default, every degree-eligible
 //!   pair) or `lsh:<bands>x<rows>` — MinHash/LSH candidate blocking from
 //!   `snr-sketch`.
+//! * `--respawn-budget <N>` — for driver-backed runs: how many worker
+//!   relaunches one run may spend (defaults to the driver's own default).
+//! * `--degrade <fail|inprocess>` — for driver-backed runs: what the
+//!   coordinator does when the worker pool collapses.
 
 use snr_core::{Backend, CandidateSource};
+use snr_driver::DegradePolicy;
 use std::path::PathBuf;
 use std::str::FromStr;
 
@@ -38,6 +43,20 @@ fn parse_backend(s: &str) -> Result<Backend, String> {
                  (expected sequential, rayon, mapreduce[:N], or driver[:N])"
             )),
         },
+    }
+}
+
+/// Parses a `--respawn-budget` value: any u32.
+fn parse_respawn_budget(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| format!("invalid --respawn-budget value {s:?} (expected a u32)"))
+}
+
+/// Parses a `--degrade` value: `fail` or `inprocess`.
+fn parse_degrade(s: &str) -> Result<DegradePolicy, String> {
+    match s {
+        "fail" => Ok(DegradePolicy::Fail),
+        "inprocess" => Ok(DegradePolicy::InProcess),
+        _ => Err(format!("invalid --degrade value {s:?} (expected fail or inprocess)")),
     }
 }
 
@@ -118,6 +137,12 @@ pub struct ExperimentArgs {
     pub driver: Option<usize>,
     /// Candidate generation for the binaries that honor it.
     pub blocking: CandidateSource,
+    /// Respawn budget override for driver-backed runs (`None` keeps the
+    /// driver default).
+    pub respawn_budget: Option<u32>,
+    /// Degradation policy override for driver-backed runs (`None` keeps
+    /// the driver default).
+    pub degrade: Option<DegradePolicy>,
 }
 
 impl Default for ExperimentArgs {
@@ -130,6 +155,8 @@ impl Default for ExperimentArgs {
             backend: Backend::Sequential,
             driver: None,
             blocking: CandidateSource::Exact,
+            respawn_budget: None,
+            degrade: None,
         }
     }
 }
@@ -179,6 +206,21 @@ impl ExperimentArgs {
                 arg if arg.starts_with("--blocking=") => {
                     out.blocking = parse_blocking(&arg["--blocking=".len()..])?;
                 }
+                "--respawn-budget" => {
+                    let v = iter.next().ok_or("--respawn-budget requires a value")?;
+                    out.respawn_budget = Some(parse_respawn_budget(v.as_ref())?);
+                }
+                arg if arg.starts_with("--respawn-budget=") => {
+                    out.respawn_budget =
+                        Some(parse_respawn_budget(&arg["--respawn-budget=".len()..])?);
+                }
+                "--degrade" => {
+                    let v = iter.next().ok_or("--degrade requires a value")?;
+                    out.degrade = Some(parse_degrade(v.as_ref())?);
+                }
+                arg if arg.starts_with("--degrade=") => {
+                    out.degrade = Some(parse_degrade(&arg["--degrade=".len()..])?);
+                }
                 "--help" | "-h" => {
                     return Err(Self::usage().to_string());
                 }
@@ -226,7 +268,8 @@ impl ExperimentArgs {
         "usage: <experiment> [--seed <u64>] [--full] [--json <path>] \
          [--store compact|mmap|sharded:<N>] \
          [--backend sequential|rayon|mapreduce[:N]|driver[:N]] \
-         [--blocking exact|lsh:<B>x<R>]"
+         [--blocking exact|lsh:<B>x<R>] \
+         [--respawn-budget <N>] [--degrade fail|inprocess]"
     }
 
     /// Short label of the configured backend for table headers and records.
@@ -370,6 +413,22 @@ mod tests {
         assert!(ExperimentArgs::parse(["--blocking=lsh:16x0"]).is_err());
         assert!(ExperimentArgs::parse(["--blocking=lsh:16"]).is_err());
         assert!(ExperimentArgs::parse(["--blocking=lsh:ax2"]).is_err());
+    }
+
+    #[test]
+    fn parses_resilience_flags_in_both_spellings() {
+        let args = ExperimentArgs::parse(["--respawn-budget", "3", "--degrade", "fail"]).unwrap();
+        assert_eq!(args.respawn_budget, Some(3));
+        assert_eq!(args.degrade, Some(DegradePolicy::Fail));
+        let args = ExperimentArgs::parse(["--respawn-budget=0", "--degrade=inprocess"]).unwrap();
+        assert_eq!(args.respawn_budget, Some(0));
+        assert_eq!(args.degrade, Some(DegradePolicy::InProcess));
+        assert_eq!(ExperimentArgs::default().respawn_budget, None);
+        assert_eq!(ExperimentArgs::default().degrade, None);
+        assert!(ExperimentArgs::parse(["--respawn-budget"]).is_err());
+        assert!(ExperimentArgs::parse(["--respawn-budget", "-1"]).is_err());
+        assert!(ExperimentArgs::parse(["--degrade"]).is_err());
+        assert!(ExperimentArgs::parse(["--degrade", "shrug"]).is_err());
     }
 
     #[test]
