@@ -109,6 +109,13 @@ fn bench_rmat16(c: &mut Criterion) {
     group.bench_function("csr/fused", |b| {
         b.iter(|| black_box(fused_phase(g1, g2, &links, 2, 2, 2, true)))
     });
+    // Exactly csr/fused with telemetry explicitly disabled: the baseline
+    // pins this label at parity with csr/fused, so any cost the disabled
+    // telemetry hooks leak into the scoring hot loop fails the bench gate.
+    group.bench_function("csr/telemetry_off", |b| {
+        snr_telemetry::disable();
+        b.iter(|| black_box(fused_phase(g1, g2, &links, 2, 2, 2, true)))
+    });
     group.bench_function("compact/fused", |b| {
         b.iter(|| black_box(fused_phase(&c1, &c2, &links, 2, 2, 2, true)))
     });

@@ -157,13 +157,19 @@ impl UserMatching {
         // groups instead of rescanning all n nodes every phase. The copy-2
         // cache only exists for LSH blocking (the exact path filters copy-2
         // eligibility inside the LinkCache build).
-        let cand_cache1 = CandidateCache::build(g1);
-        let cand_cache2 = matches!(cfg.candidates, CandidateSource::Lsh { .. })
-            .then(|| CandidateCache::build(g2));
+        let cand_cache1 = {
+            let _span = snr_telemetry::span!("candidate_cache", side = 1);
+            CandidateCache::build(g1)
+        };
+        let cand_cache2 = matches!(cfg.candidates, CandidateSource::Lsh { .. }).then(|| {
+            let _span = snr_telemetry::span!("candidate_cache", side = 2);
+            CandidateCache::build(g2)
+        });
 
         for iteration in 1..=cfg.iterations {
             for bucket in (cfg.min_bucket..=top_bucket).rev() {
                 let phase_start = Instant::now();
+                let _phase_span = snr_telemetry::span!("phase", iter = iteration, bucket = bucket);
                 let min_degree = 1usize << bucket;
                 let candidates = cand_cache1.eligible(
                     min_degree,
@@ -247,6 +253,12 @@ impl UserMatching {
                 };
 
                 let new_links = links.insert_batch(&new_pairs);
+                let duration = phase_start.elapsed();
+
+                snr_telemetry::Counter::ScoredPairs.add(scored_pairs as u64);
+                snr_telemetry::Counter::LinksInserted.add(new_links as u64);
+                snr_telemetry::Gauge::LinksTotal.set(links.len() as u64);
+                snr_telemetry::Histogram::PhaseMicros.record(duration.as_micros() as u64);
 
                 phases.push(PhaseStats {
                     iteration,
@@ -254,7 +266,7 @@ impl UserMatching {
                     scored_pairs,
                     new_links,
                     total_links: links.len(),
-                    duration: phase_start.elapsed(),
+                    duration,
                 });
             }
         }

@@ -167,10 +167,18 @@ where
     if links.is_empty() || candidates1.is_empty() {
         return (0, Vec::new());
     }
-    let cache = if parallel {
-        LinkCache::build_parallel(g2, links, min_deg2)
-    } else {
-        LinkCache::build(g2, links, min_deg2)
+    let cache = {
+        let _span = snr_telemetry::span!("link_cache", links = links.len());
+        let t = snr_telemetry::enabled().then(std::time::Instant::now);
+        let cache = if parallel {
+            LinkCache::build_parallel(g2, links, min_deg2)
+        } else {
+            LinkCache::build(g2, links, min_deg2)
+        };
+        if let Some(t) = t {
+            snr_telemetry::Counter::CacheBuildMicros.add(t.elapsed().as_micros() as u64);
+        }
+        cache
     };
     // Two-step gate: the exact bump mass is an upper bound on the scored-
     // pair count and cheap to compute, so it rejects light phases without
@@ -184,6 +192,16 @@ where
                 candidates1.len(),
                 mass_floor,
             ));
+    if blocked {
+        snr_telemetry::Counter::LshGateSketch.add(1);
+    } else {
+        snr_telemetry::Counter::LshGateExact.add(1);
+    }
+    snr_telemetry::event!(
+        "lsh_gate",
+        verdict = if blocked { "sketch" } else { "exact" },
+        rows = candidates1.len(),
+    );
     if !blocked {
         return fused_phase_cached(g1, &cache, n2, candidates1, threshold, parallel);
     }
@@ -320,18 +338,31 @@ where
             out.clear();
         }
     };
-    let (left, right) = if parallel {
-        (
-            SignatureSet::build_parallel(&hasher, candidates1, left_items),
-            SignatureSet::build_parallel(&hasher, candidates2, right_items),
-        )
-    } else {
-        (
-            SignatureSet::build(&hasher, candidates1, left_items),
-            SignatureSet::build(&hasher, candidates2, right_items),
-        )
+    let (left, right) = {
+        let _span = snr_telemetry::span!(
+            "sketch",
+            left = candidates1.len(),
+            right = candidates2.len(),
+            k = banding.k(),
+        );
+        if parallel {
+            (
+                SignatureSet::build_parallel(&hasher, candidates1, left_items),
+                SignatureSet::build_parallel(&hasher, candidates2, right_items),
+            )
+        } else {
+            (
+                SignatureSet::build(&hasher, candidates1, left_items),
+                SignatureSet::build(&hasher, candidates2, right_items),
+            )
+        }
     };
-    let proposals = propose_pairs(banding, &left, &right);
+    let proposals = {
+        let _span = snr_telemetry::span!("band");
+        propose_pairs(banding, &left, &right)
+    };
+    snr_telemetry::Counter::LshProposals.add(proposals.pairs.len() as u64);
+    let _span = snr_telemetry::span!("verify", proposals = proposals.pairs.len());
     verify_proposals(g1, cache, &proposals.pairs, n2, threshold, parallel)
 }
 

@@ -134,6 +134,7 @@ pub fn mutual_best_pairs(scores: &ScoreTable, threshold: u32) -> Vec<(NodeId, No
     // the "at least one witness" invariant.
     let threshold = threshold.max(1);
 
+    let _span = snr_telemetry::span!("select", entries = scores.len(), threshold = threshold);
     let mut tables: BestTables = (HashMap::new(), HashMap::new());
     for (&(u, v), &score) in scores {
         accumulate_entry(&mut tables, u, v, score);
@@ -152,6 +153,7 @@ pub fn mutual_best_pairs(scores: &ScoreTable, threshold: u32) -> Vec<(NodeId, No
 /// counting.
 pub fn mutual_best_pairs_rayon(scores: &ScoreTable, threshold: u32) -> Vec<(NodeId, NodeId)> {
     let threshold = threshold.max(1);
+    let _span = snr_telemetry::span!("select", entries = scores.len(), threshold = threshold);
     let tables = scores
         .par_iter()
         .fold(

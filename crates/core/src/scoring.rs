@@ -905,10 +905,18 @@ where
     S: ScoreSink,
     F: Fn() -> S + Sync,
 {
-    let cache = if parallel {
-        LinkCache::build_parallel(g2, links, min_deg2)
-    } else {
-        LinkCache::build(g2, links, min_deg2)
+    let cache = {
+        let _span = snr_telemetry::span!("link_cache", links = links.len());
+        let t = snr_telemetry::enabled().then(std::time::Instant::now);
+        let cache = if parallel {
+            LinkCache::build_parallel(g2, links, min_deg2)
+        } else {
+            LinkCache::build(g2, links, min_deg2)
+        };
+        if let Some(t) = t {
+            snr_telemetry::Counter::CacheBuildMicros.add(t.elapsed().as_micros() as u64);
+        }
+        cache
     };
     score_phase_cached(g1, &cache, g2.node_count(), candidates, parallel, make_sink)
 }

@@ -106,6 +106,9 @@ fn to_pairs(raw: &[(u32, u32)]) -> Vec<(NodeId, NodeId)> {
 }
 
 fn run() -> Result<(), DriverError> {
+    // The coordinator sets SNR_TELEMETRY=1 when its own telemetry is on;
+    // collected spans/counters/events ship home as Stats frames.
+    snr_telemetry::init_from_env();
     let faults = FaultRegistry::from_env();
     let mut stdin = std::io::stdin().lock();
     let mut stdout = std::io::stdout().lock();
@@ -184,6 +187,12 @@ fn run() -> Result<(), DriverError> {
                 if let Some(hit) = faults.fire(FaultSite::Stall, me, Some(phase)) {
                     std::thread::sleep(Duration::from_millis(hit.millis));
                 }
+                let task_span = snr_telemetry::span!(
+                    "task",
+                    phase = phase,
+                    first = first_node,
+                    rows = node_count
+                );
                 let mut sink = SelectSink::new(st.n2, params.threshold);
                 match &st.g1 {
                     G1View::Range(path) => {
@@ -221,7 +230,11 @@ fn run() -> Result<(), DriverError> {
                         &mut sink,
                     ),
                 }
-                let mut claims = sink.into_claims().encode();
+                let sink_claims = sink.into_claims();
+                snr_telemetry::Counter::ScoredPairs.add(sink_claims.scored_pairs());
+                snr_telemetry::Counter::TasksCompleted.add(1);
+                drop(task_span);
+                let mut claims = sink_claims.encode();
                 if faults.fire(FaultSite::CorruptFrame, me, Some(phase)).is_some() {
                     // One task answer goes out damaged; the coordinator's
                     // decode rejects it, kills this worker, and rescores the
@@ -241,6 +254,18 @@ fn run() -> Result<(), DriverError> {
                     std::process::exit(19);
                 }
                 write_frame(&mut stdout, &reply)?;
+                if snr_telemetry::enabled() {
+                    let delta = snr_telemetry::drain_delta();
+                    if !delta.is_empty() {
+                        let stats = Message::Stats {
+                            worker_id: st.worker_id,
+                            spans: delta.spans,
+                            counters: delta.counters,
+                            events: delta.events,
+                        };
+                        write_frame(&mut stdout, &stats)?;
+                    }
+                }
             }
             other => {
                 return Err(DriverError::Protocol(format!(

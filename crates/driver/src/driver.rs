@@ -510,6 +510,8 @@ impl ShardDriver {
             let phase_start = Instant::now();
             let phase_no = (idx + 1) as u32;
             let min_degree = 1usize << bucket;
+            let _phase_span =
+                snr_telemetry::span!("phase", n = phase_no, iter = iteration, bucket = bucket);
             let (scored_pairs, new_pairs) = self.run_phase(
                 &mut pool,
                 phase_no,
@@ -520,6 +522,9 @@ impl ShardDriver {
             )?;
             let new_links = links.insert_batch(&new_pairs);
             delta = new_pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+            snr_telemetry::Counter::LinksInserted.add(new_links as u64);
+            snr_telemetry::Gauge::LinksTotal.set(links.len() as u64);
+            snr_telemetry::Histogram::PhaseMicros.record(phase_start.elapsed().as_micros() as u64);
             phases.push(PhaseStats {
                 iteration,
                 bucket: if cfg.degree_bucketing { bucket } else { 0 },
@@ -551,6 +556,7 @@ impl ShardDriver {
         phases: &[PhaseStats],
         phase_no: u32,
     ) {
+        let _span = snr_telemetry::span!("checkpoint", phase = phase_no);
         let cfg = &self.config.matching;
         let cp = Checkpoint {
             store: self.config.store,
@@ -571,11 +577,17 @@ impl ShardDriver {
         };
         let mut stats = self.stats.borrow_mut();
         match result {
-            Ok(()) => stats.checkpoints += 1,
+            Ok(()) => {
+                stats.checkpoints += 1;
+                let bytes = file_len(&self.scratch.join(CHECKPOINT_FILE));
+                snr_telemetry::Counter::Checkpoints.add(1);
+                snr_telemetry::Counter::CheckpointBytes.add(bytes);
+                snr_telemetry::event!("checkpoint", phase = phase_no, bytes = bytes);
+            }
             Err(e) => {
                 stats.checkpoint_failures += 1;
-                eprintln!(
-                    "snr-driver: checkpoint write after phase {phase_no} failed (continuing): {e}"
+                snr_telemetry::warn!(
+                    "checkpoint write after phase {phase_no} failed (continuing): {e}"
                 );
             }
         }
@@ -596,13 +608,16 @@ impl ShardDriver {
     ) -> Result<(usize, Vec<(NodeId, NodeId)>), DriverError> {
         let threshold = self.config.matching.threshold;
         pool.phase = PhaseCtx { phase, min_degree, threshold };
-        pool.broadcast_ready(&Message::Phase {
-            phase,
-            min_deg1: min_degree,
-            min_deg2: min_degree,
-            threshold,
-            links_delta: delta.to_vec(),
-        });
+        {
+            let _bspan = snr_telemetry::span!("broadcast", phase = phase, delta = delta.len());
+            pool.broadcast_ready(&Message::Phase {
+                phase,
+                min_deg1: min_degree,
+                min_deg2: min_degree,
+                threshold,
+                links_delta: delta.to_vec(),
+            });
+        }
         let mut sink = SelectSink::new(self.n2, threshold);
         let total = self.tasks.len();
         if total == 0 {
@@ -617,6 +632,7 @@ impl ShardDriver {
 
         while done_count < total {
             pool.launch_due_respawns(self);
+            snr_telemetry::Gauge::WorkersAlive.set(pool.potential_workers() as u64);
             // A pool below the floor degrades (or fails); a pool of zero is
             // always actionable even with the floor at 0, because nothing
             // could ever finish the remaining tasks otherwise.
@@ -701,9 +717,13 @@ impl ShardDriver {
                             // `absorb_claims` validates fully before
                             // mutating, so a rejected frame leaves the sink
                             // untouched and the range can be rescored.
-                            match SinkClaims::decode(&claims)
-                                .and_then(|decoded| sink.absorb_claims(&decoded))
-                            {
+                            let merged = {
+                                let _mspan =
+                                    snr_telemetry::span!("merge", first = first_node, worker = w);
+                                SinkClaims::decode(&claims)
+                                    .and_then(|decoded| sink.absorb_claims(&decoded))
+                            };
+                            match merged {
                                 Ok(()) => {
                                     done[task] = true;
                                     done_count += 1;
@@ -719,6 +739,22 @@ impl ShardDriver {
                             }
                         }
                         Message::InitOk { .. } => pool.complete_handshake(self, w, links),
+                        Message::Stats { spans, counters, events, .. } => {
+                            // Observe-only: fold the worker's telemetry delta
+                            // into the coordinator's registry. Nothing about
+                            // scheduling or merging reads it back, so the
+                            // run's bits cannot depend on it.
+                            for (name, _, _, dur_us) in &spans {
+                                if name == "task" {
+                                    snr_telemetry::Histogram::TaskMicros.record(*dur_us);
+                                }
+                            }
+                            let delta = snr_telemetry::StatsDelta { spans, counters, events };
+                            snr_telemetry::absorb_delta(
+                                &delta,
+                                &format!("worker={w} gen={generation}"),
+                            );
+                        }
                         Message::WorkerError { message } => {
                             if let Some(t) =
                                 pool.note_death(self, w, &format!("worker {w} failed: {message}"))
@@ -868,9 +904,10 @@ impl ShardDriver {
             scored += 1;
         }
         self.stats.borrow_mut().degraded_tasks += scored;
-        eprintln!(
-            "snr-driver: worker pool below floor in phase {phase}; \
-             scored {scored} row-range(s) in-process"
+        snr_telemetry::Counter::DegradedTasks.add(scored);
+        snr_telemetry::event!("degraded", phase = phase, tasks = scored);
+        snr_telemetry::warn!(
+            "worker pool below floor in phase {phase}; scored {scored} row-range(s) in-process"
         );
         Ok(())
     }
@@ -1111,11 +1148,14 @@ impl WorkerPool {
     /// spec so the replacement does not re-inherit the fault that killed
     /// its predecessor.
     fn launch(&mut self, driver: &ShardDriver, w: usize, after_round: Option<u32>) -> bool {
-        if after_round.is_some() {
+        if let Some(round) = after_round {
             driver.stats.borrow_mut().respawns += 1;
+            snr_telemetry::Counter::Respawns.add(1);
+            let gen = self.slots[w].generation + 1;
+            snr_telemetry::event!("respawn", worker = w, phase = round, gen = gen);
             if driver.faults.fire(FaultSite::RespawnFail, Some(w as u32), after_round).is_some() {
                 self.last_fault = Some(format!("injected respawn_fail for worker {w}"));
-                eprintln!("snr-driver: injected respawn_fail for worker {w}");
+                snr_telemetry::warn!("injected respawn_fail for worker {w}");
                 return false;
             }
         }
@@ -1128,6 +1168,15 @@ impl WorkerPool {
         cmd.env_remove(snr_faults::ENV_FAULT_LEGACY);
         if let Some(spec) = driver.faults.worker_spec(w as u32, after_round) {
             cmd.env(snr_faults::ENV_FAULT, spec);
+        }
+        // Telemetry scoping mirrors the fault scoping: a worker collects
+        // and ships Stats frames exactly when the coordinator's own
+        // telemetry is on, and never writes the coordinator's trace file.
+        cmd.env_remove("SNR_TRACE");
+        if snr_telemetry::enabled() {
+            cmd.env("SNR_TELEMETRY", "1");
+        } else {
+            cmd.env_remove("SNR_TELEMETRY");
         }
         let mut child = match cmd.spawn() {
             Ok(c) => c,
@@ -1319,7 +1368,7 @@ impl WorkerPool {
         slot.state = SlotState::Dead;
         let task = slot.assignment.take().map(|a| a.task);
         if had_child {
-            eprintln!("snr-driver: {reason}");
+            snr_telemetry::warn!("{reason}");
             self.last_fault = Some(reason.to_string());
             self.schedule_respawn(driver, w as usize);
         }

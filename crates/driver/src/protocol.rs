@@ -19,6 +19,7 @@
 //! C → W   Phase     per-phase params + link delta           (per phase)
 //! C → W   Task      one contiguous row-range                (0+ per phase)
 //! W → C   TaskDone  serialized SelectSink claims            (per task)
+//! W → C   Stats     telemetry delta (spans/counters/events) (0+ per task)
 //! W → C   WorkerError   fatal worker-side failure           (at most once)
 //! C → W   Shutdown                                          (once)
 //! ```
@@ -162,6 +163,23 @@ pub enum Message {
     },
     /// Coordinator → worker: exit cleanly.
     Shutdown,
+    /// Worker → coordinator: the worker's telemetry delta since its last
+    /// `Stats` frame (spans, counter increments, events). Sent after a
+    /// `TaskDone` when the coordinator spawned the worker with
+    /// `SNR_TELEMETRY=1`; purely observational — the coordinator folds it
+    /// into its own telemetry registry and nothing about scheduling or
+    /// merging reads it back.
+    Stats {
+        /// Reporting worker's id.
+        worker_id: u32,
+        /// Finished spans as `(name, fields, start_us, dur_us)`; times are
+        /// in the worker's own telemetry epoch.
+        spans: Vec<(String, String, u64, u64)>,
+        /// Counter increments as `(name, delta)`.
+        counters: Vec<(String, u64)>,
+        /// Point events as `(name, fields, at_us)`.
+        events: Vec<(String, String, u64)>,
+    },
 }
 
 const TAG_INIT: u8 = 1;
@@ -172,6 +190,7 @@ const TAG_TASK_DONE: u8 = 5;
 const TAG_WORKER_ERROR: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
 const TAG_REINIT: u8 = 8;
+const TAG_STATS: u8 = 9;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -375,6 +394,28 @@ impl Message {
                 put_str(&mut out, message);
             }
             Message::Shutdown => out.push(TAG_SHUTDOWN),
+            Message::Stats { worker_id, spans, counters, events } => {
+                out.push(TAG_STATS);
+                put_u32(&mut out, *worker_id);
+                put_u32(&mut out, spans.len() as u32);
+                for (name, fields, start_us, dur_us) in spans {
+                    put_str(&mut out, name);
+                    put_str(&mut out, fields);
+                    put_u64(&mut out, *start_us);
+                    put_u64(&mut out, *dur_us);
+                }
+                put_u32(&mut out, counters.len() as u32);
+                for (name, delta) in counters {
+                    put_str(&mut out, name);
+                    put_u64(&mut out, *delta);
+                }
+                put_u32(&mut out, events.len() as u32);
+                for (name, fields, at_us) in events {
+                    put_str(&mut out, name);
+                    put_str(&mut out, fields);
+                    put_u64(&mut out, *at_us);
+                }
+            }
             Message::Reinit { phase, min_deg1, min_deg2, threshold, links_full } => {
                 out.push(TAG_REINIT);
                 put_u32(&mut out, *phase);
@@ -422,6 +463,29 @@ impl Message {
             },
             TAG_WORKER_ERROR => Message::WorkerError { message: c.string()? },
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_STATS => {
+                let worker_id = c.u32()?;
+                // Minimum element widths: a span is two string prefixes plus
+                // two u64s (24 bytes), a counter is one prefix plus a u64
+                // (12), an event two prefixes plus a u64 (16) — enough to
+                // keep an inflated count from forcing a huge allocation.
+                let n = c.count(24)?;
+                let mut spans = Vec::with_capacity(n);
+                for _ in 0..n {
+                    spans.push((c.string()?, c.string()?, c.u64()?, c.u64()?));
+                }
+                let n = c.count(12)?;
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    counters.push((c.string()?, c.u64()?));
+                }
+                let n = c.count(16)?;
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push((c.string()?, c.string()?, c.u64()?));
+                }
+                Message::Stats { worker_id, spans, counters, events }
+            }
             TAG_REINIT => Message::Reinit {
                 phase: c.u32()?,
                 min_deg1: c.u32()?,
@@ -506,6 +570,12 @@ mod tests {
             },
             Message::Task { phase: 1, first_node: 0, node_count: 500 },
             Message::TaskDone { phase: 1, first_node: 0, node_count: 500, claims: vec![1, 2, 3] },
+            Message::Stats {
+                worker_id: 3,
+                spans: vec![("task".into(), "phase=1 rows=500".into(), 10, 250)],
+                counters: vec![("scored_pairs".into(), 1234), ("tasks_completed".into(), 1)],
+                events: vec![("fault_fired".into(), "action=stall".into(), 99)],
+            },
             Message::WorkerError { message: "segment missing".into() },
             Message::Shutdown,
         ];

@@ -330,6 +330,46 @@ fn corrupted_checkpoint_is_a_clean_error_never_a_panic() {
 }
 
 #[test]
+fn fault_and_recovery_events_appear_in_the_trace() {
+    let (pair, seeds) = workload(82);
+    let reference = UserMatching::new(MatchingConfig::default().with_threshold(2))
+        .run(&pair.g1, &pair.g2, &seeds);
+    // Telemetry on: worker 0 is killed (healed by a respawn the coordinator
+    // must record), worker 1 stalls 1 ms per task (a worker-side fault
+    // firing that must ship home in a Stats frame). The JSONL trace has to
+    // schema-validate and carry both recovery stories — and being observed
+    // must not change a single link.
+    let trace = std::env::temp_dir().join(format!("snr-fault-trace-{}.jsonl", std::process::id()));
+    snr_telemetry::set_trace_path(trace.clone());
+    snr_telemetry::enable();
+    let outcome = with_watchdog(move || {
+        let mut config = config(2, "kill:w0@round1,stall:w1:1ms", Duration::from_secs(60));
+        config.respawn_budget = 2;
+        run_distributed(&pair.g1, &pair.g2, &seeds, config)
+    })
+    .expect("kill + stall under a respawn budget is survivable");
+    snr_telemetry::write_trace_if_configured().expect("trace write");
+    snr_telemetry::disable();
+    assert_eq!(outcome.links, reference.links, "observed run diverged from the healthy one");
+
+    let text = std::fs::read_to_string(&trace).expect("trace readable");
+    let _ = std::fs::remove_file(&trace);
+    let summary = snr_telemetry::validate_jsonl(&text).expect("trace must schema-validate");
+    assert!(
+        summary.events.iter().any(|e| e.name == "respawn"),
+        "healed kill left no respawn event in the trace"
+    );
+    assert!(
+        summary.events.iter().any(|e| e.name == "fault_fired" && e.fields.contains("site=stall")),
+        "worker-side fault firing did not ship home in a Stats frame"
+    );
+    assert!(
+        summary.spans.iter().any(|s| s.name == "task" && s.fields.contains("worker=")),
+        "no per-worker task spans in the trace"
+    );
+}
+
+#[test]
 fn every_worker_is_reaped_no_zombies_left() {
     // Clean completion: every spawned pid must be fully reaped by teardown.
     let (pair, seeds) = workload(81);

@@ -10,7 +10,7 @@ use snr_driver::protocol::{read_frame, write_frame, G1Spec, G2Spec, Message};
 /// Builds one message of each coordinator/worker shape from a handful of
 /// drawn integers, cycling through the variants by `pick`.
 fn build_message(pick: u32, a: u32, b: u32, pairs: Vec<(u32, u32)>) -> Message {
-    match pick % 8 {
+    match pick % 9 {
         0 => Message::Init {
             worker_id: a,
             n1: u64::from(b) + 1,
@@ -49,6 +49,20 @@ fn build_message(pick: u32, a: u32, b: u32, pairs: Vec<(u32, u32)>) -> Message {
             threshold: a.wrapping_add(b),
             links_full: pairs,
         },
+        7 => Message::Stats {
+            worker_id: a,
+            spans: pairs
+                .iter()
+                .map(|&(x, y)| {
+                    (format!("span-{x}"), format!("phase={y}"), u64::from(x), u64::from(y))
+                })
+                .collect(),
+            counters: pairs.iter().map(|&(x, y)| (format!("c{x}"), u64::from(y))).collect(),
+            events: pairs
+                .iter()
+                .map(|&(x, y)| (format!("e{x}"), String::new(), u64::from(y)))
+                .collect(),
+        },
         _ => Message::WorkerError { message: format!("worker {a} lost segment {b}") },
     }
 }
@@ -58,7 +72,7 @@ proptest::proptest! {
 
     #[test]
     fn encode_decode_is_the_identity(
-        pick in 0u32..8,
+        pick in 0u32..9,
         ab in (0u32..u32::MAX, 0u32..u32::MAX),
         pairs in proptest::collection::vec((0u32..100_000, 0u32..100_000), 0..64),
     ) {
@@ -74,7 +88,7 @@ proptest::proptest! {
 
     #[test]
     fn truncation_is_an_error_never_a_panic(
-        pick in 0u32..8,
+        pick in 0u32..9,
         ab in (0u32..5_000, 0u32..5_000),
         pairs in proptest::collection::vec((0u32..1_000, 0u32..1_000), 0..32),
         cut_knob in 0usize..10_000,
@@ -95,7 +109,7 @@ proptest::proptest! {
 
     #[test]
     fn byte_corruption_never_panics(
-        pick in 0u32..8,
+        pick in 0u32..9,
         ab in (0u32..5_000, 0u32..5_000),
         pairs in proptest::collection::vec((0u32..1_000, 0u32..1_000), 0..32),
         corrupt in (0usize..10_000, 1u32..256),
@@ -113,9 +127,9 @@ proptest::proptest! {
 
     #[test]
     fn body_level_corruption_of_the_tag_is_rejected(
-        pick in 0u32..8,
+        pick in 0u32..9,
         ab in (0u32..5_000, 0u32..5_000),
-        tag in 9u32..255,
+        tag in 10u32..255,
     ) {
         let msg = build_message(pick, ab.0, ab.1, Vec::new());
         let mut body = msg.encode();

@@ -24,6 +24,7 @@ use snr_sampling::independent::independent_deletion_symmetric;
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    args.init_telemetry();
     let scale = Scale::from_full_flag(args.full);
     let mut record = ExperimentRecord::new("ablation_bucketing_baseline", "Section 5, ablations")
         .parameter("scale", format!("{scale:?}"))
@@ -176,4 +177,5 @@ fn main() {
     );
     println!("  * on the noisy Wikipedia-style workload the baseline's error rate is much higher.");
     args.maybe_write_json(&record);
+    args.maybe_write_trace();
 }

@@ -18,6 +18,7 @@ use snr_sampling::independent::independent_deletion_symmetric;
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    args.init_telemetry();
     let scale = Scale::from_full_flag(args.full);
     let survival = 0.75;
     let accept_prob = 0.5;
@@ -87,4 +88,5 @@ fn main() {
     println!("  * the number of wrong matches stays tiny relative to the correct ones, i.e. the");
     println!("    mirror-node attack fails to poison the matching.");
     args.maybe_write_json(&record);
+    args.maybe_write_trace();
 }

@@ -18,6 +18,7 @@ use snr_sampling::independent::independent_deletion_symmetric;
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    args.init_telemetry();
     let n = if args.full { 1_000_000 } else { 10_000 };
     let m = 20;
     let s = 0.5;
@@ -73,4 +74,5 @@ fn main() {
     println!("  * recall increases with the seed probability;");
     println!("  * lowering the threshold increases recall without hurting precision.");
     args.maybe_write_json(&record);
+    args.maybe_write_trace();
 }

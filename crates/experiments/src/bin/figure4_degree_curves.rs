@@ -60,6 +60,7 @@ fn run_dataset(
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    args.init_telemetry();
     let scale = Scale::from_full_flag(args.full);
     let mut record = ExperimentRecord::new("figure4_degree_curves", "Figure 4")
         .parameter("scale", format!("{scale:?}"))
@@ -79,4 +80,5 @@ fn main() {
     println!("  * recall rises steeply with degree: very low for degree 1-2, above half past degree ~11;");
     println!("  * precision stays high across all degree buckets.");
     args.maybe_write_json(&record);
+    args.maybe_write_trace();
 }

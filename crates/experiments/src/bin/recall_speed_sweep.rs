@@ -63,6 +63,7 @@ fn scored_pairs(outcome: &MatchingOutcome) -> usize {
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    args.init_telemetry();
     let exp = std::env::var("SNR_SWEEP_EXPONENT")
         .ok()
         .map(|v| v.parse().expect("SNR_SWEEP_EXPONENT must be a u32"))
@@ -214,4 +215,5 @@ fn main() {
     println!("pairs -> exact); more rows sharpen the S-curve (fewer proposals, recall risk).");
     println!("The useful operating points hold >= 0.95 recall at >= 10x fewer scored pairs.");
     args.maybe_write_json(&record);
+    args.maybe_write_trace();
 }

@@ -15,6 +15,7 @@ use snr_metrics::{ExperimentRecord, MeasuredRow, TextTable};
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    args.init_telemetry();
     let scale = Scale::from_full_flag(args.full);
     let seed = args.seed;
 
@@ -90,4 +91,5 @@ fn main() {
     println!("{table}");
     println!("Proxies are synthetic stand-ins generated offline; see DESIGN.md §3.");
     args.maybe_write_json(&record);
+    args.maybe_write_trace();
 }

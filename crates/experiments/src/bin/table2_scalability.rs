@@ -185,6 +185,7 @@ fn run_on_store(
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    args.init_telemetry();
     if args.blocking != snr_core::CandidateSource::Exact
         && (args.driver.is_some() || matches!(args.backend, snr_core::Backend::MapReduce { .. }))
     {
@@ -308,6 +309,25 @@ fn main() {
         record.push_row(row);
     }
 
+    // With telemetry on, the run's counters and gauges ride along in the
+    // JSON record as one extra row, so a single artifact carries both the
+    // experiment numbers and the runtime's own accounting.
+    if snr_telemetry::enabled() {
+        let snapshot = snr_telemetry::TelemetrySnapshot::capture();
+        let mut row = MeasuredRow::new("telemetry");
+        for (name, value) in &snapshot.counters {
+            if *value > 0 {
+                row = row.value(*name, *value as f64);
+            }
+        }
+        for (name, value) in &snapshot.gauges {
+            if *value > 0 {
+                row = row.value(*name, *value as f64);
+            }
+        }
+        record.push_row(row);
+    }
+
     println!("{table}");
     println!("Paper's qualitative claim: running time grows with graph size but the algorithm");
     println!("remains runnable end-to-end at every size with the same resources (the paper's");
@@ -315,4 +335,5 @@ fn main() {
         "largest jump, 12.5x for RMAT28, reflects a 4x node-count increase plus memory pressure)."
     );
     args.maybe_write_json(&record);
+    args.maybe_write_trace();
 }

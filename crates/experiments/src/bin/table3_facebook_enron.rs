@@ -77,6 +77,7 @@ fn run_half(
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    args.init_telemetry();
     let scale = Scale::from_full_flag(args.full);
     let mut record = ExperimentRecord::new("table3_facebook_enron", "Table 3")
         .parameter("scale", format!("{scale:?}"))
@@ -107,4 +108,5 @@ fn main() {
         "  (Proxy graphs are smaller at demo scale, so absolute counts are proportionally lower.)"
     );
     args.maybe_write_json(&record);
+    args.maybe_write_trace();
 }

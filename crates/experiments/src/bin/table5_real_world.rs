@@ -80,6 +80,7 @@ fn run_dataset(
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    args.init_telemetry();
     let scale = Scale::from_full_flag(args.full);
     let mut record = ExperimentRecord::new("table5_real_world", "Table 5")
         .parameter("l", "0.10")
@@ -107,4 +108,5 @@ fn main() {
     );
     println!("    trades recall for noticeably better precision.");
     args.maybe_write_json(&record);
+    args.maybe_write_trace();
 }

@@ -24,6 +24,7 @@ use snr_sampling::sample_seeds;
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    args.init_telemetry();
     let mut record =
         ExperimentRecord::new("theory_validation", "Section 4 (Theorems 1-4, Lemmas 11-12)")
             .parameter("seed", args.seed.to_string());
@@ -159,4 +160,5 @@ fn main() {
         "doing at least as well as predicted at far milder settings, which is the paper's point."
     );
     args.maybe_write_json(&record);
+    args.maybe_write_trace();
 }

@@ -23,6 +23,9 @@
 //!   relaunches one run may spend (defaults to the driver's own default).
 //! * `--degrade <fail|inprocess>` — for driver-backed runs: what the
 //!   coordinator does when the worker pool collapses.
+//! * `--trace-out <path>` — enable `snr-telemetry` and write the run's
+//!   JSONL trace (spans, events, counters) to `<path>` on exit. Equivalent
+//!   to setting `SNR_TRACE=<path>` in the environment.
 
 use snr_core::{Backend, CandidateSource};
 use snr_driver::DegradePolicy;
@@ -143,6 +146,9 @@ pub struct ExperimentArgs {
     /// Degradation policy override for driver-backed runs (`None` keeps
     /// the driver default).
     pub degrade: Option<DegradePolicy>,
+    /// Optional path to write the telemetry JSONL trace to (also enables
+    /// telemetry for the run, like `SNR_TRACE`).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ExperimentArgs {
@@ -157,6 +163,7 @@ impl Default for ExperimentArgs {
             blocking: CandidateSource::Exact,
             respawn_budget: None,
             degrade: None,
+            trace_out: None,
         }
     }
 }
@@ -221,6 +228,13 @@ impl ExperimentArgs {
                 arg if arg.starts_with("--degrade=") => {
                     out.degrade = Some(parse_degrade(&arg["--degrade=".len()..])?);
                 }
+                "--trace-out" => {
+                    let v = iter.next().ok_or("--trace-out requires a path")?;
+                    out.trace_out = Some(PathBuf::from(v.as_ref()));
+                }
+                arg if arg.starts_with("--trace-out=") => {
+                    out.trace_out = Some(PathBuf::from(&arg["--trace-out=".len()..]));
+                }
                 "--help" | "-h" => {
                     return Err(Self::usage().to_string());
                 }
@@ -269,7 +283,8 @@ impl ExperimentArgs {
          [--store compact|mmap|sharded:<N>] \
          [--backend sequential|rayon|mapreduce[:N]|driver[:N]] \
          [--blocking exact|lsh:<B>x<R>] \
-         [--respawn-budget <N>] [--degrade fail|inprocess]"
+         [--respawn-budget <N>] [--degrade fail|inprocess] \
+         [--trace-out <path>]"
     }
 
     /// Short label of the configured backend for table headers and records.
@@ -290,6 +305,28 @@ impl ExperimentArgs {
         match self.blocking {
             CandidateSource::Exact => "exact".to_string(),
             CandidateSource::Lsh { bands, rows } => format!("lsh:{bands}x{rows}"),
+        }
+    }
+
+    /// Applies the telemetry-related arguments: `--trace-out` sets the trace
+    /// path and enables telemetry, then the `SNR_TRACE`/`SNR_TELEMETRY`/
+    /// `SNR_LOG` environment variables are honored. Call once at binary
+    /// startup, before the run begins.
+    pub fn init_telemetry(&self) {
+        snr_telemetry::init_from_env();
+        if let Some(path) = &self.trace_out {
+            snr_telemetry::set_trace_path(path.clone());
+            snr_telemetry::enable();
+        }
+    }
+
+    /// Writes the telemetry JSONL trace if `--trace-out` (or `SNR_TRACE`)
+    /// configured a path, reporting where it went.
+    pub fn maybe_write_trace(&self) {
+        match snr_telemetry::write_trace_if_configured() {
+            Ok(Some(path)) => eprintln!("wrote trace {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("failed to write trace: {e}"),
         }
     }
 
@@ -429,6 +466,16 @@ mod tests {
         assert!(ExperimentArgs::parse(["--respawn-budget", "-1"]).is_err());
         assert!(ExperimentArgs::parse(["--degrade"]).is_err());
         assert!(ExperimentArgs::parse(["--degrade", "shrug"]).is_err());
+    }
+
+    #[test]
+    fn parses_trace_out_in_both_spellings() {
+        assert_eq!(ExperimentArgs::default().trace_out, None);
+        let args = ExperimentArgs::parse(["--trace-out", "/tmp/trace.jsonl"]).unwrap();
+        assert_eq!(args.trace_out, Some(PathBuf::from("/tmp/trace.jsonl")));
+        let args = ExperimentArgs::parse(["--trace-out=/tmp/t2.jsonl"]).unwrap();
+        assert_eq!(args.trace_out, Some(PathBuf::from("/tmp/t2.jsonl")));
+        assert!(ExperimentArgs::parse(["--trace-out"]).is_err());
     }
 
     #[test]

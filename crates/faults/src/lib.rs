@@ -201,7 +201,7 @@ impl FaultRegistry {
         match spec {
             None => FaultRegistry::empty(),
             Some(s) => FaultRegistry::parse(&s).unwrap_or_else(|e| {
-                eprintln!("snr-faults: ignoring unparseable fault spec: {e}");
+                snr_telemetry::warn!("ignoring unparseable fault spec: {e}");
                 FaultRegistry::empty()
             }),
         }
@@ -309,6 +309,13 @@ impl FaultRegistry {
             if a.site != FaultSite::Stall {
                 a.fired.set(true);
             }
+            snr_telemetry::Counter::FaultsFired.add(1);
+            snr_telemetry::event!(
+                "fault_fired",
+                site = a.site.name(),
+                worker = worker.map_or_else(|| "any".to_string(), |w| w.to_string()),
+                round = round.map_or_else(|| "any".to_string(), |r| r.to_string()),
+            );
             return Some(FaultHit { site: a.site, millis: a.millis.unwrap_or(0) });
         }
         None

@@ -114,6 +114,7 @@ impl Engine {
         R: Fn(K, Vec<V>) -> Vec<O> + Sync,
     {
         let start = Instant::now();
+        let _span = snr_telemetry::span!("round", label = label);
         let parts = self.reduce_partitions;
         let (per_part, round) = self.run_inner(
             input,
@@ -187,6 +188,7 @@ impl Engine {
         R: Fn(usize, Vec<(K, Vec<V>)>) -> O + Sync,
     {
         let start = Instant::now();
+        let _span = snr_telemetry::span!("round", label = label);
         // Setup-heavy chunked mappers: unless the caller configured a chunk
         // size explicitly, cap the task count at a small multiple of the
         // worker count (see COMBINED_TASKS_PER_WORKER).
@@ -326,6 +328,18 @@ impl Engine {
     }
 
     fn record_round(&self, label: &str, c: RoundCounters, output_records: usize, start: Instant) {
+        let duration = start.elapsed();
+        snr_telemetry::Counter::EngineRounds.add(1);
+        snr_telemetry::Counter::ShuffleRecords.add(c.shuffled_records as u64);
+        snr_telemetry::Counter::ShuffleBytes.add(c.shuffled_bytes as u64);
+        snr_telemetry::Histogram::RoundMicros.record(duration.as_micros() as u64);
+        snr_telemetry::event!(
+            "engine_round",
+            label = label,
+            shuffled_records = c.shuffled_records,
+            shuffled_bytes = c.shuffled_bytes,
+            reduce_tasks = c.reduce_tasks,
+        );
         self.stats.lock().record(RoundStats {
             label: label.to_string(),
             input_records: c.input_records,
@@ -336,7 +350,7 @@ impl Engine {
             output_records,
             map_tasks: c.map_tasks,
             reduce_tasks: c.reduce_tasks,
-            duration: start.elapsed(),
+            duration,
         });
     }
 }

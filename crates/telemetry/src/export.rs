@@ -1,0 +1,242 @@
+//! Exporters: JSON-lines trace files, Prometheus-style text snapshots, and
+//! the human phase-breakdown tree.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::spans;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+static TRACE_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Sets the path [`write_trace_if_configured`] will write to.
+pub fn set_trace_path(path: PathBuf) {
+    *TRACE_PATH.lock().unwrap_or_else(|e| e.into_inner()) = Some(path);
+}
+
+/// The configured trace path, if any (`--trace-out` / `SNR_TRACE`).
+pub fn trace_path() -> Option<PathBuf> {
+    TRACE_PATH.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(line: &mut String, key: &str, value: &str) {
+    let _ = write!(line, ",\"{key}\":\"");
+    escape_json(value, line);
+    line.push('"');
+}
+
+/// Renders the full trace — meta line, every finished span, every event, and
+/// the final counter totals — as JSON lines (one flat object per line).
+pub fn render_jsonl() -> String {
+    let mut out = String::new();
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"version\":1,\"pid\":{},\"created_unix\":{unix}}}",
+        std::process::id()
+    );
+    for span in spans::finished() {
+        let mut line = format!(
+            "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"thread\":{},\"start_us\":{},\"dur_us\":{}",
+            span.id, span.parent, span.thread, span.start_us, span.dur_us
+        );
+        push_str_field(&mut line, "name", &span.name);
+        push_str_field(&mut line, "fields", &span.fields);
+        line.push('}');
+        let _ = writeln!(out, "{line}");
+    }
+    for event in spans::all_events() {
+        let mut line =
+            format!("{{\"type\":\"event\",\"thread\":{},\"at_us\":{}", event.thread, event.at_us);
+        push_str_field(&mut line, "name", &event.name);
+        push_str_field(&mut line, "fields", &event.fields);
+        line.push('}');
+        let _ = writeln!(out, "{line}");
+    }
+    for &counter in Counter::ALL {
+        let value = counter.get();
+        if value > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+                counter.name()
+            );
+        }
+    }
+    out
+}
+
+/// Writes the JSONL trace to `path`.
+pub fn write_trace(path: &Path) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_jsonl().as_bytes())?;
+    file.flush()
+}
+
+/// Writes the JSONL trace to the configured path, if one was set. Returns
+/// the path written, or `None` when no trace was requested.
+pub fn write_trace_if_configured() -> io::Result<Option<PathBuf>> {
+    match trace_path() {
+        Some(path) => write_trace(&path).map(|()| Some(path)),
+        None => Ok(None),
+    }
+}
+
+/// A point-in-time copy of every metric, ready to render.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// Counter totals as `(name, value)`, in registration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge values as `(name, value)`.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Histograms as `(name, buckets)` where each bucket is
+    /// `(upper_bound, count)` and `upper_bound` is exclusive.
+    pub histograms: Vec<(&'static str, Vec<(u64, u64)>)>,
+}
+
+impl TelemetrySnapshot {
+    /// Captures the current totals.
+    pub fn capture() -> TelemetrySnapshot {
+        let counters = Counter::ALL.iter().map(|&c| (c.name(), c.get())).collect();
+        let gauges = Gauge::ALL.iter().map(|&g| (g.name(), g.get())).collect();
+        let histograms = Histogram::ALL
+            .iter()
+            .map(|&h| {
+                let buckets = h
+                    .buckets()
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, count)| count > 0)
+                    .map(|(b, count)| (1u64 << b, count))
+                    .collect();
+                (h.name(), buckets)
+            })
+            .collect();
+        TelemetrySnapshot { counters, gauges, histograms }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format, with
+    /// every metric prefixed `snr_`. This is the shape the future
+    /// `snr-server` `/metrics` endpoint serves.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for &(name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE snr_{name} counter");
+            let _ = writeln!(out, "snr_{name} {value}");
+        }
+        for &(name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE snr_{name} gauge");
+            let _ = writeln!(out, "snr_{name} {value}");
+        }
+        for (name, buckets) in &self.histograms {
+            let _ = writeln!(out, "# TYPE snr_{name} histogram");
+            let mut cumulative = 0u64;
+            for &(le, count) in buckets {
+                cumulative += count;
+                let _ = writeln!(out, "snr_{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "snr_{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "snr_{name}_count {cumulative}");
+        }
+        out
+    }
+
+    /// Renders the finished spans as an indented tree, aggregated by path:
+    /// spans with the same name under the same parent path are summed. Spans
+    /// absorbed from workers appear as roots tagged with their worker fields.
+    pub fn render_tree(&self) -> String {
+        struct Node {
+            total_us: u64,
+            count: u64,
+            order: usize,
+            children: Vec<String>,
+        }
+        let records = spans::finished();
+        let name_of: HashMap<u64, String> =
+            records.iter().map(|r| (r.id, r.name.to_string())).collect();
+        let parent_of: HashMap<u64, u64> = records.iter().map(|r| (r.id, r.parent)).collect();
+        // Path of a span = ancestor names joined by '/', so repeated phases
+        // aggregate into one line per nesting position.
+        let path_of = |id: u64| -> String {
+            let mut parts = Vec::new();
+            let mut cur = id;
+            while cur != 0 {
+                parts.push(name_of.get(&cur).cloned().unwrap_or_default());
+                cur = parent_of.get(&cur).copied().unwrap_or(0);
+            }
+            parts.reverse();
+            parts.join("/")
+        };
+        // Pass 1: aggregate totals per path. Pass 2: wire child lists, so a
+        // child that finishes before its parent still nests correctly.
+        let mut nodes: HashMap<String, Node> = HashMap::new();
+        for record in &records {
+            let path = path_of(record.id);
+            let order = record.start_us as usize;
+            let node = nodes.entry(path).or_insert_with(|| Node {
+                total_us: 0,
+                count: 0,
+                order,
+                children: Vec::new(),
+            });
+            node.total_us += record.dur_us;
+            node.count += 1;
+            node.order = node.order.min(order);
+        }
+        let paths: Vec<String> = nodes.keys().cloned().collect();
+        let mut roots: Vec<String> = Vec::new();
+        for path in &paths {
+            match path.rfind('/') {
+                Some(cut) if nodes.contains_key(&path[..cut]) => {
+                    nodes.get_mut(&path[..cut]).unwrap().children.push(path.clone());
+                }
+                _ => roots.push(path.clone()),
+            }
+        }
+        let mut out = String::new();
+        fn emit(out: &mut String, nodes: &HashMap<String, Node>, path: &str, depth: usize) {
+            let Some(node) = nodes.get(path) else { return };
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let _ = writeln!(
+                out,
+                "{:indent$}{name}  {:.3}s  ×{}",
+                "",
+                node.total_us as f64 / 1e6,
+                node.count,
+                indent = depth * 2
+            );
+            let mut children = node.children.clone();
+            children.sort_by_key(|c| nodes.get(c).map_or(usize::MAX, |n| n.order));
+            for child in children {
+                emit(out, nodes, &child, depth + 1);
+            }
+        }
+        roots.sort_by_key(|r| nodes.get(r).map_or(usize::MAX, |n| n.order));
+        for root in roots {
+            emit(&mut out, &nodes, &root, 0);
+        }
+        out
+    }
+}

@@ -1,0 +1,122 @@
+//! Leveled structured logging to stderr, independent of the trace switch.
+//!
+//! Messages look like `snr[warn] worker 2 died signal=9`. The active level
+//! comes from `SNR_LOG` (default `info`); [`set_log_level`] overrides it at
+//! runtime.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Once;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable problems.
+    Error = 0,
+    /// Degraded-but-continuing conditions (worker deaths, checkpoint
+    /// failures, ignored configuration).
+    Warn = 1,
+    /// Normal operational messages. The default level.
+    Info = 2,
+    /// High-volume diagnostics.
+    Debug = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            3 => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "error" => Ok(Level::Error),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!("unknown log level {other:?} (use error|warn|info|debug)")),
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static INIT: Once = Once::new();
+
+/// Reads `SNR_LOG` once; unparseable values are ignored (the default
+/// stays in effect).
+pub(crate) fn init_level_from_env() {
+    INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("SNR_LOG") {
+            if let Ok(level) = spec.parse() {
+                set_log_level(level);
+            }
+        }
+    });
+}
+
+/// The currently active log level.
+pub fn log_level() -> Level {
+    init_level_from_env();
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Overrides the active log level (takes precedence over `SNR_LOG`).
+pub fn set_log_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Writes one log line to stderr if `level` is at or above the active
+/// threshold. Called by the logging macros; prefer those.
+pub fn log(level: Level, args: fmt::Arguments<'_>) {
+    if level <= log_level() {
+        eprintln!("snr[{}] {}", level.as_str(), args);
+    }
+}
+
+/// Logs at `error` level: `snr_telemetry::error!("bad thing code={}", c)`.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Error, format_args!($($arg)*)) };
+}
+
+/// Logs at `warn` level.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Warn, format_args!($($arg)*)) };
+}
+
+/// Logs at `info` level.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Info, format_args!($($arg)*)) };
+}
+
+/// Logs at `debug` level.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Debug, format_args!($($arg)*)) };
+}
