@@ -170,6 +170,15 @@ fn bench_rmat16(c: &mut Criterion) {
         let engine = Engine::new(4);
         b.iter(|| black_box(mapreduce_fused_phase(&engine, &c1, &c2, &links, 2, 2, 2)))
     });
+    // The same fused round forced out-of-core: a 1 MiB budget makes every
+    // map task spill its post-combine buckets to run files that the reduce
+    // k-way merges back. The baseline pins the cost of the spill write +
+    // checksum + merge path relative to the in-memory round above.
+    group.bench_function("csr/mapreduce_spill", |b| {
+        let scratch = std::env::temp_dir().join(format!("snr-bench-spill-{}", std::process::id()));
+        let engine = Engine::new(4).with_spill_budget(Some(1 << 20)).with_scratch_dir(scratch);
+        b.iter(|| black_box(mapreduce_fused_phase(&engine, g1, g2, &links, 2, 2, 2)))
+    });
 
     // The storage subsystem on the same workload: witness pass over
     // mmap-backed segments and over the 4-shard partition.

@@ -7,7 +7,7 @@ use crate::linking::Linking;
 use crate::scoring::{fused_phase_on, mapreduce_fused_phase_on, CandidateCache};
 use crate::stats::{MatchingOutcome, PhaseStats};
 use snr_graph::{GraphView, NodeId};
-use snr_mapreduce::{Engine, EngineStats};
+use snr_mapreduce::{Engine, EngineError, EngineStats};
 use snr_sketch::Banding;
 use std::time::Instant;
 
@@ -57,7 +57,29 @@ impl UserMatching {
     /// Generic over [`GraphView`]: the two copies may be
     /// [`snr_graph::CsrGraph`]s, [`snr_graph::CompactCsr`]s, or one of each —
     /// the algorithm (and its output) is identical for every combination.
+    ///
+    /// Infallible: the engine this entry point builds carries whatever spill
+    /// budget `SNR_MR_SPILL_BUDGET` requests, so a spill failure (I/O error
+    /// or corrupt run file) panics here — use [`UserMatching::try_run`] to
+    /// handle it instead.
     pub fn run<G1, G2>(&self, g1: &G1, g2: &G2, seeds: &[(NodeId, NodeId)]) -> MatchingOutcome
+    where
+        G1: GraphView + Sync,
+        G2: GraphView + Sync,
+    {
+        self.try_run(g1, g2, seeds).expect("spill round failed")
+    }
+
+    /// Fallible sibling of [`UserMatching::run`]: surfaces a spill I/O or
+    /// corruption failure in the MapReduce backend's out-of-core shuffle as
+    /// a clean [`EngineError`] instead of panicking. A run without a spill
+    /// budget never returns `Err`.
+    pub fn try_run<G1, G2>(
+        &self,
+        g1: &G1,
+        g2: &G2,
+        seeds: &[(NodeId, NodeId)],
+    ) -> Result<MatchingOutcome, EngineError>
     where
         G1: GraphView + Sync,
         G2: GraphView + Sync,
@@ -67,7 +89,9 @@ impl UserMatching {
 
     /// Runs the algorithm on the MapReduce backend using a caller-supplied
     /// engine, so that the caller can inspect round statistics afterwards.
-    /// Panics if the configured backend is not [`Backend::MapReduce`].
+    /// Panics if the configured backend is not [`Backend::MapReduce`], or if
+    /// the engine carries a spill budget and a spill fails — see
+    /// [`UserMatching::try_run_on_engine`].
     pub fn run_on_engine<G1, G2>(
         &self,
         g1: &G1,
@@ -75,6 +99,26 @@ impl UserMatching {
         seeds: &[(NodeId, NodeId)],
         engine: &Engine,
     ) -> MatchingOutcome
+    where
+        G1: GraphView + Sync,
+        G2: GraphView + Sync,
+    {
+        self.try_run_on_engine(g1, g2, seeds, engine).expect("spill round failed")
+    }
+
+    /// Fallible sibling of [`UserMatching::run_on_engine`] for engines with
+    /// a spill budget ([`Engine::with_spill_budget`]): a failed spill
+    /// surfaces as a clean [`EngineError`] with the engine's scratch space
+    /// already removed. Still panics if the configured backend is not
+    /// [`Backend::MapReduce`] (that is a programming error, not a runtime
+    /// fault).
+    pub fn try_run_on_engine<G1, G2>(
+        &self,
+        g1: &G1,
+        g2: &G2,
+        seeds: &[(NodeId, NodeId)],
+        engine: &Engine,
+    ) -> Result<MatchingOutcome, EngineError>
     where
         G1: GraphView + Sync,
         G2: GraphView + Sync,
@@ -99,13 +143,28 @@ impl UserMatching {
         G1: GraphView + Sync,
         G2: GraphView + Sync,
     {
+        self.try_run_with_round_stats(g1, g2, seeds).expect("spill round failed")
+    }
+
+    /// Fallible sibling of [`UserMatching::run_with_round_stats`]; the
+    /// engine inherits its spill budget from `SNR_MR_SPILL_BUDGET`.
+    pub fn try_run_with_round_stats<G1, G2>(
+        &self,
+        g1: &G1,
+        g2: &G2,
+        seeds: &[(NodeId, NodeId)],
+    ) -> Result<(MatchingOutcome, EngineStats), EngineError>
+    where
+        G1: GraphView + Sync,
+        G2: GraphView + Sync,
+    {
         let workers = match self.config.backend {
             Backend::MapReduce { workers } => workers,
             _ => 1,
         };
         let engine = Engine::new(workers);
-        let outcome = self.run_internal(g1, g2, seeds, Some(&engine));
-        (outcome, engine.stats())
+        let outcome = self.run_internal(g1, g2, seeds, Some(&engine))?;
+        Ok((outcome, engine.stats()))
     }
 
     fn run_internal<G1, G2>(
@@ -114,7 +173,7 @@ impl UserMatching {
         g2: &G2,
         seeds: &[(NodeId, NodeId)],
         engine: Option<&Engine>,
-    ) -> MatchingOutcome
+    ) -> Result<MatchingOutcome, EngineError>
     where
         G1: GraphView + Sync,
         G2: GraphView + Sync,
@@ -192,7 +251,7 @@ impl UserMatching {
                             candidates,
                             min_degree,
                             cfg.threshold,
-                        )
+                        )?
                     }
                     _ => {
                         let parallel = matches!(cfg.backend, Backend::Rayon);
@@ -271,7 +330,7 @@ impl UserMatching {
             }
         }
 
-        MatchingOutcome { links, phases, total_duration: start.elapsed() }
+        Ok(MatchingOutcome { links, phases, total_duration: start.elapsed() })
     }
 }
 

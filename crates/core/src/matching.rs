@@ -184,11 +184,17 @@ pub fn mutual_best_pairs_rayon(scores: &ScoreTable, threshold: u32) -> Vec<(Node
 /// as its own round at all — [`crate::scoring::mapreduce_fused_phase`] fuses
 /// it into the witness-scoring reduce — so this entry point exists for
 /// callers that already hold a [`ScoreTable`].)
+///
+/// # Errors
+///
+/// Fails with [`snr_mapreduce::EngineError`] only when the engine carries a
+/// spill budget and the round's spill I/O fails or a run file is corrupt;
+/// an engine without a budget never returns `Err`.
 pub fn mapreduce_mutual_best(
     engine: &Engine,
     scores: &ScoreTable,
     threshold: u32,
-) -> Vec<(NodeId, NodeId)> {
+) -> Result<Vec<(NodeId, NodeId)>, snr_mapreduce::EngineError> {
     use crate::scoring::{pack_entry, run_select_round};
 
     let n1 = scores.keys().map(|&(u, _)| u as usize + 1).max().unwrap_or(0);
@@ -209,7 +215,7 @@ pub fn mapreduce_mutual_best(
         n2,
         threshold,
     )
-    .1
+    .map(|(_, pairs)| pairs)
 }
 
 #[cfg(test)]
@@ -341,7 +347,7 @@ mod tests {
         let engine = Engine::new(3).with_chunk_size(16);
         for threshold in [1, 2, 4, 8] {
             let expected = mutual_best_pairs(&scores, threshold);
-            let got = mapreduce_mutual_best(&engine, &scores, threshold);
+            let got = mapreduce_mutual_best(&engine, &scores, threshold).unwrap();
             assert_eq!(got, expected, "mismatch at threshold {threshold}");
         }
     }
@@ -355,7 +361,7 @@ mod tests {
             let scores: ScoreTable = entries.into_iter().collect();
             let engine = Engine::new(2).with_chunk_size(8);
             let expected = mutual_best_pairs(&scores, threshold);
-            let got = mapreduce_mutual_best(&engine, &scores, threshold);
+            let got = mapreduce_mutual_best(&engine, &scores, threshold).unwrap();
             proptest::prop_assert_eq!(got, expected);
         }
 

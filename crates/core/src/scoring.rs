@@ -54,7 +54,7 @@ use crate::witness::ScoreTable;
 use rayon::prelude::*;
 use snr_graph::{GraphError, GraphView, NodeId};
 use snr_mapreduce::partition::range_partition;
-use snr_mapreduce::Engine;
+use snr_mapreduce::{Engine, EngineError, SpillCodec};
 
 /// Sentinel in [`LinkCache::slot`] for copy-1 nodes that are not linked.
 const NO_LINK: u32 = u32::MAX;
@@ -91,6 +91,10 @@ impl LinkCache {
     /// slot array is sized by [`Linking::g1_capacity`], which bounds every
     /// `w1` the linking can contain (inserts are bounds-checked).
     pub fn build<G2: GraphView>(g2: &G2, links: &Linking, min_deg2: usize) -> LinkCache {
+        // The build walks every linked `w2`'s neighborhood in link order —
+        // close to sequential over the on-disk layout for mmap-backed views
+        // — while the scoring that follows jumps rows at random.
+        g2.advise_sequential();
         let mut slot = vec![NO_LINK; links.g1_capacity()];
         let mut offsets = Vec::with_capacity(links.len() + 1);
         offsets.push(0u32);
@@ -104,6 +108,7 @@ impl LinkCache {
             );
             offsets.push(targets.len() as u32);
         }
+        g2.advise_random();
         LinkCache { slot, offsets, targets }
     }
 
@@ -124,6 +129,7 @@ impl LinkCache {
         if pairs.len() < PARALLEL_BUILD_CUTOFF {
             return LinkCache::build(g2, links, min_deg2);
         }
+        g2.advise_sequential();
         let chunk_size = pairs.len().div_ceil(rayon::current_num_threads());
         let chunks: Vec<&[(NodeId, NodeId)]> = pairs.chunks(chunk_size).collect();
         // Each part: (per-link filtered lengths, concatenated targets).
@@ -162,6 +168,7 @@ impl LinkCache {
             }
             targets.extend(part_targets);
         }
+        g2.advise_random();
         LinkCache { slot, offsets, targets }
     }
 
@@ -793,6 +800,9 @@ pub fn score_assigned_rows<G1, S>(
     G1: GraphView,
     S: ScoreSink,
 {
+    // A worker reads exactly this row range; tell mmap-backed views to
+    // prefetch it (no-op for in-memory views).
+    g1_rows.advise_rows(local_rows.clone());
     for local in local_rows {
         let global = base + local;
         if g1_rows.degree(NodeId(local)) < min_deg1 || links.is_linked_g1(NodeId(global)) {
@@ -1175,6 +1185,12 @@ where
 /// sketches this phase as 4 MapReduce rounds (score, best-per-`u`,
 /// best-per-`v`, join), the combiner + range partitioning collapse it into
 /// one round per phase — `O(k log D)` rounds total.
+///
+/// # Errors
+///
+/// Fails with [`EngineError`] only when the engine carries a spill budget
+/// and the round's spill I/O fails or a run file is corrupt; an engine
+/// without a budget never returns `Err`.
 pub fn mapreduce_fused_phase<G1, G2>(
     engine: &Engine,
     g1: &G1,
@@ -1183,7 +1199,7 @@ pub fn mapreduce_fused_phase<G1, G2>(
     min_deg1: usize,
     min_deg2: usize,
     threshold: u32,
-) -> (usize, Vec<(NodeId, NodeId)>)
+) -> Result<(usize, Vec<(NodeId, NodeId)>), EngineError>
 where
     G1: GraphView + Sync,
     G2: GraphView + Sync,
@@ -1203,7 +1219,7 @@ pub fn mapreduce_fused_phase_on<G1, G2>(
     candidates: Vec<u32>,
     min_deg2: usize,
     threshold: u32,
-) -> (usize, Vec<(NodeId, NodeId)>)
+) -> Result<(usize, Vec<(NodeId, NodeId)>), EngineError>
 where
     G1: GraphView + Sync,
     G2: GraphView + Sync,
@@ -1219,6 +1235,57 @@ where
     )
 }
 
+/// Spill codec for the packed-row shuffle protocol: a group is its dense
+/// `u32` key, a fragment count, and each fragment as a `u32` length plus
+/// that many packed `(v, count)` `u64` entries ([`pack_entry`]) — exactly
+/// the in-memory `(u32, Vec<Vec<u64>>)` shape, so a round that spills to
+/// disk reduces bit-identically to one that never did.
+pub(crate) struct PackedRowCodec;
+
+impl SpillCodec<u32, Vec<u64>> for PackedRowCodec {
+    fn encode_group(&self, key: &u32, values: &[Vec<u64>], out: &mut Vec<u8>) {
+        out.extend_from_slice(&key.to_le_bytes());
+        out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+        for fragment in values {
+            out.extend_from_slice(&(fragment.len() as u32).to_le_bytes());
+            for &entry in fragment {
+                out.extend_from_slice(&entry.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_group(&self, bytes: &[u8]) -> Result<(u32, Vec<Vec<u64>>), String> {
+        let take4 = |at: usize| -> Result<u32, String> {
+            bytes
+                .get(at..at + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+                .ok_or_else(|| format!("packed-row group truncated at byte {at}"))
+        };
+        let key = take4(0)?;
+        let fragments = take4(4)? as usize;
+        let mut at = 8;
+        let mut values = Vec::with_capacity(fragments);
+        for _ in 0..fragments {
+            let len = take4(at)? as usize;
+            at += 4;
+            let end = at + 8 * len;
+            let body = bytes
+                .get(at..end)
+                .ok_or_else(|| format!("packed-row fragment truncated at byte {at}"))?;
+            values.push(
+                body.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect(),
+            );
+            at = end;
+        }
+        if at != bytes.len() {
+            return Err(format!("packed-row group has {} trailing bytes", bytes.len() - at));
+        }
+        Ok((key, values))
+    }
+}
+
 /// The shared select-fused engine round behind [`mapreduce_fused_phase`]
 /// and [`crate::matching::mapreduce_mutual_best`]: `map` turns each input
 /// chunk into packed-row records, the shuffle range-partitions their dense
@@ -1226,7 +1293,14 @@ where
 /// folds its rows into a [`SelectSink`] over `n2` copy-2 nodes, and the
 /// per-partition sinks merge into one `finish()`ed selection. This is the
 /// single definition of the packed-row round protocol — entry layout,
-/// partitioning, sizing — so callers only differ in how they produce rows.
+/// partitioning, sizing, spill encoding ([`PackedRowCodec`]) — so callers
+/// only differ in how they produce rows.
+///
+/// Runs through [`Engine::run_combined_spilling`]: when the engine carries a
+/// memory budget the post-combine shuffle spills to checksummed run files,
+/// and any spill I/O or corruption failure surfaces as a clean
+/// [`EngineError`] (an engine without a budget never touches disk and never
+/// fails).
 pub(crate) fn run_select_round<I, M>(
     engine: &Engine,
     label: &str,
@@ -1235,13 +1309,13 @@ pub(crate) fn run_select_round<I, M>(
     n1: usize,
     n2: usize,
     threshold: u32,
-) -> (usize, Vec<(NodeId, NodeId)>)
+) -> Result<(usize, Vec<(NodeId, NodeId)>), EngineError>
 where
     I: Send,
     M: Fn(&[I]) -> Vec<(u32, Vec<u64>)> + Sync,
 {
     let parts = engine.reduce_partitions();
-    let sinks: Vec<SelectSink> = engine.run_combined(
+    let sinks: Vec<SelectSink> = engine.run_combined_spilling(
         label,
         input,
         map,
@@ -1255,13 +1329,14 @@ where
             }
             sink
         },
-    );
+        &PackedRowCodec,
+    )?;
     let mut iter = sinks.into_iter();
     let mut acc = iter.next().unwrap_or_else(|| SelectSink::new(n2, threshold));
     for sink in iter {
         acc.merge(sink);
     }
-    acc.finish()
+    Ok(acc.finish())
 }
 
 /// Arena-based construction of the full sparse [`ScoreTable`] — the same
@@ -1566,7 +1641,7 @@ mod tests {
             for d in [1usize, 2, 4] {
                 for t in [1u32, 2, 3] {
                     let expected = fused_phase(&g1, &g2, &links, d, d, t, false);
-                    let got = mapreduce_fused_phase(&engine, &g1, &g2, &links, d, d, t);
+                    let got = mapreduce_fused_phase(&engine, &g1, &g2, &links, d, d, t).unwrap();
                     assert_eq!(got, expected, "workers={workers} d={d} t={t}");
                 }
             }
@@ -1579,9 +1654,9 @@ mod tests {
         let (c1, c2) = (g1.compact(), g2.compact());
         let engine = snr_mapreduce::Engine::new(2).with_chunk_size(32);
         let expected = fused_phase(&g1, &g2, &links, 2, 2, 2, false);
-        assert_eq!(mapreduce_fused_phase(&engine, &c1, &c2, &links, 2, 2, 2), expected);
-        assert_eq!(mapreduce_fused_phase(&engine, &g1, &c2, &links, 2, 2, 2), expected);
-        assert_eq!(mapreduce_fused_phase(&engine, &c1, &g2, &links, 2, 2, 2), expected);
+        assert_eq!(mapreduce_fused_phase(&engine, &c1, &c2, &links, 2, 2, 2).unwrap(), expected);
+        assert_eq!(mapreduce_fused_phase(&engine, &g1, &c2, &links, 2, 2, 2).unwrap(), expected);
+        assert_eq!(mapreduce_fused_phase(&engine, &c1, &g2, &links, 2, 2, 2).unwrap(), expected);
     }
 
     #[test]
@@ -1589,11 +1664,14 @@ mod tests {
         let engine = snr_mapreduce::Engine::new(2);
         let g = CsrGraph::from_edges(0, &[]);
         let links = Linking::new(0, 0);
-        assert_eq!(mapreduce_fused_phase(&engine, &g, &g.clone(), &links, 1, 1, 2), (0, vec![]));
+        assert_eq!(
+            mapreduce_fused_phase(&engine, &g, &g.clone(), &links, 1, 1, 2).unwrap(),
+            (0, vec![])
+        );
         let (g1, g2, _) = tiny_case();
         let no_links = Linking::new(5, 5);
         assert_eq!(
-            mapreduce_fused_phase(&engine, &g1, &g2, &no_links, 1, 1, 1),
+            mapreduce_fused_phase(&engine, &g1, &g2, &no_links, 1, 1, 1).unwrap(),
             (0, vec![]),
             "no links, no witnesses"
         );
@@ -1793,7 +1871,7 @@ mod tests {
                 );
             }
             assert_eq!(
-                mapreduce_fused_phase_on(&engine, &g1, &g2, &links, candidates, d, t),
+                mapreduce_fused_phase_on(&engine, &g1, &g2, &links, candidates, d, t).unwrap(),
                 expected,
                 "mapreduce d={d} t={t}"
             );

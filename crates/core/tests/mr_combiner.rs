@@ -67,11 +67,12 @@ fn assert_matches_oracle<G1, G2>(
     let expected_pairs = mutual_best_pairs(&oracle, threshold);
     let table = count_mapreduce(g1, g2, links, min_deg, min_deg, engine);
     assert_eq!(table, oracle, "count_mapreduce table ({label})");
-    let (scored, pairs) = mapreduce_fused_phase(engine, g1, g2, links, min_deg, min_deg, threshold);
+    let (scored, pairs) =
+        mapreduce_fused_phase(engine, g1, g2, links, min_deg, min_deg, threshold).unwrap();
     assert_eq!(scored, oracle.len(), "fused scored_pairs vs oracle table size ({label})");
     assert_eq!(pairs, expected_pairs, "fused MR selection ({label})");
     assert_eq!(
-        mapreduce_mutual_best(engine, &oracle, threshold),
+        mapreduce_mutual_best(engine, &oracle, threshold).unwrap(),
         expected_pairs,
         "mapreduce_mutual_best on the oracle table ({label})"
     );
@@ -198,10 +199,38 @@ fn witness_round_shuffles_one_packed_record_per_candidate_row() {
 }
 
 #[test]
+fn spilling_witness_round_links_are_bit_identical_to_in_memory() {
+    // Force the out-of-core path: budget 0 spills every map task's
+    // post-combine buckets to checksummed run files, and the reduce k-way
+    // merges them back. Links, scored-pair count, and the non-spill shuffle
+    // statistics must be exactly what the in-memory round produces.
+    let (g1, g2, links) = workload(true, 260, 3, 0xD15C);
+    let in_memory = Engine::sequential().with_chunk_size(16);
+    let expected = mapreduce_fused_phase(&in_memory, &g1, &g2, &links, 2, 2, 2).unwrap();
+    let scratch = std::env::temp_dir().join(format!("snr-core-spill-{}", std::process::id()));
+    for (workers, budget) in [(1usize, 0u64), (1, 512), (3, 0), (3, 2048)] {
+        let engine = Engine::new(workers)
+            .with_chunk_size(16)
+            .with_spill_budget(Some(budget))
+            .with_scratch_dir(&scratch);
+        let got = mapreduce_fused_phase(&engine, &g1, &g2, &links, 2, 2, 2).unwrap();
+        assert_eq!(got, expected, "workers={workers} budget={budget}");
+        let round = engine.stats().per_round[0].clone();
+        assert!(round.spilled_runs > 0, "budget {budget} must actually spill");
+        assert!(round.spilled_bytes > 0 && round.spilled_bytes <= round.shuffled_bytes);
+        let mem_round = in_memory.stats().per_round[0].clone();
+        assert_eq!(round.shuffled_records, mem_round.shuffled_records);
+        assert_eq!(round.shuffled_bytes, mem_round.shuffled_bytes);
+        assert!(!scratch.exists(), "scratch dir removed after the round");
+    }
+}
+
+#[test]
 fn chunking_and_worker_count_never_change_results() {
     let (g1, g2, links) = workload(false, 200, 2, 7);
     let reference = count_mapreduce(&g1, &g2, &links, 2, 2, &Engine::sequential());
-    let ref_pairs = mapreduce_fused_phase(&Engine::sequential(), &g1, &g2, &links, 2, 2, 2);
+    let ref_pairs =
+        mapreduce_fused_phase(&Engine::sequential(), &g1, &g2, &links, 2, 2, 2).unwrap();
     for workers in [1usize, 2, 5] {
         for chunk in [1usize, 3, 64, 10_000] {
             let engine = Engine::new(workers).with_chunk_size(chunk);
@@ -211,7 +240,7 @@ fn chunking_and_worker_count_never_change_results() {
                 "table workers={workers} chunk={chunk}"
             );
             assert_eq!(
-                mapreduce_fused_phase(&engine, &g1, &g2, &links, 2, 2, 2),
+                mapreduce_fused_phase(&engine, &g1, &g2, &links, 2, 2, 2).unwrap(),
                 ref_pairs,
                 "fused workers={workers} chunk={chunk}"
             );

@@ -68,7 +68,8 @@ fn main() {
     let engine = Engine::new(4);
     let start = Instant::now();
     let (scored, pairs) =
-        mapreduce_fused_phase(&engine, g1, g2, &links, min_deg, min_deg, threshold);
+        mapreduce_fused_phase(&engine, g1, g2, &links, min_deg, min_deg, threshold)
+            .expect("in-memory round cannot spill");
     let mr_secs = start.elapsed().as_secs_f64();
     let stats = engine.stats();
     let round = &stats.per_round[0];

@@ -131,6 +131,37 @@ fn run_on_driver(
     (outcome, secs, bpe, bytes)
 }
 
+/// Runs the matcher, routing MapReduce-backed runs with a `--spill-budget`
+/// through a budgeted engine so the round's spill statistics can be
+/// recorded. Returns the engine's round stats only on that path.
+fn timed_match<G1, G2>(
+    matcher: &UserMatching,
+    g1: &G1,
+    g2: &G2,
+    seeds: &[(NodeId, NodeId)],
+    spill_budget: Option<u64>,
+) -> (MatchingOutcome, f64, Option<snr_mapreduce::EngineStats>)
+where
+    G1: snr_graph::GraphView + Sync,
+    G2: snr_graph::GraphView + Sync,
+{
+    match (matcher.config().backend, spill_budget) {
+        (snr_core::Backend::MapReduce { workers }, Some(budget)) => {
+            let engine = snr_mapreduce::Engine::new(workers).with_spill_budget(Some(budget));
+            let (outcome, secs) = timed(|| {
+                matcher
+                    .try_run_on_engine(g1, g2, seeds, &engine)
+                    .expect("out-of-core MapReduce round failed")
+            });
+            (outcome, secs, Some(engine.stats()))
+        }
+        _ => {
+            let (outcome, secs) = timed(|| matcher.run(g1, g2, seeds));
+            (outcome, secs, None)
+        }
+    }
+}
+
 fn run_on_store(
     store: StoreMode,
     g1: CsrGraph,
@@ -138,7 +169,8 @@ fn run_on_store(
     seeds: &[(NodeId, NodeId)],
     config: MatchingConfig,
     exp: u32,
-) -> (MatchingOutcome, f64, f64, usize) {
+    spill_budget: Option<u64>,
+) -> (MatchingOutcome, f64, f64, usize, Option<snr_mapreduce::EngineStats>) {
     let matcher = UserMatching::new(config);
     match store {
         StoreMode::Compact => {
@@ -146,8 +178,8 @@ fn run_on_store(
             drop((g1, g2));
             let bpe = (c1.bytes_per_edge() + c2.bytes_per_edge()) / 2.0;
             let bytes = c1.memory_bytes() + c2.memory_bytes();
-            let (outcome, secs) = timed(|| matcher.run(&c1, &c2, seeds));
-            (outcome, secs, bpe, bytes)
+            let (outcome, secs, rounds) = timed_match(&matcher, &c1, &c2, seeds, spill_budget);
+            (outcome, secs, bpe, bytes, rounds)
         }
         StoreMode::Mmap => {
             let dir = segment_dir();
@@ -161,7 +193,7 @@ fn run_on_store(
             let m2 = MmapGraph::open(&paths.1).expect("open segment");
             let bpe = (m1.bytes_per_edge() + m2.bytes_per_edge()) / 2.0;
             let bytes = m1.memory_bytes() + m2.memory_bytes();
-            let (outcome, secs) = timed(|| matcher.run(&m1, &m2, seeds));
+            let (outcome, secs, rounds) = timed_match(&matcher, &m1, &m2, seeds, spill_budget);
             drop((m1, m2));
             let _ = std::fs::remove_file(&paths.0);
             let _ = std::fs::remove_file(&paths.1);
@@ -169,7 +201,7 @@ fn run_on_store(
             // other files survives; the default per-process dir is removed
             // once its last segment is gone.
             let _ = std::fs::remove_dir(&dir);
-            (outcome, secs, bpe, bytes)
+            (outcome, secs, bpe, bytes, rounds)
         }
         StoreMode::Sharded(n) => {
             let s1 = ShardedGraph::partition(&g1, n);
@@ -177,8 +209,8 @@ fn run_on_store(
             drop((g1, g2));
             let bpe = (s1.bytes_per_edge() + s2.bytes_per_edge()) / 2.0;
             let bytes = s1.memory_bytes() + s2.memory_bytes();
-            let (outcome, secs) = timed(|| matcher.run(&s1, &s2, seeds));
-            (outcome, secs, bpe, bytes)
+            let (outcome, secs, rounds) = timed_match(&matcher, &s1, &s2, seeds, spill_budget);
+            (outcome, secs, bpe, bytes, rounds)
         }
     }
 }
@@ -231,7 +263,11 @@ fn main() {
         .parameter("representation", args.store.label())
         .parameter("backend", args.backend_label())
         .parameter("blocking", args.blocking_label())
-        .parameter("seed", args.seed.to_string());
+        .parameter("seed", args.seed.to_string())
+        .parameter(
+            "spill_budget",
+            args.spill_budget.map_or_else(|| "unlimited".to_string(), |b| b.to_string()),
+        );
 
     let mut first_time: Option<f64> = None;
     for (i, &exp) in exponents.iter().enumerate() {
@@ -257,9 +293,13 @@ fn main() {
             .with_iterations(1)
             .with_backend(args.backend)
             .with_candidates(args.blocking);
-        let (outcome, secs, store_bpe, store_bytes) = match args.driver {
-            Some(workers) => run_on_driver(&args, workers, args.store, g1, g2, &seeds, config),
-            None => run_on_store(args.store, g1, g2, &seeds, config, exp),
+        let (outcome, secs, store_bpe, store_bytes, round_stats) = match args.driver {
+            Some(workers) => {
+                let (o, s, b, m) =
+                    run_on_driver(&args, workers, args.store, g1, g2, &seeds, config);
+                (o, s, b, m, None)
+            }
+            None => run_on_store(args.store, g1, g2, &seeds, config, exp, args.spill_budget),
         };
         let run = Evaluation::score_against(
             &truth,
@@ -305,6 +345,23 @@ fn main() {
             );
         if let Some(&r) = paper_relative.get(i) {
             row = row.paper_value("relative", r);
+        }
+        // Budgeted MapReduce runs record their out-of-core footprint:
+        // totals plus per-round spilled bytes, one value per engine round.
+        if let Some(stats) = round_stats {
+            row = row
+                .value(
+                    "spilled_bytes",
+                    stats.per_round.iter().map(|r| r.spilled_bytes).sum::<usize>() as f64,
+                )
+                .value(
+                    "spilled_runs",
+                    stats.per_round.iter().map(|r| r.spilled_runs).sum::<usize>() as f64,
+                );
+            for (round, r) in stats.per_round.iter().enumerate() {
+                row =
+                    row.value(format!("round{}_spilled_bytes", round + 1), r.spilled_bytes as f64);
+            }
         }
         record.push_row(row);
     }

@@ -23,6 +23,10 @@
 //!   relaunches one run may spend (defaults to the driver's own default).
 //! * `--degrade <fail|inprocess>` — for driver-backed runs: what the
 //!   coordinator does when the worker pool collapses.
+//! * `--spill-budget <bytes>` — for MapReduce-backed runs: memory budget
+//!   for each engine round's post-combine shuffle; rounds that exceed it
+//!   spill sorted run files to disk and k-way merge them back. `0` spills
+//!   everything. Equivalent to setting `SNR_MR_SPILL_BUDGET=<bytes>`.
 //! * `--trace-out <path>` — enable `snr-telemetry` and write the run's
 //!   JSONL trace (spans, events, counters) to `<path>` on exit. Equivalent
 //!   to setting `SNR_TRACE=<path>` in the environment.
@@ -52,6 +56,16 @@ fn parse_backend(s: &str) -> Result<Backend, String> {
 /// Parses a `--respawn-budget` value: any u32.
 fn parse_respawn_budget(s: &str) -> Result<u32, String> {
     s.parse().map_err(|_| format!("invalid --respawn-budget value {s:?} (expected a u32)"))
+}
+
+/// Parses a `--spill-budget` value: a byte count (plain `u64`).
+fn parse_spill_budget(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| {
+        format!(
+            "invalid --spill-budget value {s:?} \
+             (expected a plain byte count like 268435456; no suffixes)"
+        )
+    })
 }
 
 /// Parses a `--degrade` value: `fail` or `inprocess`.
@@ -146,6 +160,9 @@ pub struct ExperimentArgs {
     /// Degradation policy override for driver-backed runs (`None` keeps
     /// the driver default).
     pub degrade: Option<DegradePolicy>,
+    /// Shuffle memory budget in bytes for MapReduce-backed runs (`None`
+    /// keeps the engine fully in memory; `Some(0)` spills every round).
+    pub spill_budget: Option<u64>,
     /// Optional path to write the telemetry JSONL trace to (also enables
     /// telemetry for the run, like `SNR_TRACE`).
     pub trace_out: Option<PathBuf>,
@@ -163,6 +180,7 @@ impl Default for ExperimentArgs {
             blocking: CandidateSource::Exact,
             respawn_budget: None,
             degrade: None,
+            spill_budget: None,
             trace_out: None,
         }
     }
@@ -228,6 +246,13 @@ impl ExperimentArgs {
                 arg if arg.starts_with("--degrade=") => {
                     out.degrade = Some(parse_degrade(&arg["--degrade=".len()..])?);
                 }
+                "--spill-budget" => {
+                    let v = iter.next().ok_or("--spill-budget requires a byte count")?;
+                    out.spill_budget = Some(parse_spill_budget(v.as_ref())?);
+                }
+                arg if arg.starts_with("--spill-budget=") => {
+                    out.spill_budget = Some(parse_spill_budget(&arg["--spill-budget=".len()..])?);
+                }
                 "--trace-out" => {
                     let v = iter.next().ok_or("--trace-out requires a path")?;
                     out.trace_out = Some(PathBuf::from(v.as_ref()));
@@ -284,7 +309,7 @@ impl ExperimentArgs {
          [--backend sequential|rayon|mapreduce[:N]|driver[:N]] \
          [--blocking exact|lsh:<B>x<R>] \
          [--respawn-budget <N>] [--degrade fail|inprocess] \
-         [--trace-out <path>]"
+         [--spill-budget <bytes>] [--trace-out <path>]"
     }
 
     /// Short label of the configured backend for table headers and records.
@@ -466,6 +491,22 @@ mod tests {
         assert!(ExperimentArgs::parse(["--respawn-budget", "-1"]).is_err());
         assert!(ExperimentArgs::parse(["--degrade"]).is_err());
         assert!(ExperimentArgs::parse(["--degrade", "shrug"]).is_err());
+    }
+
+    #[test]
+    fn parses_spill_budget_in_both_spellings() {
+        assert_eq!(ExperimentArgs::default().spill_budget, None);
+        let args = ExperimentArgs::parse(["--spill-budget", "1048576"]).unwrap();
+        assert_eq!(args.spill_budget, Some(1_048_576));
+        let args = ExperimentArgs::parse(["--spill-budget=0"]).unwrap();
+        assert_eq!(args.spill_budget, Some(0));
+        assert!(ExperimentArgs::parse(["--spill-budget"]).is_err());
+        assert!(ExperimentArgs::parse(["--spill-budget", "-1"]).is_err());
+        assert!(ExperimentArgs::parse(["--spill-budget", "lots"]).is_err());
+        assert!(ExperimentArgs::parse(["--spill-budget=256MB"]).is_err());
+        assert!(ExperimentArgs::parse(["--spill-budget=1.5"]).is_err());
+        let err = ExperimentArgs::parse(["--spill-budget=1e6"]).unwrap_err();
+        assert!(err.contains("--spill-budget"), "{err}");
     }
 
     #[test]

@@ -21,13 +21,14 @@
 //!                | "stall" ":" wsel ":" millis ["ms"]
 //! wsel          := "w" u32 [ "@" ("round" | "phase") u32 ]
 //! coord-fault   := ("checkpoint_io" | "halt") "@" ("round" | "phase") u32
+//!                | ("spill_io" | "spill_corrupt") [ "@" ("round" | "phase") u32 ]
 //! legacy        := "kill_worker:" u32      (alias for kill:w0@round<N>)
 //!                | "stall_worker:" u64     (alias for stall:w0:<MS>)
 //! ```
 //!
 //! Examples: `kill:w1@round2`, `corrupt_frame:w0@round1`,
 //! `stall:w2@round3:500ms`, `checkpoint_io@phase2,halt@phase3`,
-//! `seed:42,truncate_frame:w1@round1`.
+//! `seed:42,truncate_frame:w1@round1`, `spill_io@round2`, `spill_corrupt`.
 //!
 //! # Semantics
 //!
@@ -77,6 +78,12 @@ pub enum FaultSite {
     /// Coordinator: abort the run after the matching phase completes (and
     /// checkpoints), simulating a coordinator crash between phases.
     Halt,
+    /// Engine: fail one spill run-file write/flush with an I/O error while
+    /// the MapReduce shuffle is spilling to disk.
+    SpillIo,
+    /// Engine: byte-flip one spill run file after the map phase writes it
+    /// and before the reduce merge reads it back.
+    SpillCorrupt,
 }
 
 impl FaultSite {
@@ -90,6 +97,18 @@ impl FaultSite {
             FaultSite::RespawnFail => "respawn_fail",
             FaultSite::CheckpointIo => "checkpoint_io",
             FaultSite::Halt => "halt",
+            FaultSite::SpillIo => "spill_io",
+            FaultSite::SpillCorrupt => "spill_corrupt",
+        }
+    }
+
+    /// The selector keyword [`FaultAction::to_spec`] prints for this site.
+    /// Worker and spill sites count engine *rounds*; the coordinator sites
+    /// count driver *phases*. [`parse_round`] accepts either spelling.
+    fn selector_keyword(self) -> &'static str {
+        match self {
+            FaultSite::CheckpointIo | FaultSite::Halt | FaultSite::RespawnFail => "phase",
+            _ => "round",
         }
     }
 
@@ -141,8 +160,7 @@ impl FaultAction {
             s.push_str(&format!(":w{w}"));
         }
         if let Some(r) = self.round {
-            let kw = if self.site.is_worker_site() { "round" } else { "phase" };
-            s.push_str(&format!("@{kw}{r}"));
+            s.push_str(&format!("@{}{r}", self.site.selector_keyword()));
         }
         if let Some(ms) = self.millis {
             s.push_str(&format!(":{ms}"));
@@ -233,6 +251,20 @@ impl FaultRegistry {
                 let site =
                     if site_name == "halt" { FaultSite::Halt } else { FaultSite::CheckpointIo };
                 self.push(site, None, Some(parse_round(at, item)?), None);
+            }
+            // Spill sites take no worker selector and an *optional* round:
+            // a bare `spill_io` faults the first spill of the run.
+            ("spill_io" | "spill_corrupt", at, 1) => {
+                let site = if site_name == "spill_io" {
+                    FaultSite::SpillIo
+                } else {
+                    FaultSite::SpillCorrupt
+                };
+                let round = at.map(|a| parse_round(a, item)).transpose()?;
+                self.push(site, None, round, None);
+            }
+            ("spill_io" | "spill_corrupt", _, _) => {
+                return err("expected `spill_io[@round<R>]` (no worker selector)");
             }
             (
                 "kill" | "error_frame" | "corrupt_frame" | "truncate_frame" | "respawn_fail",
@@ -441,6 +473,32 @@ mod tests {
     }
 
     #[test]
+    fn spill_sites_take_optional_round_selectors_and_fire_once() {
+        let reg = FaultRegistry::parse("spill_io@round2,spill_corrupt").unwrap();
+        // Round-pinned spill_io misses other rounds, hits round 2 once.
+        assert!(reg.fire(FaultSite::SpillIo, None, Some(1)).is_none());
+        assert!(reg.fire(FaultSite::SpillIo, None, Some(2)).is_some());
+        assert!(reg.fire(FaultSite::SpillIo, None, Some(2)).is_none(), "spill_io is fire-once");
+        // Selector-less spill_corrupt hits the first round queried, once.
+        assert!(reg.fire(FaultSite::SpillCorrupt, None, Some(7)).is_some());
+        assert!(reg.fire(FaultSite::SpillCorrupt, None, Some(8)).is_none());
+        // Spill sites never travel through worker_spec.
+        assert!(!FaultSite::SpillIo.is_worker_site());
+        assert!(!FaultSite::SpillCorrupt.is_worker_site());
+        assert!(reg.worker_spec(0, None).is_none());
+    }
+
+    #[test]
+    fn spill_specs_round_trip_through_to_spec() {
+        let reg = FaultRegistry::parse("spill_io@round3,spill_corrupt@phase1,spill_io").unwrap();
+        let specs: Vec<String> = reg.actions().iter().map(|a| a.to_spec()).collect();
+        assert_eq!(specs, ["spill_io@round3", "spill_corrupt@round1", "spill_io"]);
+        let reparsed = FaultRegistry::parse(&specs.join(",")).unwrap();
+        assert!(reparsed.fire(FaultSite::SpillIo, None, Some(3)).is_some());
+        assert!(reparsed.fire(FaultSite::SpillCorrupt, None, Some(1)).is_some());
+    }
+
+    #[test]
     fn worker_spec_scopes_and_filters_respawns() {
         let reg = FaultRegistry::parse("kill:w1@round1,kill:w1@round3,stall:w1:10,kill:w0@round2")
             .unwrap();
@@ -482,6 +540,10 @@ mod tests {
             "halt",
             "halt@banana2",
             "kill:w1,,stall:w0:5",
+            "spill_io:w0",
+            "spill_io@round",
+            "spill_corrupt@banana1",
+            "spill_corrupt:w1@round2",
         ] {
             assert!(FaultRegistry::parse(bad).is_err(), "{bad:?} should be rejected");
         }

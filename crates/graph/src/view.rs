@@ -119,6 +119,26 @@ pub trait GraphView {
     fn storage_partitions(&self) -> Option<Vec<std::ops::Range<u32>>> {
         None
     }
+
+    /// Hints that the caller is about to stream most of the adjacency in
+    /// one pass (e.g. a per-phase `LinkCache` build decoding every linked
+    /// neighborhood). Purely an access-pattern hint: default no-op;
+    /// mmap-backed views forward it to `madvise(MADV_SEQUENTIAL)` so the
+    /// kernel reads ahead. Never affects results.
+    fn advise_sequential(&self) {}
+
+    /// Hints that point lookups in no particular order come next (the
+    /// steady state of the witness kernels). Default no-op; mmap-backed
+    /// views forward it to `madvise(MADV_RANDOM)`. Pairs with
+    /// [`GraphView::advise_sequential`] to bracket a streaming pass.
+    fn advise_random(&self) {}
+
+    /// Hints that the adjacency of the rows in `rows` is about to be read
+    /// (e.g. a driver worker about to score its assigned row-range).
+    /// Default no-op; mmap-backed views forward the rows' byte span to
+    /// `madvise(MADV_WILLNEED)` so the kernel can fault the pages in ahead
+    /// of the scoring loop. Never affects results.
+    fn advise_rows(&self, _rows: std::ops::Range<u32>) {}
 }
 
 #[cfg(test)]

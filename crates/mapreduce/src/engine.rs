@@ -1,13 +1,23 @@
 //! The MapReduce execution engine.
 
 use crate::partition::partition_for;
+use crate::spill::{self, EngineError, MergeSource, NoSpill, RunReader, SpillCodec};
 use crate::stats::{EngineStats, RoundStats};
 use parking_lot::Mutex;
+use snr_faults::{FaultRegistry, FaultSite};
 use std::hash::Hash;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Default number of input records per map task.
 const DEFAULT_CHUNK: usize = 8_192;
+
+/// Environment override for the engine's spill memory budget, in bytes
+/// (`0` spills everything; unset or empty means unlimited). A malformed
+/// value is reported and ignored — an engine must never fail to construct
+/// because of its environment.
+pub const ENV_SPILL_BUDGET: &str = "SNR_MR_SPILL_BUDGET";
 
 /// Upper bound on map tasks per worker for [`Engine::run_combined`] rounds.
 ///
@@ -36,12 +46,29 @@ pub struct Engine {
     /// rounds that would otherwise floor it (tests rely on tiny chunks to
     /// exercise fragmentation and combiner merging).
     chunk_size_overridden: bool,
+    /// Memory budget for a round's resident post-combine shuffle bytes;
+    /// `None` means unlimited (never spill). Only rounds run through
+    /// [`Engine::run_combined_spilling`] can spill — the other shapes have
+    /// no serialization codec and always hold their shuffle in memory.
+    spill_budget: Option<u64>,
+    /// Scratch directory for spill runs; `None` uses a per-process
+    /// directory under the system temp dir.
+    scratch_dir: Option<PathBuf>,
+    /// 1-based round sequence, claimed at round start — the `R` that
+    /// `spill_io@roundR` / `spill_corrupt@roundR` fault selectors match.
+    round_seq: AtomicU64,
+    /// Fault registry consulted by the spill writer/reader (from
+    /// `SNR_FAULT` by default). Behind a mutex because registries latch
+    /// fire-once state through a `Cell`.
+    faults: Mutex<FaultRegistry>,
     stats: Mutex<EngineStats>,
 }
 
 impl Engine {
     /// Creates an engine with `workers` map/reduce threads and the same
-    /// number of shuffle partitions.
+    /// number of shuffle partitions. The spill budget defaults to the
+    /// [`ENV_SPILL_BUDGET`] environment variable (unlimited when unset) and
+    /// the fault registry to [`FaultRegistry::from_env`].
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         Engine {
@@ -49,6 +76,10 @@ impl Engine {
             reduce_partitions: workers.max(1),
             chunk_size: DEFAULT_CHUNK,
             chunk_size_overridden: false,
+            spill_budget: spill_budget_from_env(),
+            scratch_dir: None,
+            round_seq: AtomicU64::new(0),
+            faults: Mutex::new(FaultRegistry::from_env()),
             stats: Mutex::new(EngineStats::default()),
         }
     }
@@ -72,6 +103,37 @@ impl Engine {
         self.chunk_size = chunk.max(1);
         self.chunk_size_overridden = true;
         self
+    }
+
+    /// Overrides the spill memory budget in bytes: when a round's resident
+    /// post-combine shuffle bytes would cross it, map tasks flush their
+    /// buckets to disk runs. `Some(0)` spills every non-empty task;
+    /// `None` (the default, absent [`ENV_SPILL_BUDGET`]) never spills.
+    /// Output is bit-identical at every budget; only residency changes.
+    pub fn with_spill_budget(mut self, budget: Option<u64>) -> Self {
+        self.spill_budget = budget;
+        self
+    }
+
+    /// Overrides the scratch directory spill runs are written under (a
+    /// `round-<N>` subdirectory per round, removed when the round ends —
+    /// successfully or not).
+    pub fn with_scratch_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.scratch_dir = Some(dir.into());
+        self
+    }
+
+    /// Replaces the fault registry consulted by the spill machinery (tests
+    /// inject `spill_io` / `spill_corrupt` without touching the
+    /// environment).
+    pub fn with_fault_registry(mut self, faults: FaultRegistry) -> Self {
+        self.faults = Mutex::new(faults);
+        self
+    }
+
+    /// The configured spill budget (`None` = unlimited).
+    pub fn spill_budget(&self) -> Option<u64> {
+        self.spill_budget
     }
 
     /// Number of worker threads used for map and reduce tasks.
@@ -116,21 +178,24 @@ impl Engine {
         let start = Instant::now();
         let _span = snr_telemetry::span!("round", label = label);
         let parts = self.reduce_partitions;
-        let (per_part, round) = self.run_inner(
-            input,
-            self.chunk_size,
-            &|chunk: Vec<I>| chunk.into_iter().flat_map(&map).collect::<Vec<(K, V)>>(),
-            None::<&fn(&K, &mut Vec<V>)>,
-            &|k: &K| partition_for(k, parts),
-            &|_: &K, _: &V| std::mem::size_of::<K>() + std::mem::size_of::<V>(),
-            &|_, groups: Vec<(K, Vec<V>)>| {
-                let mut out = Vec::new();
-                for (k, vs) in groups {
-                    out.extend(reduce(k, vs));
-                }
-                out
-            },
-        );
+        let (per_part, round) = self
+            .run_inner(
+                input,
+                self.chunk_size,
+                &|chunk: Vec<I>| chunk.into_iter().flat_map(&map).collect::<Vec<(K, V)>>(),
+                None::<&fn(&K, &mut Vec<V>)>,
+                &|k: &K| partition_for(k, parts),
+                &|_: &K, _: &V| std::mem::size_of::<K>() + std::mem::size_of::<V>(),
+                &|_, groups: Vec<(K, Vec<V>)>| {
+                    let mut out = Vec::new();
+                    for (k, vs) in groups {
+                        out.extend(reduce(k, vs));
+                    }
+                    out
+                },
+                None::<&NoSpill>,
+            )
+            .expect("the in-memory round shape is infallible");
         let mut output = Vec::new();
         for mut part_out in per_part {
             output.append(&mut part_out);
@@ -198,6 +263,69 @@ impl Engine {
             let min_chunk = input.len().div_ceil(self.workers * COMBINED_TASKS_PER_WORKER).max(1);
             self.chunk_size.max(min_chunk)
         };
+        let (output, round) = self
+            .run_inner(
+                input,
+                chunk_size,
+                &|chunk: Vec<I>| map(&chunk),
+                Some(&combine),
+                &part_of,
+                &bytes_of,
+                &reduce,
+                None::<&NoSpill>,
+            )
+            .expect("the in-memory round shape is infallible");
+        let outputs = output.len();
+        self.record_round(label, round, outputs, start);
+        output
+    }
+
+    /// [`Engine::run_combined`] with an out-of-core shuffle: `codec`
+    /// serializes key groups, and when the round's accumulated post-combine
+    /// shuffle bytes would cross the engine's spill budget
+    /// ([`Engine::with_spill_budget`]), map tasks flush their sorted
+    /// per-partition buckets to checksummed run files and the reduce side
+    /// k-way-merges the on-disk runs with the in-memory tail.
+    ///
+    /// Output is **bit-identical** to [`Engine::run_combined`] at every
+    /// budget — only where the shuffle resides changes. With no budget
+    /// configured this never touches disk and cannot fail. Spill I/O
+    /// failures and run-file corruption (including the injected `spill_io`
+    /// / `spill_corrupt` fault sites) surface as a clean
+    /// [`EngineError::Spill`] with the round's scratch directory removed
+    /// and the round excluded from [`Engine::stats`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_combined_spilling<I, K, V, O, M, C, P, B, R, SC>(
+        &self,
+        label: &str,
+        input: Vec<I>,
+        map: M,
+        combine: C,
+        part_of: P,
+        bytes_of: B,
+        reduce: R,
+        codec: &SC,
+    ) -> Result<Vec<O>, EngineError>
+    where
+        I: Send,
+        K: Ord + Send,
+        V: Send,
+        O: Send,
+        M: Fn(&[I]) -> Vec<(K, V)> + Sync,
+        C: Fn(&K, &mut Vec<V>) + Sync,
+        P: Fn(&K) -> usize + Sync,
+        B: Fn(&K, &V) -> usize + Sync,
+        R: Fn(usize, Vec<(K, Vec<V>)>) -> O + Sync,
+        SC: SpillCodec<K, V> + Sync,
+    {
+        let start = Instant::now();
+        let _span = snr_telemetry::span!("round", label = label);
+        let chunk_size = if self.chunk_size_overridden {
+            self.chunk_size
+        } else {
+            let min_chunk = input.len().div_ceil(self.workers * COMBINED_TASKS_PER_WORKER).max(1);
+            self.chunk_size.max(min_chunk)
+        };
         let (output, round) = self.run_inner(
             input,
             chunk_size,
@@ -206,18 +334,23 @@ impl Engine {
             &part_of,
             &bytes_of,
             &reduce,
-        );
+            Some(codec),
+        )?;
         let outputs = output.len();
         self.record_round(label, round, outputs, start);
-        output
+        Ok(output)
     }
 
     /// Shared round executor: chunked map → per-bucket group (+ optional
-    /// combine) → shuffle → per-partition sorted group → partition fold.
+    /// combine) → budget check (+ optional spill to disk runs) → shuffle →
+    /// per-partition sorted group / k-way run merge → partition fold.
     /// Returns one fold output per partition plus the round's counters
-    /// (map tasks, pre/post-combine record counts, key groups).
+    /// (map tasks, pre/post-combine record counts, key groups, spill
+    /// volume). Infallible unless both a codec and a spill budget are
+    /// present; the round's scratch directory is removed on every exit
+    /// path.
     #[allow(clippy::type_complexity, clippy::too_many_arguments)]
-    fn run_inner<I, K, V, O, MF, CF, PF, BF, RF>(
+    fn run_inner<I, K, V, O, MF, CF, PF, BF, RF, SC>(
         &self,
         input: Vec<I>,
         chunk_size: usize,
@@ -226,7 +359,8 @@ impl Engine {
         part_of: &PF,
         bytes_of: &BF,
         reduce_fold: &RF,
-    ) -> (Vec<O>, RoundCounters)
+        codec: Option<&SC>,
+    ) -> Result<(Vec<O>, RoundCounters), EngineError>
     where
         I: Send,
         K: Ord + Send,
@@ -237,6 +371,73 @@ impl Engine {
         PF: Fn(&K) -> usize + Sync,
         BF: Fn(&K, &V) -> usize + Sync,
         RF: Fn(usize, Vec<(K, Vec<V>)>) -> O + Sync,
+        SC: SpillCodec<K, V> + Sync,
+    {
+        // Claim this round's 1-based sequence number up front: it names the
+        // scratch subdirectory and is the `R` that `spill_io@roundR` /
+        // `spill_corrupt@roundR` fault selectors match.
+        let round_no = self.round_seq.fetch_add(1, Ordering::Relaxed) as u32 + 1;
+        let spill: Option<SpillState<'_, SC>> = match (codec, self.spill_budget) {
+            (Some(codec), Some(budget)) => Some(SpillState {
+                codec,
+                budget,
+                round: round_no,
+                round_dir: self.scratch_base().join(format!("round-{round_no}")),
+                in_mem: AtomicU64::new(0),
+                spilled_bytes: AtomicU64::new(0),
+                spilled_runs: AtomicU64::new(0),
+                merge_micros: AtomicU64::new(0),
+            }),
+            _ => None,
+        };
+        let result = self.run_round(
+            input,
+            chunk_size,
+            map,
+            combine,
+            part_of,
+            bytes_of,
+            reduce_fold,
+            spill.as_ref(),
+        );
+        // The run files were fully consumed (or the round failed): remove
+        // the round's scratch subdirectory on every exit path, and prune the
+        // base scratch dir too once no other round is using it
+        // (`remove_dir` is non-recursive, so it only succeeds when empty).
+        if let Some(sp) = &spill {
+            let _ = std::fs::remove_dir_all(&sp.round_dir);
+            if let Some(base) = sp.round_dir.parent() {
+                let _ = std::fs::remove_dir(base);
+            }
+        }
+        result
+    }
+
+    /// The fallible body of [`Engine::run_inner`]; scratch cleanup stays
+    /// with the caller so it runs on error paths too.
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    fn run_round<I, K, V, O, MF, CF, PF, BF, RF, SC>(
+        &self,
+        input: Vec<I>,
+        chunk_size: usize,
+        map: &MF,
+        combine: Option<&CF>,
+        part_of: &PF,
+        bytes_of: &BF,
+        reduce_fold: &RF,
+        spill: Option<&SpillState<'_, SC>>,
+    ) -> Result<(Vec<O>, RoundCounters), EngineError>
+    where
+        I: Send,
+        K: Ord + Send,
+        V: Send,
+        O: Send,
+        MF: Fn(Vec<I>) -> Vec<(K, V)> + Sync,
+        CF: Fn(&K, &mut Vec<V>) + Sync,
+        PF: Fn(&K) -> usize + Sync,
+        BF: Fn(&K, &V) -> usize + Sync,
+        RF: Fn(usize, Vec<(K, Vec<V>)>) -> O + Sync,
+        SC: SpillCodec<K, V> + Sync,
     {
         let input_records = input.len();
         let parts = self.reduce_partitions;
@@ -246,12 +447,20 @@ impl Engine {
         // worker emits `parts` buckets of key groups, already sorted by key
         // and combined, so the shuffle only moves grouped records and the
         // reduce-side sort sees nearly-sorted runs.
-        let chunks: Vec<Vec<I>> = split_into_chunks(input, chunk_size);
+        let chunks: Vec<(usize, Vec<I>)> =
+            split_into_chunks(input, chunk_size).into_iter().enumerate().collect();
         let map_tasks = chunks.len();
         // Each map task tallies its own post-combine shuffle volume
         // (records and bytes) while the data is still hot in its worker, so
         // the single-threaded transpose below only sums per-task scalars.
-        let map_task = |chunk: Vec<I>| -> (TaskTally, Vec<Vec<(K, Vec<V>)>>) {
+        // When a spill budget is active the task then tries to *reserve*
+        // its bytes against the shared budget; if the reservation would
+        // cross it, the task flushes its buckets to disk runs instead and
+        // keeps only empty placeholders in memory. Which tasks spill can
+        // vary run to run under parallelism (reservation order races), but
+        // the merged output is bit-identical regardless.
+        type MapOut<K, V> = (TaskTally, Vec<Vec<(K, Vec<V>)>>, Vec<Option<PathBuf>>);
+        let map_task = |(task, chunk): (usize, Vec<I>)| -> Result<MapOut<K, V>, EngineError> {
             let pairs = map(chunk);
             let mut tally =
                 TaskTally { emitted: pairs.len(), shuffled_records: 0, shuffled_bytes: 0 };
@@ -273,9 +482,52 @@ impl Engine {
                 }
                 buckets.push(groups);
             }
-            (tally, buckets)
+            let mut run_paths: Vec<Option<PathBuf>> = vec![None; parts];
+            if let Some(sp) = spill {
+                let bytes = tally.shuffled_bytes as u64;
+                let resident = sp.in_mem.fetch_add(bytes, Ordering::Relaxed);
+                if resident + bytes > sp.budget {
+                    // Over budget: undo the reservation and spill this
+                    // task's non-empty buckets to one run file each.
+                    sp.in_mem.fetch_sub(bytes, Ordering::Relaxed);
+                    std::fs::create_dir_all(&sp.round_dir).map_err(|e| {
+                        EngineError::Spill(format!(
+                            "creating scratch dir {}: {e}",
+                            sp.round_dir.display()
+                        ))
+                    })?;
+                    for (p, bucket) in buckets.iter_mut().enumerate() {
+                        if bucket.is_empty() {
+                            continue;
+                        }
+                        let path = sp.round_dir.join(format!("run-t{task}-p{p}.snrr"));
+                        let file_bytes = spill::write_run(
+                            &path,
+                            sp.round,
+                            task as u32,
+                            p as u32,
+                            bucket,
+                            sp.codec,
+                            &self.faults,
+                        )?;
+                        snr_telemetry::event!(
+                            "spill",
+                            round = sp.round,
+                            task = task,
+                            partition = p,
+                            groups = bucket.len(),
+                            bytes = file_bytes,
+                        );
+                        sp.spilled_runs.fetch_add(1, Ordering::Relaxed);
+                        *bucket = Vec::new();
+                        run_paths[p] = Some(path);
+                    }
+                    sp.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
+            }
+            Ok((tally, buckets, run_paths))
         };
-        let mapped: Vec<(TaskTally, Vec<Vec<(K, Vec<V>)>>)> = if self.workers == 1 || map_tasks <= 1
+        let mapped: Vec<Result<MapOut<K, V>, EngineError>> = if self.workers == 1 || map_tasks <= 1
         {
             chunks.into_iter().map(map_task).collect()
         } else {
@@ -291,30 +543,90 @@ impl Engine {
         let mut shuffled_bytes = 0usize;
         let mut columns: Vec<Vec<Vec<(K, Vec<V>)>>> =
             (0..parts).map(|_| Vec::with_capacity(map_tasks)).collect();
-        for (tally, mut worker_buckets) in mapped {
+        let mut run_columns: Vec<Vec<Option<PathBuf>>> =
+            (0..parts).map(|_| Vec::with_capacity(map_tasks)).collect();
+        for task_result in mapped {
+            let (tally, mut worker_buckets, mut worker_runs) = task_result?;
             map_output_records += tally.emitted;
             shuffled_records += tally.shuffled_records;
             shuffled_bytes += tally.shuffled_bytes;
             for p in (0..parts).rev() {
                 let bucket = worker_buckets.pop().expect("bucket count mismatch");
                 columns[p].push(bucket);
+                let run = worker_runs.pop().expect("run column count mismatch");
+                run_columns[p].push(run);
+            }
+        }
+
+        // The spill_corrupt fault site sits between map and reduce: flip
+        // one byte of the first run file so the reduce-side checksum pass
+        // must catch it (clean error, never wrong output).
+        if let Some(sp) = spill {
+            if sp.spilled_runs.load(Ordering::Relaxed) > 0 {
+                let (hit, seed) = {
+                    let reg = self.faults.lock();
+                    (reg.fire(FaultSite::SpillCorrupt, None, Some(sp.round)).is_some(), reg.seed())
+                };
+                if hit {
+                    spill::corrupt_first_run(&sp.round_dir, seed);
+                }
             }
         }
 
         // ---- Reduce --------------------------------------------------------
-        let tasks: Vec<(usize, Vec<Vec<(K, Vec<V>)>>)> = columns.into_iter().enumerate().collect();
-        let reduce_task = |(p, col): (usize, Vec<Vec<(K, Vec<V>)>>)| -> (usize, O) {
-            let groups = merge_sorted_buckets(col);
-            (groups.len(), reduce_fold(p, groups))
+        type ReduceIn<K, V> = (usize, Vec<Vec<(K, Vec<V>)>>, Vec<Option<PathBuf>>);
+        let tasks: Vec<ReduceIn<K, V>> = columns
+            .into_iter()
+            .zip(run_columns)
+            .enumerate()
+            .map(|(p, (col, runs))| (p, col, runs))
+            .collect();
+        let reduce_task = |(p, col, runs): ReduceIn<K, V>| -> Result<(usize, O), EngineError> {
+            let groups = if runs.iter().any(Option::is_some) {
+                // Some of this partition's buckets live on disk: k-way-merge
+                // the runs with the in-memory tail, in map-task order.
+                let sp = spill.expect("run files only exist when spilling");
+                let merge_start = Instant::now();
+                let _span = snr_telemetry::span!("spill_merge", partition = p);
+                let mut sources: Vec<MergeSource<'_, K, V, SC>> = Vec::with_capacity(col.len());
+                for (bucket, run) in col.into_iter().zip(runs) {
+                    match run {
+                        Some(path) => {
+                            sources.push(MergeSource::Disk(RunReader::open(&path, sp.codec)?))
+                        }
+                        None => sources.push(MergeSource::Mem(bucket.into_iter())),
+                    }
+                }
+                let merged = spill::merge_spill_sources(sources)?;
+                sp.merge_micros
+                    .fetch_add(merge_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                merged
+            } else {
+                merge_sorted_buckets(col)
+            };
+            Ok((groups.len(), reduce_fold(p, groups)))
         };
-        let reduced: Vec<(usize, O)> = if self.workers == 1 || parts <= 1 {
+        let reduced: Vec<Result<(usize, O), EngineError>> = if self.workers == 1 || parts <= 1 {
             tasks.into_iter().map(reduce_task).collect()
         } else {
             parallel_map(self.workers, tasks, reduce_task)
         };
-        let key_groups: usize = reduced.iter().map(|(groups, _)| *groups).sum();
-        let output: Vec<O> = reduced.into_iter().map(|(_, o)| o).collect();
+        let mut key_groups = 0usize;
+        let mut output: Vec<O> = Vec::with_capacity(parts);
+        for r in reduced {
+            let (groups, o) = r?;
+            key_groups += groups;
+            output.push(o);
+        }
 
+        let (spilled_bytes, spilled_runs, spill_merge_micros) = match spill {
+            Some(sp) => (
+                sp.spilled_bytes.load(Ordering::Relaxed) as usize,
+                sp.spilled_runs.load(Ordering::Relaxed) as usize,
+                sp.merge_micros.load(Ordering::Relaxed),
+            ),
+            None => (0, 0, 0),
+        };
         let counters = RoundCounters {
             input_records,
             map_output_records,
@@ -323,8 +635,19 @@ impl Engine {
             key_groups,
             map_tasks,
             reduce_tasks: parts,
+            spilled_bytes,
+            spilled_runs,
+            spill_merge_micros,
         };
-        (output, counters)
+        Ok((output, counters))
+    }
+
+    /// The engine's spill scratch base directory; each round uses a
+    /// `round-<N>` subdirectory beneath it.
+    fn scratch_base(&self) -> PathBuf {
+        self.scratch_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("snr-mr-spill-{}", std::process::id()))
+        })
     }
 
     fn record_round(&self, label: &str, c: RoundCounters, output_records: usize, start: Instant) {
@@ -332,6 +655,8 @@ impl Engine {
         snr_telemetry::Counter::EngineRounds.add(1);
         snr_telemetry::Counter::ShuffleRecords.add(c.shuffled_records as u64);
         snr_telemetry::Counter::ShuffleBytes.add(c.shuffled_bytes as u64);
+        snr_telemetry::Counter::SpilledBytes.add(c.spilled_bytes as u64);
+        snr_telemetry::Counter::SpilledRuns.add(c.spilled_runs as u64);
         snr_telemetry::Histogram::RoundMicros.record(duration.as_micros() as u64);
         snr_telemetry::event!(
             "engine_round",
@@ -339,6 +664,7 @@ impl Engine {
             shuffled_records = c.shuffled_records,
             shuffled_bytes = c.shuffled_bytes,
             reduce_tasks = c.reduce_tasks,
+            spilled_runs = c.spilled_runs,
         );
         self.stats.lock().record(RoundStats {
             label: label.to_string(),
@@ -350,9 +676,44 @@ impl Engine {
             output_records,
             map_tasks: c.map_tasks,
             reduce_tasks: c.reduce_tasks,
+            spilled_bytes: c.spilled_bytes,
+            spilled_runs: c.spilled_runs,
+            spill_merge_micros: c.spill_merge_micros,
             duration,
         });
     }
+}
+
+/// Reads [`ENV_SPILL_BUDGET`]; malformed values are reported and ignored.
+fn spill_budget_from_env() -> Option<u64> {
+    let raw = std::env::var(ENV_SPILL_BUDGET).ok().filter(|s| !s.is_empty())?;
+    match raw.parse::<u64>() {
+        Ok(bytes) => Some(bytes),
+        Err(_) => {
+            snr_telemetry::warn!("ignoring unparseable {ENV_SPILL_BUDGET}={raw:?} (want bytes)");
+            None
+        }
+    }
+}
+
+/// Per-round spill bookkeeping shared by the map and reduce workers.
+struct SpillState<'a, SC> {
+    codec: &'a SC,
+    /// Resident post-combine bytes allowed before tasks start spilling.
+    budget: u64,
+    /// 1-based engine round number (fault selectors, run-file headers).
+    round: u32,
+    /// This round's scratch subdirectory (created lazily on first spill,
+    /// removed on every exit path).
+    round_dir: PathBuf,
+    /// Post-combine bytes currently reserved as in-memory.
+    in_mem: AtomicU64,
+    /// Post-combine bytes flushed to disk runs.
+    spilled_bytes: AtomicU64,
+    /// Run files written.
+    spilled_runs: AtomicU64,
+    /// Microseconds reduce tasks spent k-way-merging runs.
+    merge_micros: AtomicU64,
 }
 
 /// Per-map-task shuffle tally, computed inside the task's worker.
@@ -372,6 +733,9 @@ struct RoundCounters {
     key_groups: usize,
     map_tasks: usize,
     reduce_tasks: usize,
+    spilled_bytes: usize,
+    spilled_runs: usize,
+    spill_merge_micros: u64,
 }
 
 /// Groups one bucket of `(key, value)` pairs into `(key, values)` runs in
@@ -746,7 +1110,246 @@ mod tests {
         assert!(split_into_chunks(Vec::<u32>::new(), 3).is_empty());
     }
 
+    /// Codec for the `(u32, u64)` spill tests: key, value count, values.
+    struct TestCodec;
+
+    impl SpillCodec<u32, u64> for TestCodec {
+        fn encode_group(&self, key: &u32, values: &[u64], out: &mut Vec<u8>) {
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            for v in values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+
+        fn decode_group(&self, bytes: &[u8]) -> Result<(u32, Vec<u64>), String> {
+            if bytes.len() < 8 {
+                return Err("group too short".into());
+            }
+            let key = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+            let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+            if bytes.len() != 8 + 8 * count {
+                return Err("group length mismatch".into());
+            }
+            Ok((
+                key,
+                bytes[8..]
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ))
+        }
+    }
+
+    fn spill_scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("snr-engine-spill-{}-{name}", std::process::id()))
+    }
+
+    /// Runs the reference workload (sorted value lists per key mod 7) on
+    /// `engine` through the spillable shape and returns per-partition
+    /// output plus the recorded round stats.
+    type SpillOutput = Vec<Vec<(u32, Vec<u64>)>>;
+
+    fn spill_workload(engine: &Engine) -> Result<(SpillOutput, RoundStats), EngineError> {
+        let parts = engine.reduce_partitions();
+        let input: Vec<u64> = (0..200).collect();
+        let out = engine.run_combined_spilling(
+            "spill-workload",
+            input,
+            |chunk: &[u64]| chunk.iter().map(|&x| ((x % 7) as u32, x)).collect(),
+            |_k, _vs: &mut Vec<u64>| {},
+            |k: &u32| partition_for(k, parts),
+            |_: &u32, _: &u64| 12,
+            |_, groups: Vec<(u32, Vec<u64>)>| groups,
+            &TestCodec,
+        )?;
+        let stats = engine.stats();
+        Ok((out, stats.per_round.last().expect("round recorded").clone()))
+    }
+
+    #[test]
+    fn spill_output_and_stats_are_bit_identical_across_budgets() {
+        let scratch = spill_scratch("budgets");
+        let make = |budget: Option<u64>| {
+            Engine::sequential()
+                .with_chunk_size(16)
+                .with_reduce_partitions(3)
+                .with_spill_budget(budget)
+                .with_scratch_dir(&scratch)
+        };
+        // Reference: unlimited budget — never touches disk.
+        let engine = make(None);
+        let (reference, ref_round) = spill_workload(&engine).unwrap();
+        assert_eq!(ref_round.spilled_runs, 0);
+        assert_eq!(ref_round.spilled_bytes, 0);
+        assert_eq!(ref_round.spill_merge_micros, 0);
+        let total = ref_round.shuffled_bytes as u64;
+        assert!(total > 0);
+
+        // Budget exactly at the threshold: resident bytes never *cross* it.
+        let engine = make(Some(total));
+        let (out, round) = spill_workload(&engine).unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(round.spilled_runs, 0, "at-threshold budget must not spill");
+
+        // Tiny budget: smaller than any single map task's output, so every
+        // task spills — same end state as budget 0.
+        let engine = make(Some(16));
+        let (out, round) = spill_workload(&engine).unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(round.spilled_bytes, round.shuffled_bytes, "tiny budget spills every task");
+
+        // Half the total: early tasks stay resident, later ones spill.
+        let engine = make(Some(total / 2));
+        let (out, round) = spill_workload(&engine).unwrap();
+        assert_eq!(out, reference);
+        assert!(round.spilled_runs > 0, "half budget must spill");
+        assert!(
+            round.spilled_bytes > 0 && round.spilled_bytes < round.shuffled_bytes,
+            "half budget spills some but not all: {} of {}",
+            round.spilled_bytes,
+            round.shuffled_bytes
+        );
+
+        // Budget 0: every non-empty task spills everything.
+        let engine = make(Some(0));
+        let (out, round) = spill_workload(&engine).unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(round.spilled_bytes, round.shuffled_bytes, "budget 0 spills every byte");
+        // 200 records / chunks of 16 = 13 map tasks, each hitting up to 3
+        // partitions; sequential engine makes the count deterministic.
+        assert!(round.spilled_runs >= 13, "every task spills at least one run");
+
+        // The non-spill half of the stats is bit-identical throughout.
+        let mut normalized = round.clone();
+        normalized.spilled_bytes = 0;
+        normalized.spilled_runs = 0;
+        normalized.spill_merge_micros = 0;
+        normalized.duration = ref_round.duration;
+        assert_eq!(normalized, ref_round);
+
+        assert!(!scratch.join("round-1").exists(), "scratch cleaned up");
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+
+    #[test]
+    fn parallel_spilling_engine_matches_sequential_reference() {
+        let scratch = spill_scratch("parallel");
+        let (reference, _) =
+            spill_workload(&Engine::sequential().with_chunk_size(16).with_reduce_partitions(3))
+                .unwrap();
+        let engine = Engine::new(4)
+            .with_chunk_size(16)
+            .with_reduce_partitions(3)
+            .with_spill_budget(Some(64))
+            .with_scratch_dir(&scratch);
+        let (out, round) = spill_workload(&engine).unwrap();
+        assert_eq!(out, reference, "spilling must never change output");
+        assert!(round.spilled_runs > 0);
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+
+    #[test]
+    fn unlimited_budget_never_creates_a_scratch_dir() {
+        let scratch = spill_scratch("untouched");
+        let engine = Engine::sequential().with_scratch_dir(&scratch);
+        spill_workload(&engine).unwrap();
+        assert!(!scratch.exists(), "no budget, no disk traffic");
+    }
+
+    #[test]
+    fn spill_io_fault_is_a_clean_error_with_scratch_removed() {
+        let scratch = spill_scratch("io-fault");
+        let engine = Engine::sequential()
+            .with_chunk_size(16)
+            .with_spill_budget(Some(0))
+            .with_scratch_dir(&scratch)
+            .with_fault_registry(snr_faults::FaultRegistry::parse("spill_io@round1").unwrap());
+        let err = spill_workload(&engine).expect_err("injected spill_io must fail the round");
+        assert!(matches!(err, EngineError::Spill(ref why) if why.contains("spill_io")), "{err}");
+        assert!(!scratch.join("round-1").exists(), "scratch removed on error");
+        assert_eq!(engine.stats().rounds, 0, "failed rounds are not recorded");
+        // The engine stays usable: the next round succeeds (fault fired once).
+        let (out, round) = spill_workload(&engine).unwrap();
+        assert!(!out.is_empty());
+        assert!(round.spilled_runs > 0);
+        assert!(!scratch.exists(), "scratch cleaned after the good round too");
+    }
+
+    #[test]
+    fn spill_corrupt_fault_is_a_clean_error_never_wrong_output() {
+        let scratch = spill_scratch("corrupt-fault");
+        let engine = Engine::sequential()
+            .with_chunk_size(16)
+            .with_spill_budget(Some(0))
+            .with_scratch_dir(&scratch)
+            .with_fault_registry(snr_faults::FaultRegistry::parse("spill_corrupt@round1").unwrap());
+        let err = spill_workload(&engine).expect_err("corrupted run must fail the round");
+        assert!(
+            matches!(err, EngineError::Spill(ref why) if why.contains("checksum") || why.contains("magic")),
+            "{err}"
+        );
+        assert!(!scratch.exists(), "scratch removed on error");
+        assert_eq!(engine.stats().rounds, 0);
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+
+    #[test]
+    fn spilling_shape_without_budget_equals_run_combined() {
+        // The spillable entry point with no budget is a drop-in for
+        // run_combined: same output, same stats, zero spill counters.
+        let a = Engine::sequential().with_chunk_size(16).with_reduce_partitions(3);
+        let (out_a, round_a) = spill_workload(&a).unwrap();
+        let parts = 3;
+        let b = Engine::sequential().with_chunk_size(16).with_reduce_partitions(parts);
+        let out_b: Vec<Vec<(u32, Vec<u64>)>> = b.run_combined(
+            "spill-workload",
+            (0..200u64).collect(),
+            |chunk: &[u64]| chunk.iter().map(|&x| ((x % 7) as u32, x)).collect(),
+            |_k, _vs: &mut Vec<u64>| {},
+            |k: &u32| partition_for(k, parts),
+            |_: &u32, _: &u64| 12,
+            |_, groups: Vec<(u32, Vec<u64>)>| groups,
+        );
+        assert_eq!(out_a, out_b);
+        let round_b = b.stats().per_round[0].clone();
+        assert_eq!(round_a.shuffled_bytes, round_b.shuffled_bytes);
+        assert_eq!(round_a.spilled_runs, 0);
+    }
+
     proptest::proptest! {
+        #[test]
+        fn spilled_rounds_match_in_memory_rounds_on_random_workloads(
+            values in proptest::collection::vec((0u32..9, 0u64..1000), 0..200),
+            workers in 1usize..4,
+            chunk in 1usize..16,
+            budget in 0u64..400,
+        ) {
+            let parts = 3usize;
+            let reference = Engine::sequential().with_chunk_size(chunk).with_reduce_partitions(parts);
+            let run = |engine: &Engine, input: Vec<(u32, u64)>| {
+                engine.run_combined_spilling(
+                    "prop-spill",
+                    input,
+                    |chunk: &[(u32, u64)]| chunk.to_vec(),
+                    |_k, _vs: &mut Vec<u64>| {},
+                    |k: &u32| partition_for(k, parts),
+                    |_: &u32, _: &u64| 12,
+                    |_, groups: Vec<(u32, Vec<u64>)>| groups,
+                    &TestCodec,
+                )
+            };
+            let expected = run(&reference, values.clone()).unwrap();
+            let scratch = spill_scratch("prop");
+            let spilling = Engine::new(workers)
+                .with_chunk_size(chunk)
+                .with_reduce_partitions(parts)
+                .with_spill_budget(Some(budget))
+                .with_scratch_dir(&scratch);
+            let got = run(&spilling, values).unwrap();
+            proptest::prop_assert_eq!(got, expected);
+        }
+
         #[test]
         fn mapreduce_sum_matches_direct_sum(values in proptest::collection::vec(0u64..1000, 0..300),
                                             workers in 1usize..6,

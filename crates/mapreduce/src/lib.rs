@@ -56,7 +56,9 @@
 
 pub mod engine;
 pub mod partition;
+pub mod spill;
 pub mod stats;
 
-pub use engine::Engine;
+pub use engine::{Engine, ENV_SPILL_BUDGET};
+pub use spill::{EngineError, SpillCodec};
 pub use stats::{EngineStats, RoundStats};

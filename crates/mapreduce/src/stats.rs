@@ -39,6 +39,19 @@ pub struct RoundStats {
     pub map_tasks: usize,
     /// Number of reduce tasks (partitions).
     pub reduce_tasks: usize,
+    /// Post-combine shuffle bytes that were flushed to on-disk spill runs
+    /// instead of staying resident (a subset of
+    /// [`RoundStats::shuffled_bytes`]; `0` when the round fit in its
+    /// memory budget).
+    #[serde(default)]
+    pub spilled_bytes: usize,
+    /// Spill run files written by map tasks this round.
+    #[serde(default)]
+    pub spilled_runs: usize,
+    /// Microseconds reduce tasks spent k-way-merging on-disk runs with the
+    /// in-memory tail (`0` when nothing spilled).
+    #[serde(default)]
+    pub spill_merge_micros: u64,
     /// Wall-clock duration of the round.
     #[serde(with = "duration_micros")]
     pub duration: Duration,
@@ -151,6 +164,9 @@ mod tests {
             output_records: output,
             map_tasks: 2,
             reduce_tasks: 4,
+            spilled_bytes: shuffled * 4,
+            spilled_runs: 1,
+            spill_merge_micros: 25,
             duration: Duration::from_micros(150),
         }
     }
@@ -183,6 +199,23 @@ mod tests {
         let r = round("serde", 3, 9, 2);
         let json = serde_json::to_string(&r).unwrap();
         let r2: RoundStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn round_stats_spill_fields_default_when_absent() {
+        // Pre-spill JSON (e.g. an old checkpoint) must still deserialize.
+        let mut r = round("old", 3, 9, 2);
+        r.spilled_bytes = 0;
+        r.spilled_runs = 0;
+        r.spill_merge_micros = 0;
+        let serde::value::Value::Map(mut fields) = serde::value::to_value(&r) else {
+            panic!("RoundStats must serialize as a map");
+        };
+        fields.retain(|(key, _)| {
+            !matches!(key.as_str(), "spilled_bytes" | "spilled_runs" | "spill_merge_micros")
+        });
+        let r2: RoundStats = serde::value::from_value(serde::value::Value::Map(fields)).unwrap();
         assert_eq!(r, r2);
     }
 

@@ -201,6 +201,59 @@ impl GraphView for MmapGraph {
     fn memory_bytes(&self) -> usize {
         self.map.len().saturating_sub(HEADER_LEN + FOOTER_LEN)
     }
+
+    /// `madvise(MADV_SEQUENTIAL)` over the whole mapping: the kernel reads
+    /// ahead while a streaming pass (the `LinkCache` build) walks the file.
+    fn advise_sequential(&self) {
+        let _ = self.map.advise(Advice::Sequential);
+    }
+
+    /// `madvise(MADV_RANDOM)` over the whole mapping — the steady state for
+    /// the witness kernels, which fault pages in candidate order, not file
+    /// order. Restores the hint [`MmapGraph::open`] leaves in place.
+    fn advise_random(&self) {
+        let _ = self.map.advise(Advice::Random);
+    }
+
+    /// `madvise(MADV_WILLNEED)` over exactly the byte spans that back
+    /// `rows`: their slices of the two row-indexed offset arrays, the skip
+    /// arrays of their delta blocks, and the blocks' gap-stream span. A
+    /// driver worker calls this (via `score_assigned_rows`) right before
+    /// scoring its assigned row-range, so the kernel faults the pages in
+    /// ahead of the scoring loop instead of one miss at a time.
+    fn advise_rows(&self, rows: std::ops::Range<u32>) {
+        let lo = (rows.start as usize).min(self.meta.node_count);
+        let hi = (rows.end as usize).min(self.meta.node_count);
+        if lo >= hi {
+            return;
+        }
+        let advise = |start: usize, end: usize| {
+            let _ = self.map.advise_range(Advice::WillNeed, start, end.saturating_sub(start));
+        };
+        // Row-indexed arrays, including the hi fence entry each read uses.
+        let eo = self.layout.entry_offsets.start;
+        advise(eo + 4 * lo, eo + 4 * (hi + 1));
+        let bs = self.layout.block_starts.start;
+        advise(bs + 4 * lo, bs + 4 * (hi + 1));
+        // The rows' delta blocks: skip arrays plus the gap-stream span.
+        let block_starts = self.block_starts();
+        let (block_lo, block_hi) = (block_starts[lo] as usize, block_starts[hi] as usize);
+        if block_lo >= block_hi {
+            return;
+        }
+        let sf = self.layout.skip_firsts.start;
+        advise(sf + 4 * block_lo, sf + 4 * block_hi);
+        let sb = self.layout.skip_bytes.start;
+        advise(sb + 4 * block_lo, sb + 4 * block_hi);
+        let skip_bytes = u32_slice(&self.map[self.layout.skip_bytes.clone()]);
+        let data_lo = skip_bytes[block_lo] as usize;
+        let data_hi = if block_hi == self.meta.block_count {
+            self.meta.data_len
+        } else {
+            skip_bytes[block_hi] as usize
+        };
+        advise(self.layout.data.start + data_lo, self.layout.data.start + data_hi);
+    }
 }
 
 #[cfg(test)]

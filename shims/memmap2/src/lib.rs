@@ -119,16 +119,29 @@ mod imp {
 
         /// Forwards an access-pattern hint to `madvise(2)`.
         pub fn advise(&self, advice: Advice) -> io::Result<()> {
-            if self.len == 0 {
+            self.advise_range(advice, 0, self.len)
+        }
+
+        /// Forwards an access-pattern hint for `len` bytes starting at
+        /// `offset` to `madvise(2)`. `madvise` requires a page-aligned
+        /// address, so the range is widened down to the containing page
+        /// boundary and clamped to the mapping; an empty (or fully
+        /// out-of-range) request is a no-op.
+        pub fn advise_range(&self, advice: Advice, offset: usize, len: usize) -> io::Result<()> {
+            const PAGE: usize = 4096;
+            if self.len == 0 || len == 0 || offset >= self.len {
                 return Ok(());
             }
+            let start = offset - (offset % PAGE);
+            let end = offset.saturating_add(len).min(self.len);
             let flag = match advice {
                 Advice::Normal => MADV_NORMAL,
                 Advice::Random => MADV_RANDOM,
                 Advice::Sequential => MADV_SEQUENTIAL,
                 Advice::WillNeed => MADV_WILLNEED,
             };
-            if unsafe { madvise(self.ptr, self.len, flag) } != 0 {
+            let addr = unsafe { (self.ptr as *mut u8).add(start) };
+            if unsafe { madvise(addr as *mut c_void, end - start, flag) } != 0 {
                 return Err(io::Error::last_os_error());
             }
             Ok(())
@@ -195,6 +208,11 @@ mod imp {
             Ok(())
         }
 
+        /// Accepted and ignored; there is no kernel mapping to advise.
+        pub fn advise_range(&self, _advice: Advice, _offset: usize, _len: usize) -> io::Result<()> {
+            Ok(())
+        }
+
         /// The buffered bytes.
         pub fn as_slice(&self) -> &[u8] {
             let ptr = self.buf.as_ptr() as *const u8;
@@ -251,6 +269,23 @@ mod tests {
         assert_eq!(&map[..], &payload[..]);
         map.advise(Advice::Random).unwrap();
         map.advise(Advice::Sequential).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn advise_range_accepts_unaligned_and_out_of_range_requests() {
+        let path = temp_path("advise-range");
+        let payload = vec![3u8; 4096 * 2 + 100];
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        // Unaligned offsets are widened down to a page boundary; lengths are
+        // clamped to the mapping; empty/out-of-range requests are no-ops.
+        map.advise_range(Advice::WillNeed, 0, map.len()).unwrap();
+        map.advise_range(Advice::WillNeed, 123, 5000).unwrap();
+        map.advise_range(Advice::Sequential, 4097, usize::MAX).unwrap();
+        map.advise_range(Advice::Random, 0, 0).unwrap();
+        map.advise_range(Advice::WillNeed, map.len() + 10, 4).unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -3,8 +3,8 @@
 //!
 //! Supported item shapes — exactly what this workspace derives:
 //!
-//! * structs with named fields (optionally `#[serde(with = "module")]` on a
-//!   field),
+//! * structs with named fields (optionally `#[serde(with = "module")]` or
+//!   `#[serde(default)]` on a field),
 //! * tuple structs (newtypes serialize as their single field; wider tuples
 //!   as arrays),
 //! * enums with unit and struct variants, in serde's externally-tagged
@@ -51,6 +51,15 @@ struct Field {
     name: String,
     /// Module path from `#[serde(with = "path")]`, if present.
     with: Option<String>,
+    /// True for `#[serde(default)]`: a missing field deserializes to
+    /// `Default::default()` instead of erroring (serialization unchanged).
+    default: bool,
+}
+
+/// One recognized `#[serde(...)]` field attribute.
+enum SerdeAttr {
+    With(String),
+    Default,
 }
 
 struct Variant {
@@ -128,9 +137,10 @@ fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
     }
 }
 
-/// Extracts `with = "path"` from a `serde(...)` attribute body, rejecting
-/// every other serde attribute so nothing is silently ignored.
-fn parse_serde_attr(attr: TokenStream) -> Option<String> {
+/// Extracts `with = "path"` or `default` from a `serde(...)` attribute
+/// body, rejecting every other serde attribute so nothing is silently
+/// ignored.
+fn parse_serde_attr(attr: TokenStream) -> Option<SerdeAttr> {
     let tokens: Vec<TokenTree> = attr.into_iter().collect();
     match tokens.first() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
@@ -142,14 +152,18 @@ fn parse_serde_attr(attr: TokenStream) -> Option<String> {
     };
     let inner: Vec<TokenTree> = inner.into_iter().collect();
     match (inner.first(), inner.get(1), inner.get(2)) {
+        (Some(TokenTree::Ident(k)), None, None) if k.to_string() == "default" => {
+            Some(SerdeAttr::Default)
+        }
         (Some(TokenTree::Ident(k)), Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
             if k.to_string() == "with" && eq.as_char() == '=' =>
         {
             let raw = lit.to_string();
-            Some(raw.trim_matches('"').to_string())
+            Some(SerdeAttr::With(raw.trim_matches('"').to_string()))
         }
         _ => panic!(
-            "serde shim derive supports only #[serde(with = \"module\")], found #[serde({})]",
+            "serde shim derive supports only #[serde(with = \"module\")] and \
+             #[serde(default)], found #[serde({})]",
             inner.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
         ),
     }
@@ -162,9 +176,12 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
 
     while pos < tokens.len() {
         let mut with = None;
+        let mut default = false;
         while let Some(attr) = skip_attribute(&tokens, &mut pos) {
-            if let Some(path) = parse_serde_attr(attr) {
-                with = Some(path);
+            match parse_serde_attr(attr) {
+                Some(SerdeAttr::With(path)) => with = Some(path),
+                Some(SerdeAttr::Default) => default = true,
+                None => {}
             }
         }
         if pos >= tokens.len() {
@@ -177,7 +194,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             other => panic!("expected `:` after field `{name}`, found {other:?}"),
         }
         skip_type(&tokens, &mut pos);
-        fields.push(Field { name, with });
+        fields.push(Field { name, with, default });
     }
     fields
 }
@@ -308,11 +325,23 @@ fn push_named_fields(fields: &[Field], prefix: &str) -> String {
         .join("\n")
 }
 
-/// Struct-literal body extracting each named field from `__map`.
+/// Struct-literal body extracting each named field from `__map`. Fields
+/// marked `#[serde(default)]` fall back to `Default::default()` when the
+/// key is absent (a present-but-malformed value still errors).
 fn extract_named_fields(fields: &[Field]) -> String {
     fields
         .iter()
         .map(|f| {
+            if f.default {
+                let convert = field_from_value_expr(f, "v");
+                return format!(
+                    "{}: match ::serde::value::take_field(&mut __map, \"{}\") {{ \
+                       ::std::result::Result::Ok(v) => {convert}, \
+                       ::std::result::Result::Err(_) => ::std::default::Default::default(), \
+                     }},",
+                    f.name, f.name
+                );
+            }
             let take = format!(
                 "match ::serde::value::take_field(&mut __map, \"{}\") {{ \
                    ::std::result::Result::Ok(v) => v, \
@@ -411,14 +440,14 @@ fn generate_deserialize(item: &Item) -> String {
             )
         }
         Kind::TupleStruct(1) => {
-            let inner = Field { name: String::new(), with: None };
+            let inner = Field { name: String::new(), with: None, default: false };
             let expr = field_from_value_expr(&inner, "__value");
             format!("::std::result::Result::Ok({name}({expr}))")
         }
         Kind::TupleStruct(n) => {
             let extracts = (0..*n)
                 .map(|_| {
-                    let inner = Field { name: String::new(), with: None };
+                    let inner = Field { name: String::new(), with: None, default: false };
                     let expr =
                         field_from_value_expr(&inner, "__items.next().expect(\"length checked\")");
                     format!("{expr},")
